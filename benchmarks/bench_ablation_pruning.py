@@ -1,0 +1,35 @@
+"""Ablation B — OTCD with vs without the PoR/PoU/PoL pruning rules."""
+
+from __future__ import annotations
+
+from repro.baselines.otcd import enumerate_otcd
+from repro.bench.workloads import build_workload
+from repro.datasets.registry import load_dataset
+
+
+def _cm_setup():
+    graph = load_dataset("CM")
+    workload = build_workload(graph, "CM", num_queries=1, seed=29)
+    ts, te = workload.ranges[0]
+    return graph, workload.k, ts, te
+
+
+def test_otcd_with_pruning(benchmark):
+    graph, k, ts, te = _cm_setup()
+    result = benchmark(enumerate_otcd, graph, k, ts, te, collect=False)
+    assert result.num_results > 0
+
+
+def test_otcd_without_pruning(benchmark):
+    graph, k, ts, te = _cm_setup()
+    result = benchmark(
+        enumerate_otcd, graph, k, ts, te, use_pruning=False, collect=False
+    )
+    assert result.num_results > 0
+
+
+def test_pruning_outputs_identical():
+    graph, k, ts, te = _cm_setup()
+    pruned = enumerate_otcd(graph, k, ts, te)
+    unpruned = enumerate_otcd(graph, k, ts, te, use_pruning=False)
+    assert pruned.edge_sets() == unpruned.edge_sets()

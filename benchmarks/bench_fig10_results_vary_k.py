@@ -1,0 +1,12 @@
+"""Figure 10 — number of temporal k-cores as k varies."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig10
+
+
+def test_regenerate_fig10(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig10, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig10", report)

@@ -1,0 +1,12 @@
+"""Figure 11 — number of temporal k-cores as the range width varies."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig11
+
+
+def test_regenerate_fig11(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig11, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig11", report)

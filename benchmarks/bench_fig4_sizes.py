@@ -1,0 +1,27 @@
+"""Figure 4 — |VCT|, |VCT|*deg_avg and |R| on representative datasets.
+
+The paper's Remark: the result size dominates the index-size term by
+orders of magnitude, so total runtime is result-bound.
+"""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig4
+from repro.core.coretime import compute_core_times
+from repro.datasets.registry import load_dataset
+from repro.datasets.stats import compute_stats, default_k
+
+
+def test_vct_size_cm(benchmark):
+    """Building the VCT+ECS on the CM analogue at the default k."""
+    graph = load_dataset("CM")
+    k = default_k(compute_stats(graph))
+    result = benchmark(compute_core_times, graph, k)
+    assert result.vct.size() > 0
+
+
+def test_regenerate_fig4(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig4, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig4", report)

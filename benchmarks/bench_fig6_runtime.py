@@ -1,0 +1,64 @@
+"""Figure 6 — the headline comparison: OTCD vs CoreTime vs EnumBase vs Enum.
+
+Micro-benchmarks time each engine on a fixed mid-size workload (same
+dataset, k and range for all, so the pytest-benchmark table is directly
+comparable), and the full per-dataset sweep is regenerated as a report.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.otcd import enumerate_otcd
+from repro.bench.experiments import experiment_fig6
+from repro.bench.workloads import build_workload
+from repro.core.coretime import compute_core_times
+from repro.core.enumbase import enumerate_temporal_kcores_base
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.datasets.registry import load_dataset
+
+
+@pytest.fixture(scope="module")
+def cm_workload():
+    graph = load_dataset("CM")
+    workload = build_workload(graph, "CM", num_queries=1, seed=7)
+    ts, te = workload.ranges[0]
+    return graph, workload.k, ts, te
+
+
+def test_engine_coretime(benchmark, cm_workload):
+    graph, k, ts, te = cm_workload
+    result = benchmark(compute_core_times, graph, k, ts, te)
+    assert result.ecs is not None
+
+
+def test_engine_enum(benchmark, cm_workload):
+    graph, k, ts, te = cm_workload
+    skyline = compute_core_times(graph, k, ts, te).ecs
+    result = benchmark(
+        enumerate_temporal_kcores, graph, k, ts, te, skyline=skyline, collect=False
+    )
+    assert result.num_results > 0
+
+
+def test_engine_enumbase(benchmark, cm_workload):
+    graph, k, ts, te = cm_workload
+    skyline = compute_core_times(graph, k, ts, te).ecs
+    result = benchmark(
+        enumerate_temporal_kcores_base,
+        graph, k, ts, te, skyline=skyline, collect=False,
+    )
+    assert result.num_results > 0
+
+
+def test_engine_otcd(benchmark, cm_workload):
+    graph, k, ts, te = cm_workload
+    result = benchmark(enumerate_otcd, graph, k, ts, te, collect=False)
+    assert result.num_results > 0
+
+
+def test_regenerate_fig6(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig6, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig6", report)

@@ -1,0 +1,32 @@
+"""Figure 7 — running time as k varies over 10-40% of kmax."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import experiment_fig7
+from repro.bench.workloads import build_workload
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.datasets.registry import load_dataset
+
+
+@pytest.mark.parametrize("k_fraction", [0.1, 0.2, 0.3, 0.4])
+def test_enum_vary_k_cm(benchmark, k_fraction):
+    """Enum (incl. CoreTime) on CM at each k fraction — runtime should
+    fall as k grows because the result set shrinks."""
+    graph = load_dataset("CM")
+    workload = build_workload(
+        graph, "CM", k_fraction=k_fraction, num_queries=1, seed=11
+    )
+    ts, te = workload.ranges[0]
+    result = benchmark(
+        enumerate_temporal_kcores, graph, workload.k, ts, te, collect=False
+    )
+    assert result.completed
+
+
+def test_regenerate_fig7(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig7, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig7", report)

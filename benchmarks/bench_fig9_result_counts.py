@@ -1,0 +1,26 @@
+"""Figure 9 — the average number of temporal k-cores per dataset."""
+
+from __future__ import annotations
+
+from repro.bench.experiments import experiment_fig9
+from repro.bench.workloads import build_workload
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.datasets.registry import load_dataset
+
+
+def test_count_results_su(benchmark):
+    """Streaming enumeration (count-only) on the SU analogue."""
+    graph = load_dataset("SU")
+    workload = build_workload(graph, "SU", num_queries=1, seed=17)
+    ts, te = workload.ranges[0]
+    result = benchmark(
+        enumerate_temporal_kcores, graph, workload.k, ts, te, collect=False
+    )
+    assert result.num_results >= 1
+
+
+def test_regenerate_fig9(benchmark, save_report, profile):
+    report = benchmark.pedantic(
+        experiment_fig9, args=(profile,), rounds=1, iterations=1
+    )
+    save_report("fig9", report)

@@ -1,0 +1,44 @@
+"""Scalability sweep — runtime vs graph size at fixed shape.
+
+Complements the paper's figures: Enum+CoreTime should scale roughly with
+the result mass while OTCD's gap widens super-linearly with size.
+"""
+
+from __future__ import annotations
+
+from repro.bench.reporting import format_table
+from repro.bench.scalability import (
+    SCALE_HEADERS,
+    run_scalability_sweep,
+    scaled_config,
+)
+from repro.graph.generators import generate_bursty
+
+
+def test_scaled_config_grows_linearly():
+    small, big = scaled_config(1), scaled_config(4)
+    assert big.total_edges() == 4 * small.total_edges()
+    assert big.tmax == 4 * small.tmax
+
+
+def test_scalability_sweep(benchmark, save_report, profile):
+    def run():
+        points = run_scalability_sweep(
+            factors=(1, 2, 4),
+            num_queries=profile.num_queries,
+            timeout=profile.timeout,
+            seed=profile.seed,
+        )
+        return format_table(
+            SCALE_HEADERS,
+            [p.as_row() for p in points],
+            title="Scalability - runtime vs graph size (fixed density)",
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_report("scalability", report)
+
+
+def test_generation_cost_scales(benchmark):
+    graph = benchmark(generate_bursty, scaled_config(2))
+    assert graph.num_edges == scaled_config(2).total_edges()

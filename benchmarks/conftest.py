@@ -1,0 +1,40 @@
+"""Shared fixtures for the figure-regeneration benchmark suite.
+
+Every ``bench_*`` file regenerates one of the paper's tables or figures.
+The rendered report is written to ``benchmarks/reports/<name>.txt`` and
+echoed to stdout (visible with ``pytest -s``), so a full
+``pytest benchmarks/ --benchmark-only`` run leaves the complete set of
+paper-shaped tables on disk.
+
+Set ``REPRO_BENCH_PROFILE=full`` for the paper-strength sweep (more
+queries per point, longer per-query time limits).
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+from repro.bench.experiments import BenchProfile
+
+REPORT_DIR = pathlib.Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def profile() -> BenchProfile:
+    return BenchProfile.from_env()
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Persist a rendered experiment report and echo it."""
+    REPORT_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> None:
+        path = REPORT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[report saved to {os.fspath(path)}]")
+
+    return _save

@@ -1,0 +1,92 @@
+"""Anti-money-laundering: dense transaction rings in time windows.
+
+The paper's introduction motivates time-range k-core queries with
+anti-money-laundering: "smurfing" rings move funds through many accounts
+in short bursts, forming dense interaction clusters that exist only
+inside narrow time windows and are invisible to whole-history analysis.
+
+This example synthesises a transaction network with two planted smurfing
+rings on top of legitimate traffic, then uses temporal k-core
+enumeration to surface them — including the exact time window (the TTI)
+of each burst, which whole-graph k-core analysis cannot provide.
+
+Run:  python examples/aml_transactions.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import TemporalGraph, TimeRangeCoreQuery
+
+NUM_ACCOUNTS = 400
+NUM_DAYS = 180
+LEGIT_TRANSFERS = 3_000
+RING_SIZE = 7
+RING_TRANSFERS = 90
+SEED = 2026
+
+
+def synthesize_network() -> tuple[TemporalGraph, list[set[str]]]:
+    """Legitimate scatter traffic plus two short-lived smurfing rings."""
+    rng = np.random.default_rng(SEED)
+    edges: list[tuple[str, str, int]] = []
+
+    # Legitimate transfers: random account pairs, uniform over the period.
+    for _ in range(LEGIT_TRANSFERS):
+        a, b = rng.choice(NUM_ACCOUNTS, size=2, replace=False)
+        day = int(rng.integers(1, NUM_DAYS + 1))
+        edges.append((f"acct{a}", f"acct{b}", day))
+
+    # Two smurfing rings: dense pair-wise transfers within ~a week.
+    rings: list[set[str]] = []
+    for ring_index, start_day in ((0, 40), (1, 120)):
+        members = rng.choice(NUM_ACCOUNTS, size=RING_SIZE, replace=False)
+        ring = {f"acct{m}" for m in members}
+        rings.append(ring)
+        member_list = sorted(ring)
+        for _ in range(RING_TRANSFERS):
+            i, j = rng.choice(RING_SIZE, size=2, replace=False)
+            day = int(rng.integers(start_day, start_day + 7))
+            edges.append((member_list[i], member_list[j], day))
+    return TemporalGraph(edges), rings
+
+
+def main() -> None:
+    graph, planted_rings = synthesize_network()
+    print(f"Transaction network: {graph}")
+    print(f"Planted rings: {[sorted(r)[:3] for r in planted_rings]} ... "
+          f"({RING_SIZE} accounts each)\n")
+
+    # Investigators scan the full period for account groups where every
+    # member transacted with at least k=4 distinct peers inside some
+    # window.  Legitimate scatter traffic never reaches that density.
+    result = TimeRangeCoreQuery(graph, k=4, time_range=(1, graph.tmax)).run()
+    print(f"Temporal 4-cores found: {result.num_results}")
+
+    # Group findings by account set: one ring usually surfaces at
+    # several nested TTIs as the window tightens around the burst.
+    suspicious: dict[frozenset[str], list[tuple[int, int]]] = {}
+    for core in result:
+        accounts = frozenset(core.vertex_labels(graph))
+        suspicious.setdefault(accounts, []).append(core.tti)
+
+    detected: list[frozenset[str]] = []
+    for accounts, ttis in sorted(suspicious.items(), key=lambda kv: min(kv[1])):
+        first_tti = min(ttis)
+        raw_window = (graph.raw_time_of(first_tti[0]), graph.raw_time_of(first_tti[1]))
+        print(f"  ring of {len(accounts)} accounts, active days "
+              f"{raw_window[0]}..{raw_window[1]}: {sorted(accounts)}")
+        detected.append(accounts)
+
+    # Score detection against the planted ground truth.
+    hits = 0
+    for ring in planted_rings:
+        if any(accounts <= ring or ring <= accounts for accounts in detected):
+            hits += 1
+    print(f"\nDetected {hits}/{len(planted_rings)} planted rings.")
+    assert hits == len(planted_rings), "expected both rings to surface"
+
+
+if __name__ == "__main__":
+    main()

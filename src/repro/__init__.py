@@ -1,0 +1,75 @@
+"""repro — temporal k-core enumeration.
+
+A complete, pure-Python reproduction of *"Accelerating K-Core Computation
+in Temporal Graphs"* (EDBT 2026): the CoreTime / edge-core-window-skyline
+pipeline and the result-size-optimal Enum algorithm, together with the
+OTCD state-of-the-art baseline, a brute-force oracle, historical k-core
+queries, synthetic stand-ins for the paper's fourteen datasets, and a
+benchmark harness that regenerates every figure and table of the
+evaluation section.
+
+Quickstart::
+
+    from repro import TemporalGraph, TimeRangeCoreQuery
+
+    graph = TemporalGraph([("a", "b", 1), ("b", "c", 1), ("a", "c", 2)])
+    result = TimeRangeCoreQuery(graph, k=2, time_range=(1, 2)).run()
+    for core in result:
+        print(core.tti, core.edge_triples(graph))
+"""
+
+from repro.core import (
+    CoreIndex,
+    StreamingCoreService,
+    CoreTimeResult,
+    EdgeCoreSkyline,
+    ENGINES,
+    EnumerationResult,
+    TemporalKCore,
+    TimeRangeCoreQuery,
+    VertexCoreTimeIndex,
+    compute_core_times,
+    compute_vertex_core_times,
+    enumerate_temporal_kcores,
+    enumerate_temporal_kcores_base,
+)
+from repro.baselines import enumerate_bruteforce, enumerate_otcd, PHCIndex
+from repro.errors import (
+    BenchmarkError,
+    DatasetError,
+    EmptyGraphError,
+    GraphFormatError,
+    InvalidParameterError,
+    ReproError,
+)
+from repro.graph import TemporalEdge, TemporalGraph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkError",
+    "CoreIndex",
+    "CoreTimeResult",
+    "DatasetError",
+    "EdgeCoreSkyline",
+    "ENGINES",
+    "EmptyGraphError",
+    "EnumerationResult",
+    "GraphFormatError",
+    "InvalidParameterError",
+    "PHCIndex",
+    "ReproError",
+    "StreamingCoreService",
+    "TemporalEdge",
+    "TemporalGraph",
+    "TemporalKCore",
+    "TimeRangeCoreQuery",
+    "VertexCoreTimeIndex",
+    "compute_core_times",
+    "compute_vertex_core_times",
+    "enumerate_bruteforce",
+    "enumerate_otcd",
+    "enumerate_temporal_kcores",
+    "enumerate_temporal_kcores_base",
+    "__version__",
+]

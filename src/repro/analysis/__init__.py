@@ -1,0 +1,25 @@
+"""Post-processing analyses over enumeration results."""
+
+from repro.analysis.communities import (
+    CommunityBurst,
+    community_bursts,
+    filter_bursts,
+    match_planted_groups,
+)
+from repro.analysis.summaries import (
+    ResultSummary,
+    summarize,
+    vertex_participation,
+    window_width_histogram,
+)
+
+__all__ = [
+    "CommunityBurst",
+    "ResultSummary",
+    "community_bursts",
+    "filter_bursts",
+    "match_planted_groups",
+    "summarize",
+    "vertex_participation",
+    "window_width_histogram",
+]

@@ -1,0 +1,111 @@
+"""Community-level views over enumeration results.
+
+The paper's applications (AML rings, misinformation bursts, transmission
+clusters) all follow the same post-processing pattern over the raw core
+stream:
+
+1. group cores by vertex set ("the same actors");
+2. pick each group's *tightest* occurrence (the shortest TTI — the
+   burst itself rather than the window that happens to contain it);
+3. relate groups (containment, overlap) to separate noise from signal.
+
+These helpers implement that pattern once, so applications — including
+this repository's examples — do not re-derive it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Hashable
+
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class CommunityBurst:
+    """A distinct actor set with its tightest active window."""
+
+    vertices: frozenset[Hashable]
+    tightest_tti: tuple[int, int]
+    num_occurrences: int
+    max_edges: int
+
+    @property
+    def width(self) -> int:
+        return self.tightest_tti[1] - self.tightest_tti[0] + 1
+
+
+def community_bursts(
+    graph: TemporalGraph, result: EnumerationResult
+) -> list[CommunityBurst]:
+    """Group cores by vertex set; report each group's tightest window.
+
+    Sorted by ascending window width (tightest bursts first), then by
+    start time — the triage order an investigator wants.
+    """
+    if result.cores is None:
+        raise InvalidParameterError("requires collected results")
+    grouped: dict[frozenset[Hashable], list] = {}
+    for core in result.cores:
+        key = frozenset(core.vertex_labels(graph))
+        grouped.setdefault(key, []).append(core)
+    bursts = []
+    for vertices, cores in grouped.items():
+        tightest = min(cores, key=lambda c: (c.tti[1] - c.tti[0], c.tti[0]))
+        bursts.append(
+            CommunityBurst(
+                vertices=vertices,
+                tightest_tti=tightest.tti,
+                num_occurrences=len(cores),
+                max_edges=max(c.num_edges for c in cores),
+            )
+        )
+    bursts.sort(key=lambda b: (b.width, b.tightest_tti[0]))
+    return bursts
+
+
+def filter_bursts(
+    bursts: list[CommunityBurst],
+    *,
+    min_vertices: int = 0,
+    max_width: int | None = None,
+) -> list[CommunityBurst]:
+    """Keep bursts with at least ``min_vertices`` actors and a tightest
+    window no wider than ``max_width`` timestamps."""
+    kept = []
+    for burst in bursts:
+        if len(burst.vertices) < min_vertices:
+            continue
+        if max_width is not None and burst.width > max_width:
+            continue
+        kept.append(burst)
+    return kept
+
+
+def match_planted_groups(
+    bursts: list[CommunityBurst],
+    planted: list[set[Hashable]],
+) -> dict[int, CommunityBurst | None]:
+    """Match detected bursts to planted ground-truth groups.
+
+    A burst matches a planted group when one contains the other (cores
+    may pick up a hanger-on vertex, or miss a peripheral member).
+    Returns ``{planted_index: best_matching_burst_or_None}`` where best
+    means the largest vertex overlap.
+    """
+    matches: dict[int, CommunityBurst | None] = {}
+    for index, group in enumerate(planted):
+        best: CommunityBurst | None = None
+        best_overlap = 0
+        for burst in bursts:
+            members = set(burst.vertices)
+            if not (members <= group or group <= members):
+                continue
+            overlap = len(members & group)
+            if overlap > best_overlap:
+                best_overlap = overlap
+                best = burst
+        matches[index] = best
+    return matches

@@ -1,0 +1,86 @@
+"""Result-set summaries: the statistics an analyst reads off a run.
+
+Temporal k-core enumeration can return hundreds of thousands of cores
+(Figure 9); the first thing any application does is summarise.  This
+module computes the distributions the paper's motivation sections reason
+about: how large cores are, how wide their windows are, and which
+vertices keep appearing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@dataclass(frozen=True)
+class ResultSummary:
+    """Aggregate statistics over one enumeration result."""
+
+    num_results: int
+    total_edges: int
+    min_edges: int
+    max_edges: int
+    mean_edges: float
+    min_window: int
+    max_window: int
+    mean_window: float
+
+    @classmethod
+    def empty(cls) -> "ResultSummary":
+        return cls(0, 0, 0, 0, 0.0, 0, 0, 0.0)
+
+
+def summarize(result: EnumerationResult) -> ResultSummary:
+    """Summary of core sizes and TTI widths (requires collect mode)."""
+    if result.cores is None:
+        raise InvalidParameterError(
+            "summaries need collected results; rerun with collect=True"
+        )
+    if not result.cores:
+        return ResultSummary.empty()
+    sizes = [core.num_edges for core in result.cores]
+    widths = [core.tti[1] - core.tti[0] + 1 for core in result.cores]
+    n = len(sizes)
+    return ResultSummary(
+        num_results=n,
+        total_edges=sum(sizes),
+        min_edges=min(sizes),
+        max_edges=max(sizes),
+        mean_edges=sum(sizes) / n,
+        min_window=min(widths),
+        max_window=max(widths),
+        mean_window=sum(widths) / n,
+    )
+
+
+def window_width_histogram(result: EnumerationResult) -> dict[int, int]:
+    """TTI width -> number of cores (sorted by width)."""
+    if result.cores is None:
+        raise InvalidParameterError("requires collected results")
+    counter = Counter(core.tti[1] - core.tti[0] + 1 for core in result.cores)
+    return dict(sorted(counter.items()))
+
+
+def vertex_participation(
+    graph: TemporalGraph, result: EnumerationResult, top: int | None = None
+) -> list[tuple[object, int]]:
+    """Vertices ranked by how many distinct cores they appear in.
+
+    Returns ``(label, count)`` pairs, most frequent first; ``top`` limits
+    the list.  Persistent participants are the recurring-actor signal
+    (bot rings, super-spreaders) the paper's applications look for.
+    """
+    if result.cores is None:
+        raise InvalidParameterError("requires collected results")
+    counter: Counter[int] = Counter()
+    for core in result.cores:
+        counter.update(core.vertices(graph))
+    ranked = [
+        (graph.label_of(u), count) for u, count in counter.most_common(top)
+    ]
+    return ranked

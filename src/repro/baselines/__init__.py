@@ -1,0 +1,19 @@
+"""Competitor algorithms and reference oracles."""
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.baselines.historical import (
+    PHCIndex,
+    historical_core_edge_ids,
+    historical_core_vertices,
+)
+from repro.baselines.otcd import enumerate_otcd
+from repro.baselines.pruning import PruneRegistry
+
+__all__ = [
+    "PHCIndex",
+    "PruneRegistry",
+    "enumerate_bruteforce",
+    "enumerate_otcd",
+    "historical_core_edge_ids",
+    "historical_core_vertices",
+]

@@ -1,0 +1,56 @@
+"""Brute-force temporal k-core enumeration — the ground-truth oracle.
+
+For every window ``[ts, te]`` inside the query range, project the graph,
+peel the k-core (Definition 2) and record the edge set.  Distinct edge
+sets are the answer.  Complexity is ``O(tmax^2 * m)`` — unusable beyond
+toy sizes, but its simplicity makes it the referee every other algorithm
+is tested against.
+"""
+
+from __future__ import annotations
+
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import snapshot_k_core
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.timer import Deadline
+
+
+def enumerate_bruteforce(
+    graph: TemporalGraph,
+    k: int,
+    ts: int | None = None,
+    te: int | None = None,
+    *,
+    collect: bool = True,
+    deadline: Deadline | None = None,
+) -> EnumerationResult:
+    """Enumerate all distinct temporal k-cores by checking every window."""
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    ts_lo = 1 if ts is None else ts
+    ts_hi = graph.tmax if te is None else te
+    graph.check_window(ts_lo, ts_hi)
+
+    result = EnumerationResult("bruteforce", k, (ts_lo, ts_hi))
+    if collect:
+        result.cores = []
+    seen: set[frozenset[int]] = set()
+    for start in range(ts_lo, ts_hi + 1):
+        if deadline is not None and deadline.expired():
+            result.completed = False
+            break
+        for end in range(start, ts_hi + 1):
+            snapshot = Snapshot.from_graph(graph, start, end)
+            members = snapshot_k_core(snapshot, k)
+            if not members:
+                continue
+            edge_ids = snapshot.induced_temporal_edge_ids(members)
+            identity = frozenset(edge_ids)
+            if identity in seen:
+                continue
+            seen.add(identity)
+            times = [graph.edges[eid].t for eid in edge_ids]
+            result.record(min(times), max(times), edge_ids, collect)
+    return result

@@ -1,0 +1,80 @@
+"""TTI-based pruning bookkeeping for OTCD (PoR / PoU / PoL).
+
+Yang et al. [12] prune time windows that cannot contain a new temporal
+k-core.  Given a core computed at window ``[a, b]`` whose TTI is
+``[ts', te']``:
+
+* **PoR** (right): for the same start ``a``, every end in ``[te', b]``
+  yields the same core — handled *locally* by the OTCD scan, which jumps
+  the end time straight to ``te' - 1``.
+* **PoU** (underside, when ``ts' > a``): starts in ``(a, ts']`` with ends
+  in ``[te', b]`` still yield exactly this core.
+* **PoL** (left, when additionally ``te' < b``): for any start past
+  ``ts'``, ends in ``[te' + 1, b]`` duplicate the core found at end
+  ``te'``.
+
+PoU and PoL are *deferred* rules: they concern future start times, so the
+registry stores them as ``(start_lo, start_hi, end_lo, end_hi)`` boxes and
+materialises, per start time, the merged set of pruned end intervals.
+"""
+
+from __future__ import annotations
+
+from repro.utils.order import merge_intervals
+
+
+class PruneRegistry:
+    """Accumulates pruning boxes and answers per-start interval queries."""
+
+    __slots__ = ("span", "_rules", "num_rules_applied")
+
+    def __init__(self, span: tuple[int, int]):
+        self.span = span
+        self._rules: list[tuple[int, int, int, int]] = []
+        self.num_rules_applied = 0
+
+    def register_from_tti(
+        self, window: tuple[int, int], tti: tuple[int, int]
+    ) -> None:
+        """Register PoU/PoL boxes derived from a core output.
+
+        ``window`` is the probe window ``[a, b]`` the core was computed
+        at; ``tti`` is the core's tightest time interval ``[ts', te']``.
+        """
+        (a, b), (ts_p, te_p) = window, tti
+        span_lo, span_hi = self.span
+        if not (span_lo <= a <= ts_p and te_p <= b <= span_hi):
+            raise ValueError(f"TTI {tti} not nested in window {window}")
+        if ts_p > a:
+            self._rules.append((a + 1, ts_p, te_p, b))
+            self.num_rules_applied += 1
+            if te_p < b:
+                self._rules.append((ts_p + 1, span_hi, te_p + 1, b))
+                self.num_rules_applied += 1
+
+    def pruned_ends_for(self, start: int) -> list[tuple[int, int]]:
+        """Merged, sorted end-time intervals pruned at this start time.
+
+        Intervals are clamped to ``[start, span_hi]`` (ends before the
+        start are meaningless) and rules that expired are dropped from
+        the registry to keep later queries cheap.
+        """
+        span_hi = self.span[1]
+        live: list[tuple[int, int, int, int]] = []
+        applicable: list[tuple[int, int]] = []
+        for rule in self._rules:
+            a_lo, a_hi, e_lo, e_hi = rule
+            if a_hi < start:
+                continue  # Expired: start times only grow.
+            live.append(rule)
+            if a_lo <= start:
+                lo = max(e_lo, start)
+                hi = min(e_hi, span_hi)
+                if lo <= hi:
+                    applicable.append((lo, hi))
+        self._rules = live
+        return merge_intervals(applicable)
+
+    @property
+    def num_rules_live(self) -> int:
+        return len(self._rules)

@@ -1,0 +1,115 @@
+"""ASCII chart rendering for benchmark reports.
+
+The paper's figures are log-scale bar and line charts.  Without a
+plotting stack, the experiment drivers render the same data as text
+tables; this module adds terminal-friendly log-scale bars and series so
+a report shows the *shape* of each figure at a glance:
+
+>>> print(log_bar_chart({"OTCD": 12.0, "Enum": 0.08}, unit="s"))
+OTCD  |############################################            12 s
+Enum  |#########                                             0.08 s
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+_BAR_WIDTH = 48
+
+
+def _format_value(value: float, unit: str) -> str:
+    if value >= 1e5 or (value != 0 and value < 1e-3):
+        rendered = f"{value:.2e}"
+    elif value >= 100:
+        rendered = f"{value:.0f}"
+    else:
+        rendered = f"{value:.3g}"
+    return f"{rendered} {unit}".rstrip()
+
+
+def log_bar_chart(
+    values: Mapping[str, float | None],
+    *,
+    unit: str = "",
+    width: int = _BAR_WIDTH,
+) -> str:
+    """Horizontal log-scale bars; ``None`` values render as DNF.
+
+    The scale spans from one decade below the smallest positive value to
+    the largest value, mirroring the paper's log axes.
+    """
+    positives = [v for v in values.values() if v is not None and v > 0]
+    if not positives:
+        return "\n".join(f"{name}  (no data)" for name in values)
+    low = math.log10(min(positives)) - 1.0
+    high = math.log10(max(positives))
+    span = max(high - low, 1e-9)
+    label_width = max(len(name) for name in values)
+    lines = []
+    for name, value in values.items():
+        if value is None:
+            lines.append(f"{name.ljust(label_width)}  |{'DNF'.ljust(width)}")
+            continue
+        if value <= 0:
+            bar_len = 0
+        else:
+            bar_len = max(1, round((math.log10(value) - low) / span * width))
+        bar = "#" * min(bar_len, width)
+        lines.append(
+            f"{name.ljust(label_width)}  |{bar.ljust(width)} "
+            f"{_format_value(value, unit):>12}"
+        )
+    return "\n".join(lines)
+
+
+def log_series_chart(
+    x_labels: Sequence[str],
+    series: Mapping[str, Sequence[float | None]],
+    *,
+    unit: str = "",
+    height: int = 12,
+    column_width: int = 10,
+) -> str:
+    """A log-scale multi-series dot chart (one column per x label).
+
+    Each series gets a marker character; DNF points are left blank and
+    noted in the legend.  Designed for the paper's Figures 7/8-style
+    four-point sweeps.
+    """
+    markers = "ox+*#@%&"
+    positives = [
+        v for values in series.values() for v in values if v is not None and v > 0
+    ]
+    if not positives:
+        return "(no data)"
+    low = math.log10(min(positives))
+    high = math.log10(max(positives))
+    span = max(high - low, 1e-9)
+
+    grid = [[" "] * (len(x_labels) * column_width) for _ in range(height)]
+    legend: list[str] = []
+    for index, (name, values) in enumerate(series.items()):
+        marker = markers[index % len(markers)]
+        dnfs = [x_labels[i] for i, v in enumerate(values) if v is None]
+        suffix = f" (DNF at {', '.join(dnfs)})" if dnfs else ""
+        legend.append(f"  {marker} = {name}{suffix}")
+        for i, value in enumerate(values):
+            if value is None or value <= 0:
+                continue
+            row = round((math.log10(value) - low) / span * (height - 1))
+            row = height - 1 - min(max(row, 0), height - 1)
+            col = i * column_width + column_width // 2
+            grid[row][col] = marker
+
+    top = _format_value(10.0 ** high, unit)
+    bottom = _format_value(10.0 ** low, unit)
+    lines = [f"{top:>10} ^"]
+    lines += ["           |" + "".join(row) for row in grid]
+    lines.append(f"{bottom:>10} +" + "-" * (len(x_labels) * column_width))
+    lines.append(
+        "            "
+        + "".join(label.center(column_width) for label in x_labels)
+    )
+    lines.extend(legend)
+    return "\n".join(lines)

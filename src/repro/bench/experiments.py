@@ -1,0 +1,406 @@
+"""Per-figure experiment drivers — regenerate every table and figure.
+
+Run from the command line::
+
+    python -m repro.bench.experiments table3
+    python -m repro.bench.experiments fig6 --profile full
+    python -m repro.bench.experiments all
+
+Each driver returns the printed report, so the benchmark suite and
+EXPERIMENTS.md use exactly the same code path.  The ``quick`` profile
+(default) keeps the full sweep within minutes on a laptop; ``full`` uses
+more queries and a longer per-query time limit.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.bench.charts import log_bar_chart, log_series_chart
+from repro.bench.harness import FIG6_ENGINES, run_dataset_point
+from repro.bench.memory import format_bytes
+from repro.bench.reporting import format_table
+from repro.core.coretime import compute_core_times
+from repro.datasets.paper_example import (
+    PAPER_ECS_K2,
+    PAPER_VCT_K2,
+    paper_example_graph,
+)
+from repro.datasets.registry import (
+    ALL_DATASETS,
+    FIG4_DATASETS,
+    VARIED_DATASETS,
+    load_dataset,
+    paper_stats,
+)
+from repro.datasets.stats import compute_stats
+from repro.errors import BenchmarkError
+
+K_FRACTIONS = (0.1, 0.2, 0.3, 0.4)
+RANGE_FRACTIONS = (0.05, 0.1, 0.2, 0.4)
+
+
+@dataclass(frozen=True)
+class BenchProfile:
+    """Sweep intensity: how many queries per point, per-query time limit."""
+
+    name: str
+    num_queries: int
+    timeout: float
+    seed: int = 0
+
+    @classmethod
+    def quick(cls) -> "BenchProfile":
+        return cls("quick", num_queries=2, timeout=10.0)
+
+    @classmethod
+    def full(cls) -> "BenchProfile":
+        return cls("full", num_queries=5, timeout=60.0)
+
+    @classmethod
+    def from_env(cls) -> "BenchProfile":
+        """Profile selected by ``REPRO_BENCH_PROFILE`` (quick | full)."""
+        name = os.environ.get("REPRO_BENCH_PROFILE", "quick").lower()
+        return cls.full() if name == "full" else cls.quick()
+
+
+# ----------------------------------------------------------------------
+# Tables I-III
+# ----------------------------------------------------------------------
+
+
+def experiment_table1() -> str:
+    """Table I: the VCT index of the running example (k = 2)."""
+    graph = paper_example_graph()
+    vct = compute_core_times(graph, 2).vct
+    rows = []
+    for name in sorted(PAPER_VCT_K2, key=lambda s: int(s[1:])):
+        ours = tuple(vct.entries_of(graph.id_of(name)))
+        published = PAPER_VCT_K2[name]
+        rows.append((name, _render_entries(ours), _render_entries(published),
+                     "yes" if ours == published else "NO"))
+    return format_table(
+        ("vertex", "computed", "published (corrected)", "match"),
+        rows,
+        title="Table I - vertex core time index of the example graph, k=2",
+    )
+
+
+def experiment_table2() -> str:
+    """Table II: the edge core window skyline of the running example."""
+    graph = paper_example_graph()
+    result = compute_core_times(graph, 2)
+    assert result.ecs is not None
+    rows = []
+    for eid, (u, v, t) in enumerate(graph.edges):
+        lu, lv = graph.label_of(u), graph.label_of(v)
+        published = PAPER_ECS_K2.get((lu, lv, t)) or PAPER_ECS_K2.get((lv, lu, t))
+        ours = result.ecs.windows_of(eid)
+        rows.append((f"({lu}, {lv}, {t})", _render_windows(ours),
+                     _render_windows(published or ()),
+                     "yes" if ours == published else "NO"))
+    return format_table(
+        ("edge", "computed", "published", "match"),
+        rows,
+        title="Table II - edge core window skyline of the example graph, k=2",
+    )
+
+
+def experiment_table3() -> str:
+    """Table III: dataset statistics, paper originals vs generated."""
+    rows = []
+    for name in ALL_DATASETS:
+        stats = compute_stats(load_dataset(name))
+        paper = paper_stats(name)
+        rows.append(
+            (name, paper.num_vertices, paper.num_edges, paper.tmax, paper.kmax,
+             stats.num_vertices, stats.num_edges, stats.tmax, stats.kmax)
+        )
+    return format_table(
+        ("ds", "paper|V|", "paper|E|", "paper tmax", "paper kmax",
+         "gen|V|", "gen|E|", "gen tmax", "gen kmax"),
+        rows,
+        title="Table III - datasets (paper originals vs scaled synthetic stand-ins)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4, 6, 9, 12 (per-dataset at default parameters)
+# ----------------------------------------------------------------------
+
+
+def experiment_fig4(profile: BenchProfile | None = None) -> str:
+    """Fig 4: |VCT|, |VCT|*deg_avg and |R| at default parameters."""
+    profile = profile or BenchProfile.from_env()
+    rows = []
+    for name in FIG4_DATASETS:
+        stats = compute_stats(load_dataset(name))
+        _, summaries = run_dataset_point(
+            name,
+            num_queries=profile.num_queries,
+            engines=("coretime", "enum"),
+            timeout=profile.timeout,
+            seed=profile.seed,
+        )
+        coretime = summaries["coretime"].records
+        vct_size = sum(r.vct_size for r in coretime) / len(coretime)
+        product = vct_size * stats.avg_degree
+        result_size = summaries["enum"].mean_total_edges
+        ratio = result_size / product if product else float("nan")
+        rows.append((name, round(vct_size), round(product), round(result_size),
+                     f"{ratio:.1f}x"))
+    return format_table(
+        ("ds", "|VCT|", "|VCT|*deg_avg", "|R|", "|R| / product"),
+        rows,
+        title="Fig 4 - index size vs result size (default k=30% kmax, range=10% tmax)",
+    )
+
+
+def experiment_fig6(profile: BenchProfile | None = None) -> str:
+    """Fig 6: average running time of every algorithm on every dataset."""
+    profile = profile or BenchProfile.from_env()
+    rows = []
+    for name in ALL_DATASETS:
+        _, summaries = run_dataset_point(
+            name,
+            num_queries=profile.num_queries,
+            engines=FIG6_ENGINES,
+            timeout=profile.timeout,
+            seed=profile.seed,
+        )
+        rows.append(
+            (name,
+             summaries["otcd"].mean_seconds,
+             summaries["coretime"].mean_seconds,
+             summaries["enumbase"].mean_seconds,
+             summaries["enum"].mean_seconds,
+             f"{summaries['otcd'].num_dnf}/{summaries['otcd'].num_queries}")
+        )
+    table = format_table(
+        ("ds", "OTCD(s)", "CoreTime(s)", "EnumBase(s)", "Enum(s)", "OTCD DNF"),
+        rows,
+        title=(
+            "Fig 6 - average running time, default parameters "
+            f"({profile.num_queries} queries, {profile.timeout:.0f}s limit)"
+        ),
+    )
+    # Log-scale bars for the largest many-timestamp dataset, the shape
+    # the paper's Figure 6 emphasises.
+    wt = next((row for row in rows if row[0] == "WT"), None)
+    if wt is not None:
+        chart = log_bar_chart(
+            {"OTCD": wt[1], "CoreTime": wt[2], "EnumBase": wt[3], "Enum": wt[4]},
+            unit="s",
+        )
+        table += "\n\nWT dataset, log scale:\n" + chart
+    return table
+
+
+def experiment_fig9(profile: BenchProfile | None = None) -> str:
+    """Fig 9: average number of temporal k-cores per dataset."""
+    profile = profile or BenchProfile.from_env()
+    rows = []
+    for name in ALL_DATASETS:
+        workload, summaries = run_dataset_point(
+            name,
+            num_queries=profile.num_queries,
+            engines=("enum",),
+            timeout=profile.timeout,
+            seed=profile.seed,
+        )
+        enum = summaries["enum"]
+        rows.append((name, workload.k, round(enum.mean_results),
+                     round(enum.mean_total_edges)))
+    return format_table(
+        ("ds", "k", "avg #results", "avg |R| (edges)"),
+        rows,
+        title="Fig 9 - number of temporal k-cores at default parameters",
+    )
+
+
+def experiment_fig12(profile: BenchProfile | None = None) -> str:
+    """Fig 12: peak memory of each algorithm at default parameters."""
+    profile = profile or BenchProfile.from_env()
+    rows = []
+    for name in ALL_DATASETS:
+        _, summaries = run_dataset_point(
+            name,
+            num_queries=profile.num_queries,
+            engines=("otcd", "enumbase", "enum"),
+            timeout=profile.timeout,
+            seed=profile.seed,
+            measure_memory=True,
+        )
+        rows.append(
+            (name,
+             format_bytes(summaries["otcd"].mean_peak_bytes),
+             format_bytes(summaries["enumbase"].mean_peak_bytes),
+             format_bytes(summaries["enum"].mean_peak_bytes))
+        )
+    return format_table(
+        ("ds", "OTCD peak", "EnumBase peak", "Enum peak"),
+        rows,
+        title="Fig 12 - peak traced memory per algorithm (streaming outputs)",
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 7, 8, 10, 11 (parameter sweeps on the four varied datasets)
+# ----------------------------------------------------------------------
+
+
+def _sweep(
+    profile: BenchProfile,
+    *,
+    vary: str,
+    metric: str,
+    title: str,
+) -> str:
+    """Shared driver for the k / range sweeps (Figs 7, 8, 10, 11)."""
+    fractions = K_FRACTIONS if vary == "k" else RANGE_FRACTIONS
+    engines = ("enum", "enumbase", "otcd") if metric == "time" else ("enum",)
+    rows = []
+    for name in VARIED_DATASETS:
+        for fraction in fractions:
+            kwargs = dict(
+                num_queries=profile.num_queries,
+                engines=engines,
+                timeout=profile.timeout,
+                seed=profile.seed,
+            )
+            if vary == "k":
+                kwargs["k_fraction"] = fraction
+            else:
+                kwargs["range_fraction"] = fraction
+            label = f"{int(fraction * 100)}%"
+            try:
+                workload, summaries = run_dataset_point(name, **kwargs)
+            except BenchmarkError:
+                # No window of this width contains a k-core at all; the
+                # paper's admissibility guarantee cannot be met for this
+                # parameter point on the scaled dataset.
+                rows.append((name, label, "-", "-") + ("n/a",) * (3 if metric == "time" else 2))
+                continue
+            if metric == "time":
+                rows.append(
+                    (name, label, workload.k, workload.width,
+                     summaries["enum"].mean_seconds,
+                     summaries["enumbase"].mean_seconds,
+                     summaries["otcd"].mean_seconds)
+                )
+            else:
+                enum = summaries["enum"]
+                rows.append(
+                    (name, label, workload.k, workload.width,
+                     round(enum.mean_results), round(enum.mean_total_edges))
+                )
+    if metric == "time":
+        headers = ("ds", vary, "k", "width", "Enum+CT(s)", "EnumBase+CT(s)", "OTCD(s)")
+    else:
+        headers = ("ds", vary, "k", "width", "#results", "|R| (edges)")
+    table = format_table(headers, rows, title=title)
+    if metric == "time":
+        # Enum-vs-OTCD series for the largest many-timestamp dataset.
+        wt_rows = [row for row in rows if row[0] == "WT" and row[2] != "-"]
+        if wt_rows:
+            chart = log_series_chart(
+                [row[1] for row in wt_rows],
+                {
+                    "Enum+CT": [row[4] for row in wt_rows],
+                    "OTCD": [row[6] for row in wt_rows],
+                },
+                unit="s",
+            )
+            table += "\n\nWT dataset, log scale:\n" + chart
+    return table
+
+
+def experiment_fig7(profile: BenchProfile | None = None) -> str:
+    """Fig 7: running time vs k (10-40% of kmax)."""
+    profile = profile or BenchProfile.from_env()
+    return _sweep(profile, vary="k", metric="time",
+                  title="Fig 7 - running time varying k")
+
+
+def experiment_fig8(profile: BenchProfile | None = None) -> str:
+    """Fig 8: running time vs query range width (5-40% of tmax)."""
+    profile = profile or BenchProfile.from_env()
+    return _sweep(profile, vary="range", metric="time",
+                  title="Fig 8 - running time varying query time range")
+
+
+def experiment_fig10(profile: BenchProfile | None = None) -> str:
+    """Fig 10: number of results vs k."""
+    profile = profile or BenchProfile.from_env()
+    return _sweep(profile, vary="k", metric="results",
+                  title="Fig 10 - number of temporal k-cores varying k")
+
+
+def experiment_fig11(profile: BenchProfile | None = None) -> str:
+    """Fig 11: number of results vs query range width."""
+    profile = profile or BenchProfile.from_env()
+    return _sweep(profile, vary="range", metric="results",
+                  title="Fig 11 - number of temporal k-cores varying range")
+
+
+# ----------------------------------------------------------------------
+
+
+def _render_entries(entries) -> str:
+    return " ".join(
+        f"[{s},{'inf' if c is None else c}]" for s, c in entries
+    )
+
+
+def _render_windows(windows) -> str:
+    return " ".join(f"[{a},{b}]" for a, b in windows)
+
+
+EXPERIMENTS = {
+    "table1": lambda profile: experiment_table1(),
+    "table2": lambda profile: experiment_table2(),
+    "table3": lambda profile: experiment_table3(),
+    "fig4": experiment_fig4,
+    "fig6": experiment_fig6,
+    "fig7": experiment_fig7,
+    "fig8": experiment_fig8,
+    "fig9": experiment_fig9,
+    "fig10": experiment_fig10,
+    "fig11": experiment_fig11,
+    "fig12": experiment_fig12,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--profile", choices=("quick", "full"), default=None,
+        help="sweep intensity (default: REPRO_BENCH_PROFILE or quick)",
+    )
+    args = parser.parse_args(argv)
+    if args.profile == "full":
+        profile = BenchProfile.full()
+    elif args.profile == "quick":
+        profile = BenchProfile.quick()
+    else:
+        profile = BenchProfile.from_env()
+
+    names = sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        print(EXPERIMENTS[name](profile))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

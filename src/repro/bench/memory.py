@@ -1,0 +1,47 @@
+"""Peak-memory measurement for the Figure 12 experiment.
+
+The paper reports maximum resident memory of each algorithm.  In-process,
+``tracemalloc`` gives the analogous quantity for Python allocations: the
+*peak traced allocation* during the algorithm run, excluding the baseline
+(graph + workload) that exists before the run starts.  Rankings between
+algorithms — the claim Figure 12 makes — carry over directly.
+"""
+
+from __future__ import annotations
+
+import tracemalloc
+from collections.abc import Callable
+from typing import Any, TypeVar
+
+T = TypeVar("T")
+
+
+def measure_peak_memory(fn: Callable[[], T]) -> tuple[T, int]:
+    """Run ``fn`` and return ``(result, peak_allocated_bytes)``.
+
+    The peak is measured relative to the allocation level at call time,
+    so pre-existing structures do not count.  Nesting is not supported
+    (tracemalloc is process-global); the harness serialises callers.
+    """
+    was_tracing = tracemalloc.is_tracing()
+    if not was_tracing:
+        tracemalloc.start()
+    baseline, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        result = fn()
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        if not was_tracing:
+            tracemalloc.stop()
+    return result, max(0, peak - baseline)
+
+
+def format_bytes(num_bytes: float) -> str:
+    """Human-readable bytes (binary units, two significant decimals)."""
+    value = float(num_bytes)
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if value < 1024.0 or unit == "GiB":
+            return f"{value:.2f} {unit}"
+        value /= 1024.0
+    raise AssertionError("unreachable")

@@ -1,0 +1,66 @@
+"""Plain-text reporting in the shape of the paper's figures.
+
+Every experiment driver renders its data as an aligned text table whose
+rows/series match what the corresponding paper figure plots, so a reader
+can compare shapes (who wins, by what factor, where crossovers fall)
+without a plotting stack.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+
+def format_cell(value: object) -> str:
+    """Render one table cell: scientific notation for wide-range floats."""
+    if value is None:
+        return "DNF"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "-"
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.2e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+) -> str:
+    """Align a table of heterogeneous cells into monospaced text."""
+    rendered = [[format_cell(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def speedup(baseline: float | None, candidate: float | None) -> str:
+    """Human-readable speedup factor of candidate vs baseline."""
+    if baseline is None:
+        return "baseline DNF"
+    if candidate is None:
+        return "candidate DNF"
+    if candidate <= 0:
+        return "inf"
+    return f"{baseline / candidate:.1f}x"
+
+
+def orders_of_magnitude(small: float, large: float) -> float:
+    """``log10(large / small)`` guarded against zeros."""
+    if small <= 0 or large <= 0:
+        return math.nan
+    return math.log10(large / small)

@@ -1,0 +1,118 @@
+"""Scalability sweep: runtime vs graph size at fixed shape.
+
+Not a paper figure, but the natural follow-up question: how do the
+engines scale as the *graph* grows (edges and timestamps together,
+density fixed)?  The paper's complexity analysis predicts:
+
+* `Enum + CoreTime` grows with `|VCT| · deg_avg + |R|` — roughly linear
+  in the result mass;
+* OTCD grows with `tmax · (m + tmax)` — super-linear in the size because
+  both factors scale with it.
+
+``run_scalability_sweep`` generates a family of bursty graphs scaled by
+a factor, runs each engine on a default-parameter workload, and returns
+rows suitable for :func:`repro.bench.reporting.format_table`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.harness import run_workload
+from repro.bench.workloads import build_workload
+from repro.errors import BenchmarkError
+from repro.graph.generators import BurstyConfig, generate_bursty
+
+#: The base recipe the sweep scales (a small CM-like shape).
+BASE = BurstyConfig(
+    num_vertices=60,
+    background_edges=480,
+    tmax=760,
+    exponent=2.3,
+    num_bursts=6,
+    burst_size=11,
+    burst_width=30,
+    edges_per_burst=60,
+    seed=41,
+    name="scale-base",
+)
+
+
+def scaled_config(factor: int) -> BurstyConfig:
+    """The base recipe with vertices, edges, timestamps and bursts all
+    multiplied by ``factor`` (burst density unchanged)."""
+    if factor < 1:
+        raise BenchmarkError(f"scale factor must be >= 1, got {factor}")
+    return BurstyConfig(
+        num_vertices=BASE.num_vertices * factor,
+        background_edges=BASE.background_edges * factor,
+        tmax=BASE.tmax * factor,
+        exponent=BASE.exponent,
+        num_bursts=BASE.num_bursts * factor,
+        burst_size=BASE.burst_size,
+        burst_width=BASE.burst_width,
+        edges_per_burst=BASE.edges_per_burst,
+        seed=BASE.seed,
+        name=f"scale-{factor}x",
+    )
+
+
+@dataclass(frozen=True)
+class ScalePoint:
+    """One row of the scalability sweep."""
+
+    factor: int
+    num_edges: int
+    tmax: int
+    k: int
+    enum_seconds: float | None
+    otcd_seconds: float | None
+    num_results: float
+
+    def as_row(self) -> tuple:
+        ratio: object
+        if self.enum_seconds and self.otcd_seconds:
+            ratio = f"{self.otcd_seconds / self.enum_seconds:.1f}x"
+        else:
+            ratio = "n/a"
+        return (
+            f"{self.factor}x", self.num_edges, self.tmax, self.k,
+            self.enum_seconds, self.otcd_seconds, round(self.num_results),
+            ratio,
+        )
+
+
+def run_scalability_sweep(
+    factors: tuple[int, ...] = (1, 2, 4, 8),
+    *,
+    num_queries: int = 2,
+    timeout: float = 30.0,
+    seed: int = 0,
+) -> list[ScalePoint]:
+    """Run the sweep and return one :class:`ScalePoint` per factor."""
+    points: list[ScalePoint] = []
+    for factor in factors:
+        graph = generate_bursty(scaled_config(factor))
+        workload = build_workload(
+            graph, f"scale-{factor}x", num_queries=num_queries, seed=seed
+        )
+        summaries = run_workload(
+            graph, workload, ("enum", "otcd"), timeout=timeout
+        )
+        points.append(
+            ScalePoint(
+                factor=factor,
+                num_edges=graph.num_edges,
+                tmax=graph.tmax,
+                k=workload.k,
+                enum_seconds=summaries["enum"].mean_seconds,
+                otcd_seconds=summaries["otcd"].mean_seconds,
+                num_results=summaries["enum"].mean_results,
+            )
+        )
+    return points
+
+
+SCALE_HEADERS = (
+    "scale", "|E|", "tmax", "k", "Enum+CT(s)", "OTCD(s)", "#results", "OTCD/Enum"
+)

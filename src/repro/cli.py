@@ -1,0 +1,201 @@
+"""Command-line interface.
+
+Subcommands::
+
+    python -m repro query     --input edges.txt -k 3 --range 10 80
+    python -m repro stats     --input edges.txt          (or --dataset CM)
+    python -m repro generate  --dataset CM -o cm.txt
+    python -m repro index     --input edges.txt -k 3 -o skyline.ecs
+    python -m repro experiments fig6 --profile quick
+
+``query`` prints each temporal k-core's TTI, vertex count and edge count
+(``--format json`` emits machine-readable output; ``--streaming`` counts
+without materialising, for huge result sets).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections.abc import Sequence
+
+from repro.bench.experiments import main as experiments_main
+from repro.core.index import CoreIndex
+from repro.core.query import ENGINES, TimeRangeCoreQuery
+from repro.datasets.registry import ALL_DATASETS, load_dataset
+from repro.datasets.stats import compute_stats
+from repro.errors import ReproError
+from repro.graph.io import dump_edge_list, load_edge_list
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def _load_graph(args: argparse.Namespace) -> TemporalGraph:
+    if getattr(args, "dataset", None):
+        return load_dataset(args.dataset)
+    if getattr(args, "input", None):
+        return load_edge_list(args.input, layout=args.layout)
+    raise ReproError("provide --input FILE or --dataset NAME")
+
+
+def _add_graph_source(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--input", help="edge-list file (u v t per line)")
+    parser.add_argument(
+        "--layout", choices=("snap", "konect"), default="snap",
+        help="edge-list layout (default: snap)",
+    )
+    parser.add_argument(
+        "--dataset", choices=ALL_DATASETS,
+        help="use a registry dataset instead of a file",
+    )
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    time_range = tuple(args.range) if args.range else None
+    query = TimeRangeCoreQuery(
+        graph,
+        k=args.k,
+        time_range=time_range,
+        engine=args.engine,
+        collect=not args.streaming,
+        timeout=args.timeout,
+    )
+    result = query.run()
+    if args.format == "json":
+        payload: dict = {
+            "k": args.k,
+            "time_range": list(query.time_range),
+            "engine": args.engine,
+            "num_results": result.num_results,
+            "total_edges": result.total_edges,
+            "completed": result.completed,
+        }
+        if not args.streaming:
+            payload["cores"] = [
+                {
+                    "tti": list(core.tti),
+                    "vertices": sorted(map(str, core.vertex_labels(graph))),
+                    "num_edges": core.num_edges,
+                }
+                for core in result
+            ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(
+        f"{result.num_results} temporal {args.k}-core(s) in "
+        f"[{query.time_range[0]}, {query.time_range[1]}], "
+        f"|R| = {result.total_edges} edges"
+        + ("" if result.completed else "  [TIMED OUT - partial]")
+    )
+    if not args.streaming:
+        for core in result:
+            vertices = sorted(map(str, core.vertex_labels(graph)))
+            print(f"  TTI [{core.tti[0]}, {core.tti[1]}]: "
+                  f"{len(vertices)} vertices, {core.num_edges} edges: "
+                  f"{', '.join(vertices[:8])}"
+                  f"{', ...' if len(vertices) > 8 else ''}")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = compute_stats(graph)
+    rows = {
+        "vertices": stats.num_vertices,
+        "temporal_edges": stats.num_edges,
+        "distinct_timestamps": stats.tmax,
+        "kmax": stats.kmax,
+        "avg_degree": round(stats.avg_degree, 3),
+    }
+    if args.format == "json":
+        print(json.dumps(rows, indent=2))
+    else:
+        for key, value in rows.items():
+            print(f"{key:>20}: {value}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph = load_dataset(args.dataset)
+    dump_edge_list(graph, args.output, raw_timestamps=False)
+    print(f"wrote {graph.num_edges} edges ({graph.num_vertices} vertices, "
+          f"tmax={graph.tmax}) to {args.output}")
+    return 0
+
+
+def cmd_index(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    index = CoreIndex(graph, args.k)
+    index.dump_skyline(args.output)
+    print(f"|VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
+          f"-> {args.output}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Temporal k-core enumeration (EDBT 2026 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="enumerate temporal k-cores")
+    _add_graph_source(query)
+    query.add_argument("-k", type=int, required=True, help="minimum degree")
+    query.add_argument(
+        "--range", nargs=2, type=int, metavar=("TS", "TE"),
+        help="query time range in normalised timestamps (default: full span)",
+    )
+    query.add_argument("--engine", choices=ENGINES, default="enum")
+    query.add_argument("--format", choices=("text", "json"), default="text")
+    query.add_argument(
+        "--streaming", action="store_true",
+        help="count results without materialising them",
+    )
+    query.add_argument("--timeout", type=float, default=None)
+    query.set_defaults(func=cmd_query)
+
+    stats = sub.add_parser("stats", help="Table III statistics of a graph")
+    _add_graph_source(stats)
+    stats.add_argument("--format", choices=("text", "json"), default="text")
+    stats.set_defaults(func=cmd_stats)
+
+    generate = sub.add_parser("generate", help="materialise a registry dataset")
+    generate.add_argument("--dataset", choices=ALL_DATASETS, required=True)
+    generate.add_argument("-o", "--output", required=True)
+    generate.set_defaults(func=cmd_generate)
+
+    index = sub.add_parser("index", help="build and save a core index")
+    _add_graph_source(index)
+    index.add_argument("-k", type=int, required=True)
+    index.add_argument("-o", "--output", required=True)
+    index.set_defaults(func=cmd_index)
+
+    experiments = sub.add_parser(
+        "experiments", help="regenerate the paper's tables and figures"
+    )
+    experiments.add_argument("experiment")
+    experiments.add_argument("--profile", choices=("quick", "full"))
+    experiments.set_defaults(func=None)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "experiments":
+        forward = [args.experiment]
+        if args.profile:
+            forward += ["--profile", args.profile]
+        return experiments_main(forward)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,152 @@
+"""A reusable core index: build VCT + ECS once, answer many query ranges.
+
+The paper computes the skyline per query.  In an index-serving deployment
+(the PHC-index spirit of [13]) one wants to precompute over the whole
+time span and answer arbitrary sub-ranges.  Minimal core windows are
+intrinsic to the graph, so the skyline of a sub-range is a filter of the
+whole-span skyline (``EdgeCoreSkyline.restricted_to``); activation times
+are re-derived by the enumerator.  This module packages that pattern,
+plus a simple text serialisation for persistence.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.results import EnumerationResult
+from repro.core.windows import EdgeCoreSkyline
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class CoreIndex:
+    """Prebuilt VCT + ECS for one ``k`` over the graph's full span."""
+
+    def __init__(self, graph: TemporalGraph, k: int):
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self.graph = graph
+        self.k = k
+        result: CoreTimeResult = compute_core_times(graph, k)
+        assert result.ecs is not None
+        self.vct: VertexCoreTimeIndex = result.vct
+        self.ecs: EdgeCoreSkyline = result.ecs
+
+    def query(
+        self, ts: int, te: int, *, collect: bool = True
+    ) -> EnumerationResult:
+        """All distinct temporal k-cores of ``[ts, te]`` from the index.
+
+        Equivalent to a fresh per-range run (validated by the test
+        suite), but skips the core-time computation entirely.
+        """
+        self.graph.check_window(ts, te)
+        restricted = self.ecs.restricted_to(ts, te)
+        return enumerate_temporal_kcores(
+            self.graph, self.k, ts, te, skyline=restricted, collect=collect
+        )
+
+    def historical_core(self, ts: int, te: int) -> set[int]:
+        """Single-window (historical) k-core members, index-only."""
+        self.graph.check_window(ts, te)
+        return {
+            u for u in range(self.graph.num_vertices) if self.vct.in_core(u, ts, te)
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def dump_skyline(self, path: str | os.PathLike[str]) -> None:
+        """Serialise the skyline as text: ``eid: t1,t2 t1,t2 ...``."""
+        with open(os.fspath(path), "w", encoding="utf-8") as handle:
+            self._write_skyline(handle)
+
+    def dumps_skyline(self) -> str:
+        buffer = io.StringIO()
+        self._write_skyline(buffer)
+        return buffer.getvalue()
+
+    def _write_skyline(self, handle: io.TextIOBase) -> None:
+        lo, hi = self.ecs.span
+        handle.write(f"# ecs k={self.k} span={lo},{hi} edges={self.ecs.num_edges}\n")
+        for eid in range(self.ecs.num_edges):
+            windows = self.ecs.windows_of(eid)
+            if not windows:
+                continue
+            rendered = " ".join(f"{t1},{t2}" for t1, t2 in windows)
+            handle.write(f"{eid}: {rendered}\n")
+
+    def dumps_vct(self) -> str:
+        """Serialise the VCT index: ``vertex: start,ct start,ct ...``.
+
+        Infinite core times are rendered as ``inf``.
+        """
+        lo, hi = self.vct.span
+        buffer = io.StringIO()
+        buffer.write(
+            f"# vct k={self.k} span={lo},{hi} vertices={self.vct.num_vertices}\n"
+        )
+        for u in range(self.vct.num_vertices):
+            entries = self.vct.entries_of(u)
+            if not entries:
+                continue
+            rendered = " ".join(
+                f"{start},{'inf' if ct is None else ct}" for start, ct in entries
+            )
+            buffer.write(f"{u}: {rendered}\n")
+        return buffer.getvalue()
+
+
+def load_vct(text: str) -> VertexCoreTimeIndex:
+    """Parse a VCT index produced by :meth:`CoreIndex.dumps_vct`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# vct "):
+        raise InvalidParameterError("not a serialised vertex core time index")
+    header = dict(
+        field.split("=", 1) for field in lines[0][len("# vct ") :].split() if "=" in field
+    )
+    k = int(header["k"])
+    lo, hi = (int(x) for x in header["span"].split(","))
+    num_vertices = int(header["vertices"])
+    entries: list[list[tuple[int, int | None]]] = [[] for _ in range(num_vertices)]
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        vertex_part, _, rest = line.partition(":")
+        u = int(vertex_part)
+        for token in rest.split():
+            start_str, ct_str = token.split(",")
+            ct = None if ct_str == "inf" else int(ct_str)
+            entries[u].append((int(start_str), ct))
+    return VertexCoreTimeIndex(entries, k, (lo, hi))
+
+
+def load_skyline(text: str) -> EdgeCoreSkyline:
+    """Parse a skyline produced by :meth:`CoreIndex.dumps_skyline`."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith("# ecs "):
+        raise InvalidParameterError("not a serialised edge core skyline")
+    header = dict(
+        field.split("=", 1) for field in lines[0][len("# ecs ") :].split() if "=" in field
+    )
+    k = int(header["k"])
+    lo, hi = (int(x) for x in header["span"].split(","))
+    num_edges = int(header["edges"])
+    windows: list[tuple[tuple[int, int], ...]] = [() for _ in range(num_edges)]
+    for line in lines[1:]:
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        eid_part, _, rest = line.partition(":")
+        eid = int(eid_part)
+        parsed = []
+        for token in rest.split():
+            t1, t2 = (int(x) for x in token.split(","))
+            parsed.append((t1, t2))
+        windows[eid] = tuple(parsed)
+    return EdgeCoreSkyline(windows, k, (lo, hi))

@@ -1,0 +1,85 @@
+"""The doubly linked window list ``L_ts`` of Algorithm 5.
+
+``L_ts`` holds every minimal core window whose activation time is at most
+``ts`` and whose start time is at least ``ts``, in ascending end-time
+order.  Moving from one start time to the next deletes the windows whose
+start time just expired (O(1) each) and splices in the newly activated
+windows (pre-sorted by end time, inserted with a forward-roving cursor) —
+the ``O(|L \\ L'|)`` update the paper highlights in Section V-C.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.core.windows import ActiveWindow
+
+
+class WindowList:
+    """Doubly linked list of :class:`ActiveWindow`, ordered by end time."""
+
+    __slots__ = ("_head",)
+
+    def __init__(self) -> None:
+        # Dummy head; head.next is the first real window.
+        self._head = ActiveWindow(-1, -1, -1, -1)
+
+    @property
+    def first(self) -> ActiveWindow | None:
+        return self._head.next
+
+    def is_empty(self) -> bool:
+        return self._head.next is None
+
+    def delete(self, window: ActiveWindow) -> None:
+        """Unlink ``window`` (procedure *Delete* of Algorithm 5)."""
+        prev = window.prev
+        if prev is None:
+            raise ValueError("window is not linked")
+        prev.next = window.next
+        if window.next is not None:
+            window.next.prev = prev
+        window.prev = None
+        window.next = None
+
+    def insert_after(self, window: ActiveWindow, anchor: ActiveWindow) -> None:
+        """Link ``window`` right after ``anchor`` (procedure *Insert*)."""
+        follower = anchor.next
+        window.prev = anchor
+        window.next = follower
+        anchor.next = window
+        if follower is not None:
+            follower.prev = window
+
+    def insert_sorted_batch(self, windows: list[ActiveWindow]) -> None:
+        """Splice a batch of windows already sorted by ascending end time.
+
+        Implements lines 17–22 of Algorithm 5: a single cursor starts at
+        the dummy head and only moves forward, so the whole batch costs
+        ``O(|batch| + positions advanced)``.
+        """
+        cursor = self._head
+        for window in windows:
+            nxt = cursor.next
+            while nxt is not None and nxt.end < window.end:
+                cursor = nxt
+                nxt = cursor.next
+            self.insert_after(window, cursor)
+            cursor = window
+
+    def __iter__(self) -> Iterator[ActiveWindow]:
+        node = self._head.next
+        while node is not None:
+            yield node
+            node = node.next
+
+    def to_list(self) -> list[ActiveWindow]:
+        return list(self)
+
+    def check_sorted(self) -> None:
+        """Assert ascending end-time order (test hook)."""
+        previous_end: int | None = None
+        for window in self:
+            if previous_end is not None and window.end < previous_end:
+                raise AssertionError("window list not sorted by end time")
+            previous_end = window.end

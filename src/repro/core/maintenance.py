@@ -1,0 +1,153 @@
+"""A small serving layer: append-only edge streams over a core index.
+
+The paper's pipeline is offline: given a graph, build the skyline,
+answer queries.  Deployments (fraud monitoring, trace analysis) instead
+see an *append-only stream* of interactions and interleave queries with
+ingestion.  :class:`StreamingCoreService` packages the honest version of
+that pattern:
+
+* edges are appended in raw-timestamp order (out-of-order appends are
+  rejected — matching how interaction logs are produced);
+* the VCT/ECS index is rebuilt lazily, governed by a staleness budget
+  (``max_pending``): a query first folds in pending edges when the
+  budget is exceeded or when ``strict`` freshness is requested;
+* queries can be asked in raw timestamps, translated through the
+  current normalisation.
+
+Incrementally *maintaining* the skyline under insertions is an open
+problem the paper leaves to future work; this layer deliberately
+rebuilds (costs one Algorithm-2 run) rather than pretend otherwise.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Iterable
+
+from repro.core.index import CoreIndex
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class StreamingCoreService:
+    """Append edges, query temporal k-cores, rebuild the index lazily."""
+
+    def __init__(
+        self,
+        k: int,
+        initial_edges: Iterable[tuple[Hashable, Hashable, int]] = (),
+        *,
+        max_pending: int = 1_000,
+    ):
+        if k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        if max_pending < 0:
+            raise InvalidParameterError("max_pending must be non-negative")
+        self.k = k
+        self.max_pending = max_pending
+        self._edges: list[tuple[Hashable, Hashable, int]] = list(initial_edges)
+        self._pending = len(self._edges)
+        self._last_raw_time = max((t for _, _, t in self._edges), default=None)
+        self._graph: TemporalGraph | None = None
+        self._index: CoreIndex | None = None
+        self.num_rebuilds = 0
+
+    # ------------------------------------------------------------------
+    # Ingestion
+    # ------------------------------------------------------------------
+
+    def append(self, u: Hashable, v: Hashable, raw_t: int) -> None:
+        """Append one interaction; timestamps must be non-decreasing."""
+        if self._last_raw_time is not None and raw_t < self._last_raw_time:
+            raise InvalidParameterError(
+                f"out-of-order append: {raw_t} < last seen {self._last_raw_time}"
+            )
+        self._edges.append((u, v, raw_t))
+        self._last_raw_time = raw_t
+        self._pending += 1
+
+    def extend(self, edges: Iterable[tuple[Hashable, Hashable, int]]) -> None:
+        for u, v, t in edges:
+            self.append(u, v, t)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def num_pending(self) -> int:
+        """Edges appended since the index was last built."""
+        return self._pending
+
+    @property
+    def is_stale(self) -> bool:
+        return self._index is None or self._pending > 0
+
+    # ------------------------------------------------------------------
+    # Index lifecycle
+    # ------------------------------------------------------------------
+
+    def refresh(self) -> None:
+        """Rebuild the graph and index over everything ingested so far."""
+        if not self._edges:
+            raise InvalidParameterError("no edges ingested yet")
+        self._graph = TemporalGraph(self._edges)
+        self._index = CoreIndex(self._graph, self.k)
+        self._pending = 0
+        self.num_rebuilds += 1
+
+    def _ensure_fresh(self, strict: bool) -> None:
+        if self._index is None or (strict and self._pending > 0):
+            self.refresh()
+        elif self._pending > self.max_pending:
+            self.refresh()
+
+    @property
+    def graph(self) -> TemporalGraph:
+        """The graph snapshot behind the current index (builds if needed)."""
+        self._ensure_fresh(strict=False)
+        assert self._graph is not None
+        return self._graph
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def query(
+        self, ts: int, te: int, *, strict: bool = False, collect: bool = True
+    ) -> EnumerationResult:
+        """Temporal k-cores of normalised range ``[ts, te]``.
+
+        ``strict=True`` forces pending edges to be folded in first;
+        otherwise the answer may lag by up to ``max_pending`` edges.
+        """
+        self._ensure_fresh(strict)
+        assert self._index is not None
+        return self._index.query(ts, te, collect=collect)
+
+    def query_raw(
+        self,
+        raw_ts: int,
+        raw_te: int,
+        *,
+        strict: bool = False,
+        collect: bool = True,
+    ) -> EnumerationResult:
+        """Temporal k-cores between two *raw* timestamps (inclusive).
+
+        Raw bounds are snapped inward to the nearest ingested timestamps;
+        an empty snap (no data in the interval) raises.
+        """
+        if raw_ts > raw_te:
+            raise InvalidParameterError(f"empty raw range [{raw_ts}, {raw_te}]")
+        self._ensure_fresh(strict)
+        graph = self.graph
+        inside = [
+            t for t in range(1, graph.tmax + 1)
+            if raw_ts <= graph.raw_time_of(t) <= raw_te
+        ]
+        if not inside:
+            raise InvalidParameterError(
+                f"no ingested timestamps inside raw range [{raw_ts}, {raw_te}]"
+            )
+        return self.query(inside[0], inside[-1], strict=False, collect=collect)

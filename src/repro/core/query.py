@@ -1,0 +1,106 @@
+"""The high-level query façade — the library's front door.
+
+:class:`TimeRangeCoreQuery` wraps the full pipeline (Algorithm 2 + 5) and
+the alternative engines behind one object with validated parameters:
+
+>>> from repro import TemporalGraph, TimeRangeCoreQuery
+>>> g = TemporalGraph([("a", "b", 1), ("b", "c", 1), ("a", "c", 2)])
+>>> result = TimeRangeCoreQuery(g, k=2, time_range=(1, 2)).run()
+>>> result.num_results
+1
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.baselines.otcd import enumerate_otcd
+from repro.core.coretime import CoreTimeResult, compute_core_times
+from repro.core.enumbase import enumerate_temporal_kcores_base
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.timer import Deadline
+
+#: Engines selectable by name.  ``enum`` is the paper's final algorithm.
+ENGINES = ("enum", "enumbase", "otcd", "otcd-nopruning", "bruteforce")
+
+
+@dataclass
+class TimeRangeCoreQuery:
+    """A time-range k-core query over a temporal graph.
+
+    Parameters
+    ----------
+    graph:
+        The temporal graph (timestamps normalised to ``1..tmax``).
+    k:
+        Minimum distinct-neighbour degree of the cores.
+    time_range:
+        Query range ``(Ts, Te)`` in normalised timestamps; defaults to
+        the graph's full span.
+    engine:
+        One of :data:`ENGINES`.
+    collect:
+        Materialise cores (default) or stream counters only.
+    timeout:
+        Optional per-query soft deadline in seconds; on expiry the result
+        is returned partially filled with ``completed=False``.
+    """
+
+    graph: TemporalGraph
+    k: int
+    time_range: tuple[int, int] | None = None
+    engine: str = "enum"
+    collect: bool = True
+    timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.engine not in ENGINES:
+            raise InvalidParameterError(
+                f"unknown engine {self.engine!r}; choose one of {ENGINES}"
+            )
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        if self.time_range is None:
+            self.time_range = (1, self.graph.tmax)
+        self.graph.check_window(*self.time_range)
+
+    # ------------------------------------------------------------------
+
+    def run(self) -> EnumerationResult:
+        """Execute the query and return the enumeration result."""
+        ts, te = self.time_range
+        deadline = Deadline(self.timeout) if self.timeout is not None else None
+        if self.engine == "enum":
+            return enumerate_temporal_kcores(
+                self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
+            )
+        if self.engine == "enumbase":
+            return enumerate_temporal_kcores_base(
+                self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
+            )
+        if self.engine == "otcd":
+            return enumerate_otcd(
+                self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
+            )
+        if self.engine == "otcd-nopruning":
+            return enumerate_otcd(
+                self.graph,
+                self.k,
+                ts,
+                te,
+                use_pruning=False,
+                collect=self.collect,
+                deadline=deadline,
+            )
+        return enumerate_bruteforce(
+            self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
+        )
+
+    def core_times(self) -> CoreTimeResult:
+        """The VCT index and edge skyline for this query's range."""
+        ts, te = self.time_range
+        return compute_core_times(self.graph, self.k, ts, te)

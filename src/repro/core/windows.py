@@ -1,0 +1,148 @@
+"""Minimal core windows and the edge core window skyline (ECS).
+
+Definition 5 of the paper: a *minimal core window* of an edge ``e`` is a
+time window ``[t1, t2]`` such that ``e`` belongs to the k-core of
+``G[t1, t2]`` but of no proper sub-window.  Per edge, minimal windows form
+a *skyline*: sorted by start time they are strictly increasing in both
+coordinates (a window dominated in both coordinates would not be minimal).
+
+:class:`EdgeCoreSkyline` stores the skyline of every edge for a fixed k
+and a computation range, and knows how to re-target itself onto a narrower
+query range (used when one prebuilt index serves many queries).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import InvalidParameterError
+
+
+class EdgeCoreSkyline:
+    """Per-edge minimal core windows for a fixed ``k`` over ``[ts, te]``.
+
+    Parameters
+    ----------
+    windows_by_edge:
+        ``windows_by_edge[eid]`` is the tuple of ``(t1, t2)`` minimal core
+        windows of temporal edge ``eid``, ordered by (strictly increasing)
+        start time.  Edges that are never in any k-core have an empty
+        tuple.
+    k, span:
+        The query integer and the computation range the skyline refers to.
+    """
+
+    __slots__ = ("k", "span", "_windows")
+
+    def __init__(
+        self,
+        windows_by_edge: list[tuple[tuple[int, int], ...]],
+        k: int,
+        span: tuple[int, int],
+    ):
+        self.k = k
+        self.span = span
+        self._windows = windows_by_edge
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._windows)
+
+    def windows_of(self, eid: int) -> tuple[tuple[int, int], ...]:
+        """Minimal core windows of edge ``eid`` (possibly empty)."""
+        return self._windows[eid]
+
+    def size(self) -> int:
+        """``|ECS|`` — total number of minimal core windows."""
+        return sum(len(w) for w in self._windows)
+
+    def __iter__(self) -> Iterator[tuple[int, tuple[int, int]]]:
+        """Yield ``(eid, (t1, t2))`` for every window of every edge."""
+        for eid, windows in enumerate(self._windows):
+            for window in windows:
+                yield eid, window
+
+    def check_skyline_invariant(self) -> None:
+        """Assert the strict bi-monotonicity of every per-edge skyline."""
+        ts, te = self.span
+        for eid, windows in enumerate(self._windows):
+            previous: tuple[int, int] | None = None
+            for t1, t2 in windows:
+                if t1 < ts or t2 > te or t1 > t2:
+                    raise AssertionError(
+                        f"edge {eid}: window ({t1}, {t2}) outside span {self.span}"
+                    )
+                if previous is not None and (t1 <= previous[0] or t2 <= previous[1]):
+                    raise AssertionError(
+                        f"edge {eid}: skyline not strictly increasing at ({t1}, {t2})"
+                    )
+                previous = (t1, t2)
+
+    # ------------------------------------------------------------------
+
+    def restricted_to(self, ts: int, te: int) -> "EdgeCoreSkyline":
+        """Skyline filtered to windows contained in ``[ts, te]``.
+
+        Minimal core windows are intrinsic to the graph (Definition 5 does
+        not depend on the query range), so the skyline of a sub-range is
+        exactly the subset of windows inside it.  Used by
+        :class:`~repro.core.index.CoreIndex` to reuse one whole-span
+        computation across many query ranges.
+        """
+        span_ts, span_te = self.span
+        if ts < span_ts or te > span_te:
+            raise InvalidParameterError(
+                f"[{ts}, {te}] is not inside the computed span [{span_ts}, {span_te}]"
+            )
+        filtered = [
+            tuple(w for w in windows if ts <= w[0] and w[1] <= te)
+            for windows in self._windows
+        ]
+        return EdgeCoreSkyline(filtered, self.k, (ts, te))
+
+
+class ActiveWindow:
+    """A minimal core window decorated for enumeration (Algorithms 4–5).
+
+    ``active`` is the activation time of Definition 6: the window is
+    considered for start times ``ts`` in ``[active, start]``.  ``prev`` /
+    ``next`` are the doubly-linked-list hooks of ``L_ts``.
+    """
+
+    __slots__ = ("start", "end", "edge_id", "active", "prev", "next")
+
+    def __init__(self, start: int, end: int, edge_id: int, active: int):
+        self.start = start
+        self.end = end
+        self.edge_id = edge_id
+        self.active = active
+        self.prev: "ActiveWindow | None" = None
+        self.next: "ActiveWindow | None" = None
+
+    def __repr__(self) -> str:
+        return (
+            f"ActiveWindow([{self.start}, {self.end}], edge={self.edge_id}, "
+            f"active={self.active})"
+        )
+
+
+def build_active_windows(
+    skyline: EdgeCoreSkyline, ts_lo: int
+) -> list[ActiveWindow]:
+    """Materialise every skyline window with its activation time.
+
+    Implements lines 1–4 of Algorithm 5: per edge, the first window
+    activates at the start of the range and each later window activates
+    one past the previous window's start time.  The result preserves the
+    skyline's per-edge order; no global order is imposed here.
+    """
+    windows: list[ActiveWindow] = []
+    for eid in range(skyline.num_edges):
+        previous_start: int | None = None
+        for t1, t2 in skyline.windows_of(eid):
+            active = ts_lo if previous_start is None else previous_start + 1
+            windows.append(ActiveWindow(t1, t2, eid, active))
+            previous_start = t1
+    return windows

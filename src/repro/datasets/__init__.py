@@ -1,0 +1,47 @@
+"""Dataset recipes, the paper's worked example, and statistics."""
+
+from repro.datasets.paper_example import (
+    PAPER_CORES_RANGE_1_4_K2,
+    PAPER_ECS_K2,
+    PAPER_EXAMPLE_EDGES,
+    PAPER_VCT_K2,
+    paper_example_graph,
+)
+from repro.datasets.registry import (
+    ALL_DATASETS,
+    FIG4_DATASETS,
+    PAPER_STATS,
+    RECIPES,
+    VARIED_DATASETS,
+    canonical_name,
+    load_dataset,
+    paper_stats,
+    recipe,
+)
+from repro.datasets.stats import (
+    DatasetStats,
+    compute_stats,
+    default_k,
+    default_range_width,
+)
+
+__all__ = [
+    "ALL_DATASETS",
+    "DatasetStats",
+    "FIG4_DATASETS",
+    "PAPER_CORES_RANGE_1_4_K2",
+    "PAPER_ECS_K2",
+    "PAPER_EXAMPLE_EDGES",
+    "PAPER_STATS",
+    "PAPER_VCT_K2",
+    "RECIPES",
+    "VARIED_DATASETS",
+    "canonical_name",
+    "compute_stats",
+    "default_k",
+    "default_range_width",
+    "load_dataset",
+    "paper_example_graph",
+    "paper_stats",
+    "recipe",
+]

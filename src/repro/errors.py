@@ -1,0 +1,35 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError`, so downstream users can catch a single base class.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when an edge-list file or edge iterable is malformed."""
+
+
+class InvalidParameterError(ReproError):
+    """Raised when a query or algorithm parameter is out of range.
+
+    Examples: ``k < 1``, an empty time range, or a range that lies outside
+    the graph's normalised timestamp span.
+    """
+
+
+class EmptyGraphError(ReproError):
+    """Raised when an operation requires a non-empty temporal graph."""
+
+
+class DatasetError(ReproError):
+    """Raised when a dataset recipe is unknown or cannot be generated."""
+
+
+class BenchmarkError(ReproError):
+    """Raised by the benchmark harness on misconfiguration."""

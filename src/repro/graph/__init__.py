@@ -1,0 +1,62 @@
+"""Temporal graph substrate: storage, snapshots, static cores, generators, I/O."""
+
+from repro.graph.generators import (
+    BurstyConfig,
+    chung_lu_temporal,
+    generate_bursty,
+    planted_bursts,
+    uniform_random_temporal,
+)
+from repro.graph.io import dump_edge_list, load_edge_list, loads_edge_list
+from repro.graph.metrics import (
+    TemporalMetrics,
+    activity_profile,
+    burstiness,
+    compute_temporal_metrics,
+    degree_histogram,
+    timestamp_histogram,
+)
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import (
+    DecrementalCore,
+    core_decomposition,
+    kmax_of,
+    peel_k_core,
+    snapshot_k_core,
+)
+from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
+from repro.graph.validation import (
+    check_graph_invariants,
+    exact_core_edge_ids,
+    is_k_core_subgraph,
+    tightest_time_interval,
+)
+
+__all__ = [
+    "BurstyConfig",
+    "DecrementalCore",
+    "Snapshot",
+    "TemporalMetrics",
+    "TemporalEdge",
+    "TemporalGraph",
+    "activity_profile",
+    "burstiness",
+    "check_graph_invariants",
+    "chung_lu_temporal",
+    "compute_temporal_metrics",
+    "core_decomposition",
+    "degree_histogram",
+    "dump_edge_list",
+    "exact_core_edge_ids",
+    "generate_bursty",
+    "is_k_core_subgraph",
+    "kmax_of",
+    "load_edge_list",
+    "loads_edge_list",
+    "peel_k_core",
+    "planted_bursts",
+    "snapshot_k_core",
+    "timestamp_histogram",
+    "tightest_time_interval",
+    "uniform_random_temporal",
+]

@@ -1,0 +1,104 @@
+"""Edge-list readers and writers (SNAP / KONECT conventions).
+
+The fourteen datasets of Table III come from SNAP and the KONECT project,
+both of which distribute temporal graphs as whitespace-separated text
+lines.  This module parses the two common layouts:
+
+* SNAP temporal:   ``u v t`` per line, ``#`` comments;
+* KONECT (out.*):  ``u v [weight] t`` per line, ``%`` comments.
+
+Timestamps are arbitrary integers (usually unix seconds) and are
+normalised by :class:`~repro.graph.temporal_graph.TemporalGraph`.
+"""
+
+from __future__ import annotations
+
+import gzip
+import os
+from collections.abc import Iterator
+from typing import IO
+
+from repro.errors import GraphFormatError
+from repro.graph.temporal_graph import TemporalGraph
+
+_COMMENT_PREFIXES = ("#", "%")
+
+
+def _open_text(path: str | os.PathLike[str]) -> IO[str]:
+    path = os.fspath(path)
+    if path.endswith(".gz"):
+        return gzip.open(path, "rt", encoding="utf-8")
+    return open(path, "r", encoding="utf-8")
+
+
+def iter_edge_lines(
+    lines: Iterator[str] | list[str],
+    *,
+    layout: str = "snap",
+) -> Iterator[tuple[str, str, int]]:
+    """Parse edge lines into ``(u, v, t)`` triples of string labels.
+
+    ``layout`` is ``"snap"`` (``u v t``) or ``"konect"``
+    (``u v [weight] t`` — the timestamp is the *last* field).
+    Comment and blank lines are skipped.
+    """
+    if layout not in ("snap", "konect"):
+        raise GraphFormatError(f"unknown layout {layout!r}")
+    for lineno, raw in enumerate(lines, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        fields = line.split()
+        if layout == "snap":
+            if len(fields) != 3:
+                raise GraphFormatError(
+                    f"line {lineno}: expected 'u v t', got {len(fields)} fields"
+                )
+            u, v, t_str = fields
+        else:
+            if len(fields) < 3 or len(fields) > 4:
+                raise GraphFormatError(
+                    f"line {lineno}: expected 'u v [w] t', got {len(fields)} fields"
+                )
+            u, v, t_str = fields[0], fields[1], fields[-1]
+        try:
+            t = int(float(t_str)) if "." in t_str or "e" in t_str.lower() else int(t_str)
+        except ValueError as exc:
+            raise GraphFormatError(f"line {lineno}: bad timestamp {t_str!r}") from exc
+        yield u, v, t
+
+
+def load_edge_list(
+    path: str | os.PathLike[str],
+    *,
+    layout: str = "snap",
+    deduplicate: bool = False,
+) -> TemporalGraph:
+    """Load a temporal graph from a (possibly gzipped) edge-list file."""
+    with _open_text(path) as handle:
+        return TemporalGraph(
+            iter_edge_lines(handle, layout=layout), deduplicate=deduplicate
+        )
+
+
+def loads_edge_list(text: str, *, layout: str = "snap") -> TemporalGraph:
+    """Load a temporal graph from edge-list text (useful in tests)."""
+    return TemporalGraph(iter_edge_lines(text.splitlines(), layout=layout))
+
+
+def dump_edge_list(
+    graph: TemporalGraph,
+    path: str | os.PathLike[str],
+    *,
+    raw_timestamps: bool = True,
+) -> None:
+    """Write a graph back out in SNAP layout.
+
+    With ``raw_timestamps=True`` the original timestamps are emitted;
+    otherwise the normalised ``1..tmax`` values are written.
+    """
+    with open(os.fspath(path), "w", encoding="utf-8") as handle:
+        handle.write("# u v t\n")
+        for u, v, t in graph.edges:
+            stamp = graph.raw_time_of(t) if raw_timestamps else t
+            handle.write(f"{graph.label_of(u)} {graph.label_of(v)} {stamp}\n")

@@ -1,0 +1,197 @@
+"""Static k-core primitives.
+
+Three classic building blocks used throughout the reproduction:
+
+* :func:`peel_k_core` — the peeling algorithm behind Definition 1: given a
+  simple adjacency view, repeatedly delete vertices of degree below ``k``.
+* :func:`core_decomposition` — the bucket-based Batagelj–Zaveršnik
+  algorithm computing all core numbers in ``O(n + m)``; it yields the
+  ``kmax`` statistic of Table III and drives the workload generator's
+  choice of k.
+* :class:`DecrementalCore` — insertion-free k-core maintenance: starting
+  from a k-core, deleting edges cascades removals in amortised ``O(m)``
+  total.  Both OTCD (Algorithm 1) and the decremental core-time scan are
+  built on it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable, Iterable, Mapping
+
+from repro.graph.snapshot import Snapshot
+
+
+def peel_k_core(adjacency: Mapping[int, set[int]], k: int) -> set[int]:
+    """Vertices of the k-core of a simple graph given as adjacency sets.
+
+    ``adjacency`` maps each active vertex to its set of distinct
+    neighbours; vertices absent from the mapping are treated as isolated.
+    Returns the (possibly empty) set of k-core members.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    degree = {u: len(neigh) for u, neigh in adjacency.items()}
+    removed: set[int] = set()
+    queue = deque(u for u, d in degree.items() if d < k)
+    in_queue = set(queue)
+    while queue:
+        u = queue.popleft()
+        in_queue.discard(u)
+        if u in removed or degree[u] >= k:
+            continue
+        removed.add(u)
+        for v in adjacency[u]:
+            if v in removed:
+                continue
+            degree[v] -= 1
+            if degree[v] < k and v not in in_queue:
+                queue.append(v)
+                in_queue.add(v)
+    return {u for u in adjacency if u not in removed}
+
+
+def snapshot_k_core(snapshot: Snapshot, k: int) -> set[int]:
+    """Vertices of the k-core of a window snapshot."""
+    adjacency = {u: snapshot.neighbours(u) for u in snapshot.vertices()}
+    return peel_k_core(adjacency, k)
+
+
+def core_decomposition(adjacency: Mapping[int, set[int]]) -> dict[int, int]:
+    """Core number of every active vertex (Batagelj–Zaveršnik, 2003).
+
+    Uses bucket sort by degree and the standard "swap into the frontier"
+    trick, giving linear time in the number of static edges.
+    """
+    vertices = list(adjacency)
+    if not vertices:
+        return {}
+    degree = {u: len(adjacency[u]) for u in vertices}
+    max_degree = max(degree.values())
+    # Bucket-sorted vertex order by current degree.
+    bins = [0] * (max_degree + 1)
+    for d in degree.values():
+        bins[d] += 1
+    start = 0
+    for d in range(max_degree + 1):
+        count = bins[d]
+        bins[d] = start
+        start += count
+    position: dict[int, int] = {}
+    order: list[int] = [0] * len(vertices)
+    next_slot = list(bins)
+    for u in vertices:
+        d = degree[u]
+        position[u] = next_slot[d]
+        order[next_slot[d]] = u
+        next_slot[d] += 1
+
+    core = dict(degree)
+    for i in range(len(order)):
+        u = order[i]
+        for v in adjacency[u]:
+            if core[v] > core[u]:
+                # Move v one bucket down: swap it with the first vertex of
+                # its current bucket, then shift the bucket boundary.
+                dv = core[v]
+                pv = position[v]
+                pw = bins[dv]
+                w = order[pw]
+                if v != w:
+                    order[pv], order[pw] = w, v
+                    position[v], position[w] = pw, pv
+                bins[dv] += 1
+                core[v] -= 1
+    return core
+
+
+def kmax_of(adjacency: Mapping[int, set[int]]) -> int:
+    """Maximum core number over all vertices (0 for an empty graph)."""
+    cores = core_decomposition(adjacency)
+    return max(cores.values(), default=0)
+
+
+class DecrementalCore:
+    """Maintain a k-core under edge deletions with cascading evictions.
+
+    The structure is seeded with the adjacency of an *already peeled*
+    k-core (every vertex has degree >= k).  Each :meth:`delete_pair` call
+    removes one static edge and cascades removals of vertices whose degree
+    drops below ``k``; evicted vertices are reported to the optional
+    ``on_evict`` callback, which is how the decremental core-time scan
+    learns each vertex's core time.
+
+    Deleting all edges costs ``O(n + m)`` in total.
+    """
+
+    __slots__ = ("k", "_adj", "_members", "_on_evict")
+
+    def __init__(
+        self,
+        core_adjacency: Mapping[int, set[int]],
+        k: int,
+        on_evict: Callable[[int], None] | None = None,
+    ):
+        self.k = k
+        # Copy: the cascade mutates adjacency sets.
+        self._adj: dict[int, set[int]] = {u: set(neigh) for u, neigh in core_adjacency.items()}
+        self._members: set[int] = set(self._adj)
+        self._on_evict = on_evict
+        for u, neigh in self._adj.items():
+            if len(neigh) < k:
+                raise ValueError(
+                    f"vertex {u} has degree {len(neigh)} < k={k}; seed with a peeled core"
+                )
+
+    @property
+    def members(self) -> set[int]:
+        """Current k-core members (live view; do not mutate)."""
+        return self._members
+
+    def __contains__(self, u: int) -> bool:
+        return u in self._members
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def neighbours(self, u: int) -> set[int]:
+        return self._adj.get(u, set())
+
+    def delete_pair(self, u: int, v: int) -> list[int]:
+        """Delete static edge ``{u, v}`` and cascade; returns evicted vertices.
+
+        Deleting a pair not present (e.g. an endpoint already evicted) is a
+        no-op, which lets callers replay temporal edge deletions without
+        tracking liveness themselves.
+        """
+        if u not in self._members or v not in self._members:
+            return []
+        adj_u = self._adj[u]
+        if v not in adj_u:
+            return []
+        adj_u.discard(v)
+        self._adj[v].discard(u)
+        evicted: list[int] = []
+        queue = deque(w for w in (u, v) if len(self._adj[w]) < self.k)
+        while queue:
+            w = queue.popleft()
+            if w not in self._members:
+                continue
+            self._members.discard(w)
+            evicted.append(w)
+            if self._on_evict is not None:
+                self._on_evict(w)
+            for x in self._adj.pop(w):
+                if x in self._members:
+                    adj_x = self._adj[x]
+                    adj_x.discard(w)
+                    if len(adj_x) < self.k:
+                        queue.append(x)
+        return evicted
+
+    def delete_pairs(self, pairs: Iterable[tuple[int, int]]) -> list[int]:
+        """Delete several static edges; returns all evicted vertices."""
+        evicted: list[int] = []
+        for u, v in pairs:
+            evicted.extend(self.delete_pair(u, v))
+        return evicted

@@ -1,0 +1,301 @@
+"""The temporal graph store.
+
+A :class:`TemporalGraph` is an undirected multigraph whose edges carry an
+integer timestamp.  Following the paper's preliminaries (Section II), the
+store normalises raw timestamps to a *dense* integer range ``1..tmax`` so
+that query ranges, bucket arrays and counting sorts can be indexed directly
+by timestamp.  The mapping back to raw timestamps is retained for display.
+
+Vertices may be arbitrary hashable labels on input; internally they are
+relabelled to ``0..n-1``.  Self-loops are dropped (a self-loop never
+contributes to a k-core under distinct-neighbour degree semantics).
+
+Unlike the paper — which assumes at most one edge per vertex pair "for
+simplicity" — this store fully supports repeated interactions between the
+same pair at different (or equal) timestamps, because every real dataset in
+Table III is a multigraph.  All degree computations downstream count
+*distinct neighbours*.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Hashable, Iterable, Iterator
+from typing import NamedTuple
+
+from repro.errors import EmptyGraphError, GraphFormatError, InvalidParameterError
+
+
+class TemporalEdge(NamedTuple):
+    """A normalised temporal edge ``u < v`` with timestamp ``t``."""
+
+    u: int
+    v: int
+    t: int
+
+
+class TemporalGraph:
+    """An immutable undirected temporal multigraph.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v, t)`` triples.  ``u`` and ``v`` may be any
+        hashable labels; ``t`` must be an integer (raw) timestamp.
+    normalize_time:
+        When true (default), raw timestamps are compressed to the dense
+        range ``1..tmax`` preserving order.  When false, timestamps must
+        already be positive integers and are used as-is (``tmax`` is then
+        the maximum timestamp, and unused slots are permitted but cost
+        memory in bucket arrays).
+    deduplicate:
+        When true, exact duplicate ``(u, v, t)`` triples are collapsed to a
+        single edge.  Defaults to false (keep the multigraph as given).
+    """
+
+    __slots__ = (
+        "_edges",
+        "_edge_ids_by_time",
+        "_labels",
+        "_label_ids",
+        "_raw_times",
+        "_num_dropped_self_loops",
+        "_adjacency_cache",
+    )
+
+    def __init__(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable, int]],
+        *,
+        normalize_time: bool = True,
+        deduplicate: bool = False,
+    ):
+        label_ids: dict[Hashable, int] = {}
+        labels: list[Hashable] = []
+        raw_triples: list[tuple[int, int, int]] = []
+        dropped = 0
+        for index, edge in enumerate(edges):
+            try:
+                raw_u, raw_v, raw_t = edge
+            except (TypeError, ValueError) as exc:
+                raise GraphFormatError(f"edge #{index} is not a (u, v, t) triple: {edge!r}") from exc
+            if not isinstance(raw_t, int):
+                raise GraphFormatError(f"edge #{index} has non-integer timestamp {raw_t!r}")
+            if raw_u == raw_v:
+                dropped += 1
+                continue
+            u = label_ids.setdefault(raw_u, len(labels))
+            if u == len(labels):
+                labels.append(raw_u)
+            v = label_ids.setdefault(raw_v, len(labels))
+            if v == len(labels):
+                labels.append(raw_v)
+            if u > v:
+                u, v = v, u
+            raw_triples.append((raw_t, u, v))
+
+        raw_triples.sort()
+        if normalize_time:
+            raw_times: list[int] = []
+            normalized: list[TemporalEdge] = []
+            for raw_t, u, v in raw_triples:
+                if not raw_times or raw_t != raw_times[-1]:
+                    raw_times.append(raw_t)
+                normalized.append(TemporalEdge(u, v, len(raw_times)))
+        else:
+            raw_times = []
+            normalized = []
+            for raw_t, u, v in raw_triples:
+                if raw_t < 1:
+                    raise GraphFormatError(
+                        f"timestamp {raw_t} < 1; pass normalize_time=True for raw timestamps"
+                    )
+                normalized.append(TemporalEdge(u, v, raw_t))
+
+        if deduplicate:
+            seen: set[TemporalEdge] = set()
+            unique: list[TemporalEdge] = []
+            for edge_ in normalized:
+                if edge_ not in seen:
+                    seen.add(edge_)
+                    unique.append(edge_)
+            normalized = unique
+
+        self._edges: tuple[TemporalEdge, ...] = tuple(normalized)
+        self._labels: tuple[Hashable, ...] = tuple(labels)
+        self._label_ids = label_ids
+        self._raw_times: tuple[int, ...] = tuple(raw_times)
+        self._num_dropped_self_loops = dropped
+        self._adjacency_cache: list[list[tuple[int, int, int]]] | None = None
+
+        tmax = self.tmax
+        ids_by_time: list[list[int]] = [[] for _ in range(tmax + 1)]
+        for eid, edge_ in enumerate(self._edges):
+            ids_by_time[edge_.t].append(eid)
+        self._edge_ids_by_time: tuple[tuple[int, ...], ...] = tuple(
+            tuple(ids) for ids in ids_by_time
+        )
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of distinct vertices appearing in any edge."""
+        return len(self._labels)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of temporal edges (with multiplicity)."""
+        return len(self._edges)
+
+    @property
+    def tmax(self) -> int:
+        """Largest (normalised) timestamp; 0 for an empty graph."""
+        return self._edges[-1].t if self._edges else 0
+
+    @property
+    def edges(self) -> tuple[TemporalEdge, ...]:
+        """All edges sorted by timestamp; the index is the edge id."""
+        return self._edges
+
+    @property
+    def num_dropped_self_loops(self) -> int:
+        return self._num_dropped_self_loops
+
+    def label_of(self, vertex: int) -> Hashable:
+        """Original label of internal vertex id ``vertex``."""
+        return self._labels[vertex]
+
+    def id_of(self, label: Hashable) -> int:
+        """Internal vertex id of an original label."""
+        try:
+            return self._label_ids[label]
+        except KeyError as exc:
+            raise KeyError(f"unknown vertex label {label!r}") from exc
+
+    def raw_time_of(self, t: int) -> int:
+        """Raw timestamp behind normalised time ``t`` (identity if not normalised)."""
+        if not self._raw_times:
+            return t
+        if t < 1 or t > len(self._raw_times):
+            raise InvalidParameterError(f"normalised time {t} outside 1..{len(self._raw_times)}")
+        return self._raw_times[t - 1]
+
+    def normalized_time_of(self, raw_t: int) -> int:
+        """Normalised time of a raw timestamp (exact match required)."""
+        if not self._raw_times:
+            return raw_t
+        pos = bisect.bisect_left(self._raw_times, raw_t)
+        if pos == len(self._raw_times) or self._raw_times[pos] != raw_t:
+            raise KeyError(f"raw timestamp {raw_t} not present in graph")
+        return pos + 1
+
+    def edge_ids_at(self, t: int) -> tuple[int, ...]:
+        """Edge ids whose timestamp is exactly ``t``."""
+        if t < 1 or t > self.tmax:
+            return ()
+        return self._edge_ids_by_time[t]
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+
+    def adjacency(self) -> list[list[tuple[int, int, int]]]:
+        """Per-vertex incidence lists ``[(neighbour, t, edge_id), ...]``.
+
+        Lists are sorted by timestamp (then edge id); built lazily once and
+        cached because every algorithm starts from it.
+        """
+        if self._adjacency_cache is None:
+            adjacency: list[list[tuple[int, int, int]]] = [
+                [] for _ in range(self.num_vertices)
+            ]
+            for eid, (u, v, t) in enumerate(self._edges):
+                adjacency[u].append((v, t, eid))
+                adjacency[v].append((u, t, eid))
+            self._adjacency_cache = adjacency
+        return self._adjacency_cache
+
+    def window_edge_ids(self, ts: int, te: int) -> Iterator[int]:
+        """Yield ids of edges whose timestamp lies in ``[ts, te]``.
+
+        Edge ids are yielded in timestamp order.  The cost is proportional
+        to the width of the window plus the number of matching edges.
+        """
+        self.check_window(ts, te)
+        for t in range(ts, te + 1):
+            yield from self._edge_ids_by_time[t]
+
+    def window_edges(self, ts: int, te: int) -> Iterator[TemporalEdge]:
+        """Yield the edges of the projected graph ``G[ts, te]``."""
+        for eid in self.window_edge_ids(ts, te):
+            yield self._edges[eid]
+
+    def check_window(self, ts: int, te: int) -> None:
+        """Validate that ``[ts, te]`` is a window inside ``[1, tmax]``."""
+        if self.num_edges == 0:
+            raise EmptyGraphError("operation requires a non-empty temporal graph")
+        if ts > te:
+            raise InvalidParameterError(f"empty window [{ts}, {te}]")
+        if ts < 1 or te > self.tmax:
+            raise InvalidParameterError(
+                f"window [{ts}, {te}] outside graph span [1, {self.tmax}]"
+            )
+
+    def degree_statistics(self) -> dict[str, float]:
+        """Distinct-neighbour degree statistics over the full time span.
+
+        Returns a dict with ``avg``, ``max`` and ``num_pairs`` (distinct
+        vertex pairs), matching the ``deg_avg`` quantity used by the
+        paper's complexity analysis.
+        """
+        neighbours: list[set[int]] = [set() for _ in range(self.num_vertices)]
+        for u, v, _ in self._edges:
+            neighbours[u].add(v)
+            neighbours[v].add(u)
+        degrees = [len(s) for s in neighbours]
+        num_pairs = sum(degrees) // 2
+        n = max(1, self.num_vertices)
+        return {
+            "avg": sum(degrees) / n,
+            "max": max(degrees, default=0),
+            "num_pairs": num_pairs,
+        }
+
+    # ------------------------------------------------------------------
+    # Construction helpers & dunder protocol
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_edges(
+        cls,
+        edges: Iterable[tuple[Hashable, Hashable, int]],
+        **kwargs: bool,
+    ) -> "TemporalGraph":
+        """Build a graph from an iterable of ``(u, v, t)`` triples."""
+        return cls(edges, **kwargs)
+
+    def subgraph_in_window(self, ts: int, te: int) -> "TemporalGraph":
+        """A new, independently normalised graph of the edges in ``[ts, te]``.
+
+        Labels are preserved; timestamps are re-normalised, so the result's
+        ``tmax`` equals the number of distinct timestamps inside the window.
+        """
+        triples = [
+            (self._labels[u], self._labels[v], t) for u, v, t in self.window_edges(ts, te)
+        ]
+        return TemporalGraph(triples, normalize_time=True)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __iter__(self) -> Iterator[TemporalEdge]:
+        return iter(self._edges)
+
+    def __repr__(self) -> str:
+        return (
+            f"TemporalGraph(n={self.num_vertices}, m={self.num_edges}, "
+            f"tmax={self.tmax})"
+        )

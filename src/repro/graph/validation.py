@@ -1,0 +1,75 @@
+"""Structural invariant checks for temporal graphs and query results.
+
+These checks are deliberately slow and explicit: they are the referees the
+test suite (and cautious users) call to validate fast-path results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InvalidParameterError
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import snapshot_k_core
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def check_graph_invariants(graph: TemporalGraph) -> None:
+    """Assert the normalisation invariants of a temporal graph.
+
+    * edges sorted by timestamp;
+    * canonical endpoint order ``u < v``;
+    * timestamps dense in ``1..tmax`` (every value used at least once when
+      the graph was built with ``normalize_time=True``);
+    * the per-time index agrees with the edge list.
+    """
+    previous_t = 0
+    for eid, (u, v, t) in enumerate(graph.edges):
+        if u >= v:
+            raise AssertionError(f"edge {eid} not canonical: ({u}, {v})")
+        if t < previous_t:
+            raise AssertionError(f"edge {eid} breaks timestamp order")
+        previous_t = t
+    used = set()
+    for t in range(1, graph.tmax + 1):
+        for eid in graph.edge_ids_at(t):
+            if graph.edges[eid].t != t:
+                raise AssertionError(f"time index mismatch at t={t}, edge {eid}")
+            used.add(eid)
+    if len(used) != graph.num_edges:
+        raise AssertionError("time index does not cover every edge")
+
+
+def is_k_core_subgraph(
+    graph: TemporalGraph, edge_ids: set[int], k: int, ts: int, te: int
+) -> bool:
+    """True iff the given temporal edges form a subgraph of ``G[ts, te]``
+    whose every vertex has at least ``k`` distinct neighbours.
+
+    This checks *cohesion* only; maximality is checked separately by
+    comparing against the peeled core of the window.
+    """
+    neighbours: dict[int, set[int]] = {}
+    for eid in edge_ids:
+        u, v, t = graph.edges[eid]
+        if t < ts or t > te:
+            return False
+        neighbours.setdefault(u, set()).add(v)
+        neighbours.setdefault(v, set()).add(u)
+    return all(len(ns) >= k for ns in neighbours.values())
+
+
+def exact_core_edge_ids(graph: TemporalGraph, k: int, ts: int, te: int) -> set[int]:
+    """Edge ids of the temporal k-core of window ``[ts, te]`` by peeling.
+
+    The reference implementation of Definition 2 used as ground truth.
+    """
+    snapshot = Snapshot.from_graph(graph, ts, te)
+    members = snapshot_k_core(snapshot, k)
+    return set(snapshot.induced_temporal_edge_ids(members))
+
+
+def tightest_time_interval(graph: TemporalGraph, edge_ids: set[int]) -> tuple[int, int]:
+    """The TTI (Definition 3) of an edge set: min and max edge timestamp."""
+    if not edge_ids:
+        raise InvalidParameterError("TTI of an empty edge set is undefined")
+    times = [graph.edges[eid].t for eid in edge_ids]
+    return min(times), max(times)

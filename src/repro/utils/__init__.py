@@ -1,0 +1,19 @@
+"""Shared utilities: ordering primitives, timers, and deadlines."""
+
+from repro.utils.order import (
+    counting_sort_by,
+    interval_contains,
+    kth_smallest,
+    merge_intervals,
+)
+from repro.utils.timer import Deadline, Stopwatch, time_call
+
+__all__ = [
+    "Deadline",
+    "Stopwatch",
+    "counting_sort_by",
+    "interval_contains",
+    "kth_smallest",
+    "merge_intervals",
+    "time_call",
+]

@@ -1,0 +1,98 @@
+"""Small ordering helpers used by the core algorithms.
+
+The enumeration pipeline relies on two classic tricks to stay within its
+theoretical bounds:
+
+* counting sort keyed by (small, dense) integer timestamps, used to order
+  minimal core windows by end time in linear time (Algorithm 5, line 8);
+* selection of the k-th smallest element of a short list, used by the
+  core-time fixpoint operator (one selection per vertex re-evaluation).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections.abc import Callable, Iterable, Sequence
+from typing import TypeVar
+
+T = TypeVar("T")
+
+
+def kth_smallest(values: Sequence[int], k: int) -> int:
+    """Return the k-th smallest value (1-based) of ``values``.
+
+    Raises :class:`ValueError` when ``k`` is out of ``1..len(values)``.
+    The implementation picks between a full sort and a bounded heap based
+    on ``k`` — for the core-time operator ``k`` is usually much smaller
+    than the degree, where ``heapq.nsmallest`` wins.
+    """
+    n = len(values)
+    if k < 1 or k > n:
+        raise ValueError(f"k={k} out of range for {n} values")
+    if k == 1:
+        return min(values)
+    if k == n:
+        return max(values)
+    if 3 * k < n:
+        return heapq.nsmallest(k, values)[-1]
+    return sorted(values)[k - 1]
+
+
+def counting_sort_by(
+    items: Iterable[T],
+    key: Callable[[T], int],
+    lo: int,
+    hi: int,
+) -> list[T]:
+    """Stable counting sort of ``items`` by an integer key in ``[lo, hi]``.
+
+    Runs in ``O(len(items) + hi - lo)`` time, which keeps the window
+    ordering step of the enumeration linear in the skyline size.
+    """
+    if hi < lo:
+        raise ValueError(f"empty key range [{lo}, {hi}]")
+    buckets: list[list[T]] = [[] for _ in range(hi - lo + 1)]
+    for item in items:
+        value = key(item)
+        if value < lo or value > hi:
+            raise ValueError(f"key {value} outside [{lo}, {hi}]")
+        buckets[value - lo].append(item)
+    ordered: list[T] = []
+    for bucket in buckets:
+        ordered.extend(bucket)
+    return ordered
+
+
+def merge_intervals(intervals: Iterable[tuple[int, int]]) -> list[tuple[int, int]]:
+    """Merge possibly-overlapping closed integer intervals.
+
+    Adjacent intervals (``hi + 1 == next lo``) are coalesced as well, which
+    is what the OTCD pruning bookkeeping wants: pruned end-time ranges form
+    a set of integers, not a set of real segments.
+    """
+    ordered = sorted(intervals)
+    merged: list[tuple[int, int]] = []
+    for lo, hi in ordered:
+        if hi < lo:
+            raise ValueError(f"interval ({lo}, {hi}) is empty")
+        if merged and lo <= merged[-1][1] + 1:
+            prev_lo, prev_hi = merged[-1]
+            merged[-1] = (prev_lo, max(prev_hi, hi))
+        else:
+            merged.append((lo, hi))
+    return merged
+
+
+def interval_contains(intervals: Sequence[tuple[int, int]], value: int) -> bool:
+    """Binary-search a sorted, merged interval list for ``value``."""
+    lo, hi = 0, len(intervals) - 1
+    while lo <= hi:
+        mid = (lo + hi) // 2
+        a, b = intervals[mid]
+        if value < a:
+            hi = mid - 1
+        elif value > b:
+            lo = mid + 1
+        else:
+            return True
+    return False

@@ -1,0 +1,50 @@
+"""The brute-force oracle's own sanity checks."""
+
+from __future__ import annotations
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.graph.validation import (
+    exact_core_edge_ids,
+    is_k_core_subgraph,
+    tightest_time_interval,
+)
+from repro.utils.timer import Deadline
+
+
+class TestBruteForce:
+    def test_paper_example_figure2(self, paper_graph):
+        result = enumerate_bruteforce(paper_graph, 2, 1, 4)
+        assert set(result.by_tti()) == {(1, 4), (2, 3)}
+
+    def test_results_are_cohesive(self, random_graph):
+        result = enumerate_bruteforce(random_graph, 2)
+        for core in result:
+            ts, te = core.tti
+            assert is_k_core_subgraph(random_graph, set(core.edge_ids), 2, ts, te)
+
+    def test_results_are_maximal(self, random_graph):
+        result = enumerate_bruteforce(random_graph, 2)
+        for core in result:
+            ts, te = core.tti
+            assert set(core.edge_ids) == exact_core_edge_ids(random_graph, 2, ts, te)
+
+    def test_ttis_are_tight(self, random_graph):
+        result = enumerate_bruteforce(random_graph, 2)
+        for core in result:
+            assert core.tti == tightest_time_interval(
+                random_graph, set(core.edge_ids)
+            )
+
+    def test_no_duplicates(self, random_graph):
+        result = enumerate_bruteforce(random_graph, 2)
+        assert len(result.edge_sets()) == result.num_results
+
+    def test_deadline(self, random_graph):
+        assert not enumerate_bruteforce(
+            random_graph, 2, deadline=Deadline(0.0)
+        ).completed
+
+    def test_streaming(self, paper_graph):
+        streamed = enumerate_bruteforce(paper_graph, 2, collect=False)
+        assert streamed.cores is None
+        assert streamed.num_results == 13

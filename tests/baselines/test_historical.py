@@ -1,0 +1,86 @@
+"""Historical k-core queries and the multi-k PHC index."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.historical import (
+    PHCIndex,
+    historical_core_edge_ids,
+    historical_core_vertices,
+)
+from repro.core.coretime import compute_vertex_core_times
+from repro.errors import InvalidParameterError
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import snapshot_k_core
+from repro.graph.validation import exact_core_edge_ids
+
+
+class TestHistoricalQueries:
+    def test_vertices_match_peeling_everywhere(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for ts in range(1, random_graph.tmax + 1):
+            for te in (ts, (ts + random_graph.tmax) // 2, random_graph.tmax):
+                expected = snapshot_k_core(
+                    Snapshot.from_graph(random_graph, ts, te), 2
+                )
+                got = historical_core_vertices(random_graph, vct, ts, te)
+                assert got == expected, (ts, te)
+
+    def test_edges_match_peeling(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2)
+        for ts, te in [(1, 4), (2, 3), (3, 5), (1, 7), (6, 7)]:
+            got = set(historical_core_edge_ids(paper_graph, vct, ts, te))
+            assert got == exact_core_edge_ids(paper_graph, 2, ts, te)
+
+    def test_empty_core_window(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2)
+        assert historical_core_vertices(paper_graph, vct, 7, 7) == set()
+        assert historical_core_edge_ids(paper_graph, vct, 7, 7) == []
+
+
+class TestPHCIndex:
+    def test_max_k_inferred(self, paper_graph):
+        index = PHCIndex(paper_graph)
+        assert index.max_k == 2  # the example graph is a 2-core at best
+
+    def test_queries_across_levels(self, paper_graph):
+        index = PHCIndex(paper_graph)
+        core2 = index.query(2, 1, 4)
+        assert {paper_graph.label_of(u) for u in core2} == {
+            "v1", "v2", "v3", "v4", "v9",
+        }
+        core1 = index.query(1, 1, 1)
+        assert {paper_graph.label_of(u) for u in core1} == {"v2", "v9"}
+
+    def test_levels_cached(self, paper_graph):
+        index = PHCIndex(paper_graph)
+        assert index.level(2) is index.level(2)
+
+    def test_build_all_and_size(self, paper_graph):
+        index = PHCIndex(paper_graph)
+        index.build_all()
+        assert index.size() >= index.level(2).size()
+
+    def test_out_of_range_k(self, paper_graph):
+        index = PHCIndex(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            index.level(0)
+        with pytest.raises(InvalidParameterError):
+            index.level(3)
+
+    def test_explicit_max_k(self, paper_graph):
+        index = PHCIndex(paper_graph, max_k=1)
+        assert index.max_k == 1
+
+    def test_levels_match_peeling(self, random_graph):
+        index = PHCIndex(random_graph)
+        tmax = random_graph.tmax
+        for k in range(1, index.max_k + 1):
+            for ts, te in [(1, tmax), (2, tmax - 1)]:
+                if ts > te:
+                    continue
+                expected = snapshot_k_core(
+                    Snapshot.from_graph(random_graph, ts, te), k
+                )
+                assert index.query(k, ts, te) == expected

@@ -1,0 +1,104 @@
+"""OTCD: oracle equivalence, pruning behaviour, state mechanics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.baselines.otcd import _CoreState, enumerate_otcd
+from repro.errors import InvalidParameterError
+from repro.utils.timer import Deadline
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [2, 3])
+    @pytest.mark.parametrize("use_pruning", [True, False])
+    def test_matches_oracle(self, random_graph, k, use_pruning):
+        otcd = enumerate_otcd(random_graph, k, use_pruning=use_pruning)
+        oracle = enumerate_bruteforce(random_graph, k)
+        assert otcd.edge_sets() == oracle.edge_sets()
+        assert set(otcd.by_tti()) == set(oracle.by_tti())
+
+    def test_paper_example_range(self, paper_graph):
+        result = enumerate_otcd(paper_graph, 2, 1, 4)
+        assert set(result.by_tti()) == {(1, 4), (2, 3)}
+
+    def test_no_duplicates(self, random_graph):
+        result = enumerate_otcd(random_graph, 2)
+        assert len(result.edge_sets()) == result.num_results
+
+    def test_pruning_and_unpruned_identical(self, random_graph):
+        pruned = enumerate_otcd(random_graph, 2)
+        unpruned = enumerate_otcd(random_graph, 2, use_pruning=False)
+        assert pruned.edge_sets() == unpruned.edge_sets()
+
+
+class TestBehaviour:
+    def test_streaming_counts(self, random_graph):
+        collected = enumerate_otcd(random_graph, 2)
+        streamed = enumerate_otcd(random_graph, 2, collect=False)
+        assert streamed.num_results == collected.num_results
+        assert streamed.total_edges == collected.total_edges
+
+    def test_deadline(self, random_graph):
+        result = enumerate_otcd(random_graph, 2, deadline=Deadline(0.0))
+        assert not result.completed
+
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            enumerate_otcd(paper_graph, 0)
+
+    def test_empty_when_k_too_large(self, paper_graph):
+        result = enumerate_otcd(paper_graph, 9)
+        assert result.num_results == 0
+
+    def test_algorithm_labels(self, paper_graph):
+        assert enumerate_otcd(paper_graph, 2).algorithm == "otcd"
+        assert (
+            enumerate_otcd(paper_graph, 2, use_pruning=False).algorithm
+            == "otcd-nopruning"
+        )
+
+
+class TestCoreState:
+    def test_initial_state_is_peeled_core(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        assert state.num_edges == 6
+        assert state.tti() == (1, 4)
+
+    def test_shrink_end_reaches_inner_core(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        state.shrink_end_to(3, 4)
+        assert state.tti() == (2, 3)
+        assert state.num_edges == 3
+
+    def test_shrink_to_empty(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        state.shrink_end_to(2, 4)
+        assert state.is_empty()
+
+    def test_remove_from_left(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        state.remove_edges_at(1, from_left=True)
+        # Without (v2, v9, 1): the [2, 3] triangle core plus (v2,v3,2),
+        # (v3,v9,4)... peeling drops v9/v3 leaves the triangle.
+        assert state.tti() == (2, 3)
+        assert state.num_edges == 3
+
+    def test_copy_is_independent(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        clone = state.copy()
+        clone.shrink_end_to(2, 4)
+        assert clone.is_empty()
+        assert state.num_edges == 6
+
+    def test_tti_of_empty_core_raises(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        state.shrink_end_to(2, 4)
+        with pytest.raises(ValueError):
+            state.tti()
+
+    def test_edge_ids_sorted(self, paper_graph):
+        state = _CoreState.initial(paper_graph, 2, 1, 4)
+        ids = state.edge_ids()
+        assert ids == sorted(ids)

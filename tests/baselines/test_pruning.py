@@ -1,0 +1,64 @@
+"""PruneRegistry: PoU/PoL box registration and per-start queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.pruning import PruneRegistry
+
+
+class TestRegistry:
+    def test_no_rules_no_pruning(self):
+        registry = PruneRegistry((1, 10))
+        assert registry.pruned_ends_for(3) == []
+
+    def test_pou_box(self):
+        registry = PruneRegistry((1, 10))
+        # Core at window [2, 9] with TTI [4, 7]: PoU prunes starts 3..4,
+        # ends 7..9; PoL prunes starts 5.., ends 8..9.
+        registry.register_from_tti((2, 9), (4, 7))
+        assert registry.pruned_ends_for(3) == [(7, 9)]
+        assert registry.pruned_ends_for(4) == [(7, 9)]
+
+    def test_pol_box(self):
+        registry = PruneRegistry((1, 10))
+        registry.register_from_tti((2, 9), (4, 7))
+        assert registry.pruned_ends_for(5) == [(8, 9)]
+        # At start 10 the PoL ends (8..9) lie before the start: clamped away.
+        assert registry.pruned_ends_for(10) == []
+
+    def test_tti_equal_window_registers_nothing(self):
+        registry = PruneRegistry((1, 10))
+        registry.register_from_tti((2, 9), (2, 9))
+        assert registry.num_rules_live == 0
+
+    def test_tti_same_start_no_pou(self):
+        registry = PruneRegistry((1, 10))
+        # ts' == a: neither PoU nor PoL applies (PoR is handled locally).
+        registry.register_from_tti((2, 9), (2, 5))
+        assert registry.pruned_ends_for(3) == []
+
+    def test_intervals_merge(self):
+        registry = PruneRegistry((1, 20))
+        registry.register_from_tti((1, 10), (3, 6))
+        registry.register_from_tti((1, 12), (3, 8))
+        merged = registry.pruned_ends_for(2)
+        assert merged == [(6, 12)]
+
+    def test_expired_rules_dropped(self):
+        registry = PruneRegistry((1, 10))
+        registry.register_from_tti((2, 9), (4, 7))  # PoU expires after 4
+        registry.pruned_ends_for(6)
+        # Only the PoL rule (starts 5..10) should remain live.
+        assert registry.num_rules_live == 1
+
+    def test_ends_clamped_to_start(self):
+        registry = PruneRegistry((1, 10))
+        registry.register_from_tti((2, 9), (4, 3 + 1))  # TTI [4, 4]
+        intervals = registry.pruned_ends_for(4)
+        assert all(lo >= 4 for lo, _ in intervals)
+
+    def test_bad_nesting_rejected(self):
+        registry = PruneRegistry((1, 10))
+        with pytest.raises(ValueError):
+            registry.register_from_tti((5, 6), (4, 6))

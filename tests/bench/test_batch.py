@@ -1,0 +1,51 @@
+"""Parallel batch query runner."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.batch import BatchAnswer, run_query_batch
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.errors import InvalidParameterError
+
+
+class TestSequentialBatch:
+    def test_answers_in_order(self, paper_graph):
+        ranges = [(1, 4), (2, 3), (1, 7), (5, 5)]
+        answers = run_query_batch(paper_graph, 2, ranges)
+        assert [a.time_range for a in answers] == ranges
+        assert [a.num_results for a in answers] == [2, 1, 13, 1]
+
+    def test_counters_match_direct_runs(self, random_graph):
+        ranges = [(1, random_graph.tmax), (2, random_graph.tmax - 1)]
+        answers = run_query_batch(random_graph, 2, ranges)
+        for answer in answers:
+            direct = enumerate_temporal_kcores(
+                random_graph, 2, *answer.time_range, collect=False
+            )
+            assert answer.num_results == direct.num_results
+            assert answer.total_edges == direct.total_edges
+
+    def test_empty_batch(self, paper_graph):
+        assert run_query_batch(paper_graph, 2, []) == []
+
+    def test_validation(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            run_query_batch(paper_graph, 0, [(1, 2)])
+        with pytest.raises(InvalidParameterError):
+            run_query_batch(paper_graph, 2, [(0, 3)])
+        with pytest.raises(InvalidParameterError):
+            run_query_batch(paper_graph, 2, [(1, 3)], processes=0)
+
+
+class TestParallelBatch:
+    def test_parallel_equals_sequential(self, paper_graph):
+        ranges = [(1, 4), (2, 6), (1, 7), (3, 5), (5, 5), (2, 3)]
+        sequential = run_query_batch(paper_graph, 2, ranges)
+        parallel = run_query_batch(paper_graph, 2, ranges, processes=2)
+        assert parallel == sequential
+
+    def test_answer_is_comparable_dataclass(self):
+        a = BatchAnswer((1, 2), 3, 9)
+        b = BatchAnswer((1, 2), 3, 9)
+        assert a == b

@@ -1,0 +1,53 @@
+"""ASCII chart rendering."""
+
+from __future__ import annotations
+
+from repro.bench.charts import log_bar_chart, log_series_chart
+
+
+class TestBarChart:
+    def test_longer_bar_for_larger_value(self):
+        chart = log_bar_chart({"slow": 100.0, "fast": 0.1}, unit="s")
+        slow_line, fast_line = chart.splitlines()
+        assert slow_line.count("#") > fast_line.count("#")
+
+    def test_dnf_rendering(self):
+        chart = log_bar_chart({"otcd": None, "enum": 1.0})
+        assert "DNF" in chart
+
+    def test_all_none(self):
+        chart = log_bar_chart({"a": None})
+        assert "no data" in chart
+
+    def test_units_printed(self):
+        assert "MiB" in log_bar_chart({"x": 3.0}, unit="MiB")
+
+    def test_labels_aligned(self):
+        chart = log_bar_chart({"a": 1.0, "longer-name": 2.0})
+        starts = {line.index("|") for line in chart.splitlines()}
+        assert len(starts) == 1
+
+
+class TestSeriesChart:
+    def test_markers_present(self):
+        chart = log_series_chart(
+            ["5%", "10%", "20%", "40%"],
+            {"enum": [0.01, 0.02, 0.09, 0.4], "otcd": [0.1, 0.5, 3.4, 24.0]},
+            unit="s",
+        )
+        assert "o = enum" in chart
+        assert "x = otcd" in chart
+        assert chart.count("o") >= 4  # marker occurrences + legend
+
+    def test_dnf_noted_in_legend(self):
+        chart = log_series_chart(
+            ["5%", "40%"], {"otcd": [0.1, None]}, unit="s"
+        )
+        assert "DNF at 40%" in chart
+
+    def test_empty(self):
+        assert log_series_chart(["a"], {"x": [None]}) == "(no data)"
+
+    def test_x_labels_on_axis(self):
+        chart = log_series_chart(["5%", "40%"], {"e": [1.0, 2.0]})
+        assert "5%" in chart and "40%" in chart

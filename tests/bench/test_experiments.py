@@ -1,0 +1,120 @@
+"""Experiment drivers: the cheap ones run end-to-end in the test suite.
+
+The expensive figure sweeps are exercised by ``pytest benchmarks/``; here
+we validate the drivers' output contracts on the paper example and the
+smallest dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    BenchProfile,
+    experiment_table1,
+    experiment_table2,
+    main,
+)
+
+
+class TestProfiles:
+    def test_named_profiles(self):
+        assert BenchProfile.quick().num_queries < BenchProfile.full().num_queries
+
+    def test_env_selection(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "full")
+        assert BenchProfile.from_env().name == "full"
+        monkeypatch.setenv("REPRO_BENCH_PROFILE", "quick")
+        assert BenchProfile.from_env().name == "quick"
+        monkeypatch.delenv("REPRO_BENCH_PROFILE")
+        assert BenchProfile.from_env().name == "quick"
+
+
+class TestWorkedExampleDrivers:
+    def test_table1_all_match(self):
+        report = experiment_table1()
+        assert "Table I" in report
+        rows = [
+            line
+            for line in report.splitlines()
+            if line.strip().startswith("v") and line.strip()[1].isdigit()
+        ]
+        assert len(rows) == 9
+        assert all(row.rstrip().endswith("yes") for row in rows)
+
+    def test_table2_all_match(self):
+        report = experiment_table2()
+        assert "Table II" in report
+        rows = [line for line in report.splitlines() if line.strip().startswith("(")]
+        assert len(rows) == 14
+        assert all(row.rstrip().endswith("yes") for row in rows)
+
+
+class TestCli:
+    def test_registry_complete(self):
+        expected = {
+            "table1", "table2", "table3",
+            "fig4", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "fig12",
+        }
+        assert set(EXPERIMENTS) == expected
+
+    def test_main_runs_table1(self, capsys):
+        assert main(["table1"]) == 0
+        assert "Table I" in capsys.readouterr().out
+
+    def test_main_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+
+class TestFigureDriversSmoke:
+    """Drivers run end-to-end on a reduced dataset list (monkeypatched)."""
+
+    @pytest.fixture()
+    def tiny(self, monkeypatch):
+        import repro.bench.experiments as exp
+
+        profile = BenchProfile("tiny", num_queries=1, timeout=10.0)
+        monkeypatch.setattr(exp, "ALL_DATASETS", ("FB",))
+        monkeypatch.setattr(exp, "FIG4_DATASETS", ("FB",))
+        monkeypatch.setattr(exp, "VARIED_DATASETS", ("FB",))
+        monkeypatch.setattr(exp, "K_FRACTIONS", (0.3,))
+        monkeypatch.setattr(exp, "RANGE_FRACTIONS", (0.1,))
+        return profile
+
+    def test_fig4_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig4
+
+        report = experiment_fig4(tiny)
+        assert "FB" in report and "|VCT|" in report
+
+    def test_fig6_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig6
+
+        report = experiment_fig6(tiny)
+        assert "FB" in report and "OTCD(s)" in report
+
+    def test_fig7_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig7
+
+        report = experiment_fig7(tiny)
+        assert "FB" in report and "Enum+CT(s)" in report
+
+    def test_fig9_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig9
+
+        report = experiment_fig9(tiny)
+        assert "avg #results" in report
+
+    def test_fig11_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig11
+
+        report = experiment_fig11(tiny)
+        assert "#results" in report
+
+    def test_fig12_driver(self, tiny):
+        from repro.bench.experiments import experiment_fig12
+
+        report = experiment_fig12(tiny)
+        assert "peak" in report

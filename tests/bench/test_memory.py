@@ -1,0 +1,38 @@
+"""tracemalloc wrapper and byte formatting."""
+
+from __future__ import annotations
+
+from repro.bench.memory import format_bytes, measure_peak_memory
+
+
+class TestMeasure:
+    def test_returns_result_and_positive_peak(self):
+        result, peak = measure_peak_memory(lambda: [0] * 100_000)
+        assert len(result) == 100_000
+        assert peak > 100_000 * 4  # a list of ints is at least this big
+
+    def test_relative_to_baseline(self):
+        # The retained list from the previous call must not count here.
+        keep = [0] * 100_000
+
+        def tiny():
+            return sum(range(10))
+
+        _, peak = measure_peak_memory(tiny)
+        assert peak < 50_000
+        del keep
+
+    def test_exceptions_propagate(self):
+        import pytest
+
+        with pytest.raises(RuntimeError):
+            measure_peak_memory(lambda: (_ for _ in ()).throw(RuntimeError("x")))
+
+
+class TestFormatBytes:
+    def test_units(self):
+        assert format_bytes(10) == "10.00 B"
+        assert format_bytes(2048) == "2.00 KiB"
+        assert format_bytes(3 * 1024**2) == "3.00 MiB"
+        assert format_bytes(5 * 1024**3) == "5.00 GiB"
+        assert format_bytes(5000 * 1024**3).endswith("GiB")

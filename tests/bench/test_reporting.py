@@ -1,0 +1,53 @@
+"""Report formatting."""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.reporting import (
+    format_cell,
+    format_table,
+    orders_of_magnitude,
+    speedup,
+)
+
+
+class TestFormatCell:
+    def test_none_is_dnf(self):
+        assert format_cell(None) == "DNF"
+
+    def test_nan_is_dash(self):
+        assert format_cell(float("nan")) == "-"
+
+    def test_scientific_for_extremes(self):
+        assert "e" in format_cell(1234567.0)
+        assert "e" in format_cell(0.0000123)
+
+    def test_plain_for_moderate(self):
+        assert format_cell(12.5) == "12.5"
+        assert format_cell(7) == "7"
+        assert format_cell("CM") == "CM"
+
+
+class TestFormatTable:
+    def test_alignment_and_title(self):
+        text = format_table(
+            ("ds", "time"), [("CM", 1.5), ("WT", None)], title="Demo"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "Demo"
+        assert "ds" in lines[2]
+        assert "DNF" in lines[-1]
+        # All rows align to the same width.
+        assert len({len(line) for line in lines[2:]}) == 1
+
+
+class TestRatios:
+    def test_speedup(self):
+        assert speedup(10.0, 1.0) == "10.0x"
+        assert speedup(None, 1.0) == "baseline DNF"
+        assert speedup(1.0, None) == "candidate DNF"
+
+    def test_orders_of_magnitude(self):
+        assert orders_of_magnitude(1.0, 1000.0) == 3.0
+        assert math.isnan(orders_of_magnitude(0.0, 10.0))

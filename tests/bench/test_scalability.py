@@ -1,0 +1,46 @@
+"""Scalability sweep module unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.scalability import (
+    SCALE_HEADERS,
+    ScalePoint,
+    run_scalability_sweep,
+    scaled_config,
+)
+from repro.errors import BenchmarkError
+
+
+class TestScaledConfig:
+    def test_linear_scaling(self):
+        config = scaled_config(3)
+        base = scaled_config(1)
+        assert config.num_vertices == 3 * base.num_vertices
+        assert config.total_edges() == 3 * base.total_edges()
+        assert config.tmax == 3 * base.tmax
+
+    def test_burst_density_unchanged(self):
+        assert scaled_config(5).burst_size == scaled_config(1).burst_size
+        assert scaled_config(5).edges_per_burst == scaled_config(1).edges_per_burst
+
+    def test_invalid_factor(self):
+        with pytest.raises(BenchmarkError):
+            scaled_config(0)
+
+
+class TestSweep:
+    def test_single_point(self):
+        points = run_scalability_sweep(factors=(1,), num_queries=1, timeout=20.0)
+        assert len(points) == 1
+        point = points[0]
+        assert point.enum_seconds is not None
+        assert point.num_results >= 1
+        assert len(point.as_row()) == len(SCALE_HEADERS)
+
+    def test_row_ratio_rendering(self):
+        point = ScalePoint(1, 100, 50, 3, 0.5, 5.0, 7.0)
+        assert point.as_row()[-1] == "10.0x"
+        dnf = ScalePoint(1, 100, 50, 3, 0.5, None, 7.0)
+        assert dnf.as_row()[-1] == "n/a"

@@ -1,0 +1,74 @@
+"""Workload generation: admissibility, determinism, fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.workloads import (
+    build_workload,
+    range_has_core,
+    sample_query_ranges,
+)
+from repro.errors import BenchmarkError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestRangeHasCore:
+    def test_positive(self, paper_graph):
+        assert range_has_core(paper_graph, 2, 1, 4)
+
+    def test_negative(self, paper_graph):
+        assert not range_has_core(paper_graph, 2, 1, 2)
+        assert not range_has_core(paper_graph, 3, 1, 7)
+
+
+class TestSampling:
+    def test_all_ranges_contain_cores(self, paper_graph):
+        ranges = sample_query_ranges(paper_graph, 2, 4, 5, seed=3)
+        assert len(ranges) == 5
+        for ts, te in ranges:
+            assert te - ts + 1 == 4
+            assert range_has_core(paper_graph, 2, ts, te)
+
+    def test_deterministic(self, paper_graph):
+        a = sample_query_ranges(paper_graph, 2, 4, 5, seed=3)
+        b = sample_query_ranges(paper_graph, 2, 4, 5, seed=3)
+        assert a == b
+
+    def test_width_clamped_to_tmax(self, paper_graph):
+        ranges = sample_query_ranges(paper_graph, 2, 99, 2, seed=0)
+        assert all((ts, te) == (1, 7) for ts, te in ranges)
+
+    def test_fallback_sweep_finds_rare_core(self):
+        # A graph whose only core sits at the very end of the span:
+        # random sampling at width 2 rarely hits it, the sweep must.
+        edges = [("x", f"y{i}", i) for i in range(1, 30)]
+        edges += [("a", "b", 30), ("b", "c", 30), ("a", "c", 30)]
+        graph = TemporalGraph(edges)
+        ranges = sample_query_ranges(graph, 2, 1, 3, seed=0)
+        assert ranges
+        for ts, te in ranges:
+            assert range_has_core(graph, 2, ts, te)
+
+    def test_impossible_raises(self, paper_graph):
+        with pytest.raises(BenchmarkError):
+            sample_query_ranges(paper_graph, 5, 7, 1, seed=0)
+
+
+class TestBuildWorkload:
+    def test_fractions_resolved(self, paper_graph):
+        workload = build_workload(
+            paper_graph, "example", k_fraction=1.0, range_fraction=0.6,
+            num_queries=2, seed=1,
+        )
+        assert workload.k == 2
+        assert workload.width == 4
+        assert workload.num_queries == 2
+        assert workload.dataset == "example"
+
+    def test_k_clamped_to_two(self, paper_graph):
+        workload = build_workload(
+            paper_graph, "example", k_fraction=0.1, num_queries=1,
+            range_fraction=0.6,
+        )
+        assert workload.k == 2

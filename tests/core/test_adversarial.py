@@ -1,0 +1,204 @@
+"""Adversarial graph structures and failure injection.
+
+The pipeline is exercised on graph shapes engineered to stress specific
+code paths: all edges on one timestamp (degenerate windows), long chains
+of overlapping cliques (deep skylines), reappearing cores (core time
+oscillation pressure), stars (instant peel-away), and deadline expiry
+injected at every phase.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.baselines.otcd import enumerate_otcd
+from repro.core.coretime import compute_core_times
+from repro.core.enumbase import enumerate_temporal_kcores_base
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.timer import Deadline
+
+
+def _clique(labels, t):
+    return [
+        (labels[i], labels[j], t)
+        for i in range(len(labels))
+        for j in range(i + 1, len(labels))
+    ]
+
+
+def _assert_all_engines_match_oracle(graph, k):
+    oracle = enumerate_bruteforce(graph, k)
+    for runner in (
+        enumerate_temporal_kcores,
+        enumerate_temporal_kcores_base,
+        enumerate_otcd,
+    ):
+        assert runner(graph, k).edge_sets() == oracle.edge_sets(), runner.__name__
+    return oracle
+
+
+class TestDegenerateShapes:
+    def test_single_timestamp_everything(self):
+        graph = TemporalGraph(_clique(list("abcde"), 1))
+        oracle = _assert_all_engines_match_oracle(graph, 3)
+        assert oracle.num_results == 1
+        assert next(iter(oracle)).tti == (1, 1)
+
+    def test_star_has_no_2core(self):
+        graph = TemporalGraph([("hub", f"leaf{i}", i + 1) for i in range(8)])
+        oracle = _assert_all_engines_match_oracle(graph, 2)
+        assert oracle.num_results == 0
+        assert compute_core_times(graph, 2).vct.size() == 0
+
+    def test_disconnected_simultaneous_cliques(self):
+        # Two vertex-disjoint triangles at the same time: they form ONE
+        # temporal k-core under Definition 2 (a maximal subgraph can be
+        # disconnected) with a shared TTI.
+        graph = TemporalGraph(_clique(list("abc"), 1) + _clique(list("xyz"), 1))
+        _assert_all_engines_match_oracle(graph, 2)
+
+    def test_disconnected_staggered_cliques(self):
+        graph = TemporalGraph(
+            _clique(list("abc"), 1) + _clique(list("xyz"), 3)
+        )
+        oracle = _assert_all_engines_match_oracle(graph, 2)
+        # Raw timestamps {1, 3} normalise to {1, 2}: the two isolated
+        # triangles plus their disconnected union.
+        assert set(oracle.by_tti()) == {(1, 1), (2, 2), (1, 2)}
+
+    def test_path_graph_no_cores(self):
+        graph = TemporalGraph([(i, i + 1, i + 1) for i in range(10)])
+        oracle = _assert_all_engines_match_oracle(graph, 2)
+        assert oracle.num_results == 0
+
+
+class TestDeepSkylines:
+    def test_chain_of_overlapping_cliques(self):
+        """Rolling single-timestamp cliques: every edge's unique minimal
+        window is its own timestamp, and unions of consecutive cliques
+        appear as additional cores."""
+        edges = []
+        labels = [f"n{i}" for i in range(10)]
+        for offset in range(6):
+            edges += _clique(labels[offset : offset + 4], offset + 1)
+        graph = TemporalGraph(edges)
+        oracle = _assert_all_engines_match_oracle(graph, 3)
+        assert oracle.num_results == 6 * 7 // 2  # every [a, b] is a TTI
+
+    def test_edge_with_two_minimal_windows(self):
+        """A temporal edge supported by two different triangles gets a
+        two-window skyline, like (v2, v3, 2) in the paper's Table II."""
+        edges = [
+            ("a", "b", 2), ("b", "c", 3), ("a", "c", 4),  # triangle 1
+            ("b", "d", 5), ("c", "d", 6),                 # triangle 2 via (b, c, 3)
+        ]
+        graph = TemporalGraph(edges)
+        _assert_all_engines_match_oracle(graph, 2)
+        skyline = compute_core_times(graph, 2).ecs
+        bc = next(
+            i for i, (u, v, t) in enumerate(graph.edges)
+            if {graph.label_of(u), graph.label_of(v)} == {"b", "c"}
+        )
+        # Raw times 2..6 normalise to 1..5.
+        assert skyline.windows_of(bc) == ((1, 3), (2, 5))
+
+    def test_core_vanishes_and_returns(self):
+        """The same vertex set forms a core, dissolves, and re-forms
+        later: core times must jump across the gap."""
+        edges = _clique(list("abc"), 1) + [("a", "x", 3)] + _clique(list("abc"), 5)
+        graph = TemporalGraph(edges)
+        oracle = _assert_all_engines_match_oracle(graph, 2)
+        vct = compute_core_times(graph, 2).vct
+        a = graph.id_of("a")
+        assert vct.core_time(a, 1) == 1
+        # Raw t=5 is the third distinct timestamp -> normalised 3.
+        assert graph.normalized_time_of(5) == 3
+        assert vct.core_time(a, 2) == 3
+        # Note: both triangle instances have the same *vertex* set but
+        # different edge sets, so both are reported.
+        assert oracle.num_results >= 2
+
+    def test_nested_windows_same_start(self):
+        """Growing cliques from one start time: strictly nested cores."""
+        edges = _clique(list("ab c".replace(" ", "")), 1)
+        edges += [("a", "d", 2), ("b", "d", 2)]
+        edges += [("c", "e", 3), ("d", "e", 3), ("a", "e", 3)]
+        graph = TemporalGraph(edges)
+        _assert_all_engines_match_oracle(graph, 2)
+
+
+class TestFailureInjection:
+    @pytest.fixture()
+    def busy_graph(self):
+        edges = []
+        for offset in range(8):
+            edges += _clique([f"v{offset + i}" for i in range(4)], offset + 1)
+        return TemporalGraph(edges)
+
+    @pytest.mark.parametrize(
+        "runner",
+        [
+            enumerate_temporal_kcores,
+            enumerate_temporal_kcores_base,
+            enumerate_otcd,
+            enumerate_bruteforce,
+        ],
+    )
+    def test_expired_deadline_yields_partial_result(self, busy_graph, runner):
+        result = runner(busy_graph, 2, deadline=Deadline(0.0))
+        assert not result.completed
+        assert result.num_results == 0
+
+    @pytest.mark.parametrize(
+        "runner",
+        [
+            enumerate_temporal_kcores,
+            enumerate_temporal_kcores_base,
+            enumerate_otcd,
+            enumerate_bruteforce,
+        ],
+    )
+    def test_generous_deadline_completes(self, busy_graph, runner):
+        result = runner(busy_graph, 2, deadline=Deadline(60.0))
+        assert result.completed
+        assert result.num_results > 0
+
+    def test_partial_results_are_valid_prefix(self, busy_graph):
+        """Whatever a deadline-aborted run did report must be correct."""
+
+        class _FlakyDeadline(Deadline):
+            def __init__(self, allowed_checks: int):
+                super().__init__(None)
+                self.allowed = allowed_checks
+
+            def expired(self) -> bool:  # fires after N checks
+                self.allowed -= 1
+                return self.allowed < 0
+
+        full = enumerate_temporal_kcores(busy_graph, 2)
+        partial = enumerate_temporal_kcores(
+            busy_graph, 2, deadline=_FlakyDeadline(3)
+        )
+        assert not partial.completed
+        assert partial.edge_sets() <= full.edge_sets()
+
+
+class TestNumericEdges:
+    def test_large_sparse_timestamps(self):
+        # Raw timestamps in the billions (unix epochs) normalise cleanly.
+        base = 1_700_000_000
+        edges = [
+            ("a", "b", base), ("b", "c", base + 86_400),
+            ("a", "c", base + 172_800),
+        ]
+        graph = TemporalGraph(edges)
+        assert graph.tmax == 3
+        result = enumerate_temporal_kcores(graph, 2)
+        assert result.num_results == 1
+        assert graph.raw_time_of(result.cores[0].tti[1]) == base + 172_800
+
+    def test_many_parallel_edges_single_pair(self):
+        graph = TemporalGraph([("a", "b", t) for t in range(1, 30)])
+        assert enumerate_temporal_kcores(graph, 2).num_results == 0

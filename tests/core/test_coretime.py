@@ -1,0 +1,155 @@
+"""Vertex core times: reference equivalence, monotonicity, index lookups."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coretime import (
+    VertexCoreTimeIndex,
+    compute_core_times,
+    compute_vertex_core_times,
+    core_time_by_rescan,
+)
+from repro.errors import InvalidParameterError
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import snapshot_k_core
+from repro.graph.temporal_graph import TemporalGraph
+
+
+def brute_force_core_time(graph, k, ts, u):
+    """Reference CT_ts(u): scan end times and peel every window."""
+    for te in range(ts, graph.tmax + 1):
+        members = snapshot_k_core(Snapshot.from_graph(graph, ts, te), k)
+        if u in members:
+            return te
+    return None
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_all_core_times_match(self, random_graph, k):
+        vct = compute_vertex_core_times(random_graph, k)
+        for ts in range(1, random_graph.tmax + 1):
+            for u in range(random_graph.num_vertices):
+                expected = brute_force_core_time(random_graph, k, ts, u)
+                assert vct.core_time(u, ts) == expected, (u, ts)
+
+    def test_rescan_matches_index(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for ts in (1, random_graph.tmax // 2, random_graph.tmax):
+            rescan = core_time_by_rescan(random_graph, 2, ts, random_graph.tmax)
+            for u in range(random_graph.num_vertices):
+                assert rescan.get(u) == vct.core_time(u, ts)
+
+
+class TestStructure:
+    def test_monotone_in_start_time(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for u in range(random_graph.num_vertices):
+            series = [
+                vct.core_time(u, ts) for ts in range(1, random_graph.tmax + 1)
+            ]
+            for earlier, later in zip(series, series[1:]):
+                if earlier is None:
+                    assert later is None  # infinity is absorbing
+                elif later is not None:
+                    assert later >= earlier
+
+    def test_core_time_at_least_start(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for u in range(random_graph.num_vertices):
+            for ts, ct in vct.entries_of(u):
+                assert ct is None or ct >= ts
+
+    def test_entries_strictly_increasing_starts(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for u in range(random_graph.num_vertices):
+            starts = [s for s, _ in vct.entries_of(u)]
+            assert starts == sorted(set(starts))
+
+    def test_entry_values_change_at_each_transition(self, random_graph):
+        vct = compute_vertex_core_times(random_graph, 2)
+        for u in range(random_graph.num_vertices):
+            values = [c for _, c in vct.entries_of(u)]
+            for a, b in zip(values, values[1:]):
+                assert a != b
+
+    def test_in_core_predicate(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2)
+        v1 = paper_graph.id_of("v1")
+        assert vct.in_core(v1, 1, 3)
+        assert not vct.in_core(v1, 1, 2)
+        assert vct.in_core(v1, 3, 5)
+        assert not vct.in_core(v1, 7, 7)
+
+    def test_size_counts_entries(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2)
+        assert vct.size() == sum(
+            len(vct.entries_of(u)) for u in range(paper_graph.num_vertices)
+        )
+
+
+class TestSubrangeAndEdgeCases:
+    def test_subrange_computation(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2, 2, 5)
+        v1 = paper_graph.id_of("v1")
+        # Within [2, 5]: CT_2(v1) = 3 still holds (window [2,3] core).
+        assert vct.core_time(v1, 2) == 3
+        # CT_4(v1) within span ending at 5: the v1 core at [4..5] needs
+        # the t=5 triangle, so core time is 5.
+        assert vct.core_time(v1, 4) == 5
+
+    def test_query_outside_span_raises(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 2, 2, 5)
+        with pytest.raises(InvalidParameterError):
+            vct.core_time(0, 1)
+        with pytest.raises(InvalidParameterError):
+            vct.core_time(0, 6)
+
+    def test_k_too_large_gives_empty_index(self, paper_graph):
+        vct = compute_vertex_core_times(paper_graph, 5)
+        assert vct.size() == 0
+        assert vct.core_time(0, 1) is None
+
+    def test_invalid_k_raises(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            compute_vertex_core_times(paper_graph, 0)
+
+    def test_single_timestamp_span(self):
+        g = TemporalGraph([("a", "b", 1), ("b", "c", 1), ("a", "c", 1)])
+        vct = compute_vertex_core_times(g, 2)
+        for label in "abc":
+            assert vct.core_time(g.id_of(label), 1) == 1
+
+    def test_vertex_never_in_core_has_no_entries(self, paper_graph):
+        # k=4: nothing in the example reaches a 4-core.
+        vct = compute_vertex_core_times(paper_graph, 4)
+        for u in range(paper_graph.num_vertices):
+            assert vct.entries_of(u) == []
+
+    def test_multi_edge_pair_counts_once(self):
+        # Parallel (a, b) edges never satisfy k=2 alone: degree counts
+        # distinct neighbours.
+        g = TemporalGraph([("a", "b", 1), ("a", "b", 2), ("a", "b", 3)])
+        vct = compute_vertex_core_times(g, 2)
+        assert vct.size() == 0
+
+    def test_multi_edge_triangle(self):
+        # Triangle completed at t=3; repeats of (a,b) shouldn't distort.
+        g = TemporalGraph(
+            [("a", "b", 1), ("a", "b", 2), ("b", "c", 2), ("a", "c", 3)]
+        )
+        vct = compute_vertex_core_times(g, 2)
+        for label in "abc":
+            assert vct.core_time(g.id_of(label), 1) == 3
+
+    def test_with_skyline_flag_off(self, paper_graph):
+        result = compute_core_times(paper_graph, 2, with_skyline=False)
+        assert result.ecs is None
+        assert result.vct.size() > 0
+
+    def test_index_type(self, paper_graph):
+        result = compute_core_times(paper_graph, 2)
+        assert isinstance(result.vct, VertexCoreTimeIndex)
+        assert result.vct.k == 2
+        assert result.vct.span == (1, 7)

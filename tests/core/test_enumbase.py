@@ -1,0 +1,89 @@
+"""EnumBase (Algorithm 3): equivalence with Enum and the oracle."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines.bruteforce import enumerate_bruteforce
+from repro.core.coretime import compute_core_times
+from repro.core.enumbase import enumerate_temporal_kcores_base
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.errors import InvalidParameterError
+from repro.utils.timer import Deadline
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_matches_oracle(self, random_graph, k):
+        base = enumerate_temporal_kcores_base(random_graph, k)
+        oracle = enumerate_bruteforce(random_graph, k)
+        assert base.edge_sets() == oracle.edge_sets()
+
+    def test_matches_enum_with_ttis(self, random_graph):
+        base = enumerate_temporal_kcores_base(random_graph, 2)
+        enum = enumerate_temporal_kcores(random_graph, 2)
+        assert base.edge_sets() == enum.edge_sets()
+        assert set(base.by_tti()) == set(enum.by_tti())
+
+    def test_subrange(self, paper_graph):
+        base = enumerate_temporal_kcores_base(paper_graph, 2, 1, 4)
+        assert set(base.by_tti()) == {(1, 4), (2, 3)}
+
+    def test_no_duplicates(self, random_graph):
+        base = enumerate_temporal_kcores_base(random_graph, 2)
+        assert len(base.edge_sets()) == base.num_results
+
+
+class TestModes:
+    def test_streaming_counts(self, random_graph):
+        collected = enumerate_temporal_kcores_base(random_graph, 2)
+        streamed = enumerate_temporal_kcores_base(random_graph, 2, collect=False)
+        assert streamed.num_results == collected.num_results
+        assert streamed.total_edges == collected.total_edges
+
+    def test_precomputed_skyline(self, paper_graph):
+        skyline = compute_core_times(paper_graph, 2).ecs
+        result = enumerate_temporal_kcores_base(paper_graph, 2, skyline=skyline)
+        assert result.num_results == 13
+
+    def test_mismatched_skyline_rejected(self, paper_graph):
+        skyline = compute_core_times(paper_graph, 2, 1, 4).ecs
+        with pytest.raises(InvalidParameterError):
+            enumerate_temporal_kcores_base(paper_graph, 2, skyline=skyline)
+
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            enumerate_temporal_kcores_base(paper_graph, -1)
+
+    def test_deadline(self, random_graph):
+        result = enumerate_temporal_kcores_base(
+            random_graph, 2, deadline=Deadline(0.0)
+        )
+        assert not result.completed
+
+    def test_algorithm_label(self, paper_graph):
+        assert enumerate_temporal_kcores_base(paper_graph, 2).algorithm == "enumbase"
+
+
+class TestMemoryBudget:
+    def test_budget_exceeded_marks_incomplete(self, paper_graph):
+        result = enumerate_temporal_kcores_base(
+            paper_graph, 2, max_stored_edges=5
+        )
+        assert not result.completed
+        assert result.num_results < 13
+
+    def test_generous_budget_completes(self, paper_graph):
+        result = enumerate_temporal_kcores_base(
+            paper_graph, 2, max_stored_edges=10_000
+        )
+        assert result.completed
+        assert result.num_results == 13
+
+    def test_partial_output_is_valid_prefix(self, random_graph):
+        full = enumerate_temporal_kcores_base(random_graph, 2)
+        partial = enumerate_temporal_kcores_base(
+            random_graph, 2, max_stored_edges=20
+        )
+        if not partial.completed:
+            assert partial.edge_sets() <= full.edge_sets()

@@ -1,0 +1,112 @@
+"""CoreIndex: prebuilt-index queries vs fresh runs; serialisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.index import CoreIndex, load_skyline
+from repro.errors import InvalidParameterError
+
+
+class TestIndexQueries:
+    def test_every_subrange_matches_fresh(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        tmax = paper_graph.tmax
+        for ts in range(1, tmax + 1):
+            for te in range(ts, tmax + 1):
+                via_index = index.query(ts, te)
+                fresh = enumerate_temporal_kcores(paper_graph, 2, ts, te)
+                assert via_index.edge_sets() == fresh.edge_sets(), (ts, te)
+
+    def test_random_graph_subranges(self, random_graph):
+        index = CoreIndex(random_graph, 2)
+        tmax = random_graph.tmax
+        for ts, te in [(1, tmax), (2, tmax - 1), (tmax // 2, tmax)]:
+            if ts > te:
+                continue
+            assert (
+                index.query(ts, te).edge_sets()
+                == enumerate_temporal_kcores(random_graph, 2, ts, te).edge_sets()
+            )
+
+    def test_historical_core(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        members = index.historical_core(1, 4)
+        assert {paper_graph.label_of(u) for u in members} == {
+            "v1", "v2", "v3", "v4", "v9",
+        }
+
+    def test_invalid_k(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            CoreIndex(paper_graph, 0)
+
+    def test_streaming_query(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        result = index.query(1, 7, collect=False)
+        assert result.cores is None
+        assert result.num_results == 13
+
+
+class TestSerialisation:
+    def test_round_trip(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        text = index.dumps_skyline()
+        loaded = load_skyline(text)
+        assert loaded.k == index.ecs.k
+        assert loaded.span == index.ecs.span
+        for eid in range(paper_graph.num_edges):
+            assert loaded.windows_of(eid) == index.ecs.windows_of(eid)
+
+    def test_file_round_trip(self, tmp_path, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        path = tmp_path / "skyline.txt"
+        index.dump_skyline(path)
+        loaded = load_skyline(path.read_text())
+        assert loaded.size() == index.ecs.size()
+
+    def test_loaded_skyline_usable_for_queries(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        loaded = load_skyline(index.dumps_skyline())
+        result = enumerate_temporal_kcores(paper_graph, 2, skyline=loaded)
+        assert result.num_results == 13
+
+    def test_reject_garbage(self):
+        with pytest.raises(InvalidParameterError):
+            load_skyline("not a skyline")
+
+
+class TestVctSerialisation:
+    def test_round_trip(self, paper_graph):
+        from repro.core.index import load_vct
+
+        index = CoreIndex(paper_graph, 2)
+        loaded = load_vct(index.dumps_vct())
+        assert loaded.k == 2
+        assert loaded.span == index.vct.span
+        for u in range(paper_graph.num_vertices):
+            assert loaded.entries_of(u) == index.vct.entries_of(u)
+
+    def test_infinite_entries_survive(self, paper_graph):
+        from repro.core.index import load_vct
+
+        index = CoreIndex(paper_graph, 2)
+        loaded = load_vct(index.dumps_vct())
+        v9 = paper_graph.id_of("v9")
+        assert loaded.core_time(v9, 2) is None
+        assert loaded.core_time(v9, 1) == 4
+
+    def test_loaded_vct_answers_queries(self, random_graph):
+        from repro.core.index import load_vct
+
+        index = CoreIndex(random_graph, 2)
+        loaded = load_vct(index.dumps_vct())
+        for ts in range(1, random_graph.tmax + 1):
+            for u in range(random_graph.num_vertices):
+                assert loaded.core_time(u, ts) == index.vct.core_time(u, ts)
+
+    def test_reject_garbage(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError):
+            load_vct("nope")

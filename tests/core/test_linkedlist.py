@@ -1,0 +1,91 @@
+"""WindowList (the doubly linked L_ts) unit tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.linkedlist import WindowList
+from repro.core.windows import ActiveWindow
+
+
+def _w(start, end, edge_id=0, active=1):
+    return ActiveWindow(start, end, edge_id, active)
+
+
+class TestWindowList:
+    def test_empty(self):
+        lst = WindowList()
+        assert lst.is_empty()
+        assert lst.first is None
+        assert lst.to_list() == []
+
+    def test_insert_sorted_batch_into_empty(self):
+        lst = WindowList()
+        batch = [_w(1, 2), _w(1, 4), _w(2, 5)]
+        lst.insert_sorted_batch(batch)
+        assert [w.end for w in lst] == [2, 4, 5]
+
+    def test_interleaved_batches_stay_sorted(self):
+        lst = WindowList()
+        lst.insert_sorted_batch([_w(1, 2), _w(1, 6)])
+        lst.insert_sorted_batch([_w(2, 1), _w(2, 4), _w(2, 9)])
+        assert [w.end for w in lst] == [1, 2, 4, 6, 9]
+        lst.check_sorted()
+
+    def test_equal_end_times_coexist(self):
+        lst = WindowList()
+        lst.insert_sorted_batch([_w(1, 3), _w(2, 3)])
+        lst.insert_sorted_batch([_w(3, 3)])
+        assert [w.end for w in lst] == [3, 3, 3]
+
+    def test_delete_middle(self):
+        lst = WindowList()
+        a, b, c = _w(1, 1), _w(1, 2), _w(1, 3)
+        lst.insert_sorted_batch([a, b, c])
+        lst.delete(b)
+        assert lst.to_list() == [a, c]
+        assert a.next is c and c.prev is a
+
+    def test_delete_head_and_tail(self):
+        lst = WindowList()
+        a, b, c = _w(1, 1), _w(1, 2), _w(1, 3)
+        lst.insert_sorted_batch([a, b, c])
+        lst.delete(a)
+        lst.delete(c)
+        assert lst.to_list() == [b]
+
+    def test_delete_only_element(self):
+        lst = WindowList()
+        a = _w(1, 1)
+        lst.insert_sorted_batch([a])
+        lst.delete(a)
+        assert lst.is_empty()
+
+    def test_delete_unlinked_raises(self):
+        lst = WindowList()
+        with pytest.raises(ValueError):
+            lst.delete(_w(1, 1))
+
+    def test_deleted_node_is_detached(self):
+        lst = WindowList()
+        a, b = _w(1, 1), _w(1, 2)
+        lst.insert_sorted_batch([a, b])
+        lst.delete(a)
+        assert a.prev is None and a.next is None
+
+    def test_check_sorted_catches_violation(self):
+        lst = WindowList()
+        a, b = _w(1, 5), _w(1, 2)
+        # Force a bad order through the low-level primitive.
+        lst.insert_sorted_batch([a])
+        lst.insert_after(b, a)
+        with pytest.raises(AssertionError):
+            lst.check_sorted()
+
+    def test_reinsert_after_delete(self):
+        lst = WindowList()
+        a, b = _w(1, 1), _w(1, 3)
+        lst.insert_sorted_batch([a, b])
+        lst.delete(a)
+        lst.insert_sorted_batch([_w(2, 2)])
+        assert [w.end for w in lst] == [2, 3]

@@ -1,0 +1,112 @@
+"""StreamingCoreService: ingestion, staleness policy, raw-time queries."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.maintenance import StreamingCoreService
+from repro.datasets.paper_example import PAPER_EXAMPLE_EDGES
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture()
+def service():
+    return StreamingCoreService(2, PAPER_EXAMPLE_EDGES, max_pending=3)
+
+
+class TestIngestion:
+    def test_append_and_count(self, service):
+        assert service.num_edges == 14
+        service.append("v1", "v9", 8)
+        assert service.num_edges == 15
+        assert service.num_pending == 15  # nothing built yet
+
+    def test_out_of_order_rejected(self, service):
+        with pytest.raises(InvalidParameterError):
+            service.append("v1", "v9", 3)
+
+    def test_equal_timestamp_allowed(self, service):
+        service.append("v1", "v9", 7)
+        assert service.num_edges == 15
+
+    def test_extend(self):
+        svc = StreamingCoreService(2)
+        svc.extend([("a", "b", 1), ("b", "c", 2)])
+        assert svc.num_edges == 2
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService(0)
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService(2, max_pending=-1)
+
+    def test_refresh_without_edges(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService(2).refresh()
+
+
+class TestStaleness:
+    def test_first_query_builds(self, service):
+        assert service.is_stale
+        result = service.query(1, 4)
+        assert result.num_results == 2
+        assert service.num_rebuilds == 1
+        assert not service.is_stale
+
+    def test_small_backlog_tolerated(self, service):
+        service.query(1, 4)
+        service.append("v1", "v9", 8)
+        service.query(1, 4)  # within max_pending: no rebuild
+        assert service.num_rebuilds == 1
+        assert service.num_pending == 1
+
+    def test_backlog_over_budget_triggers_rebuild(self, service):
+        service.query(1, 4)
+        for i in range(4):  # exceeds max_pending=3
+            service.append("v1", "v9", 8 + i)
+        service.query(1, 4)
+        assert service.num_rebuilds == 2
+        assert service.num_pending == 0
+
+    def test_strict_forces_freshness(self, service):
+        service.query(1, 4)
+        service.append("v5", "v9", 8)
+        result = service.query(1, 4, strict=True)
+        assert service.num_rebuilds == 2
+        assert result.num_results == 2
+
+    def test_answers_match_offline_pipeline(self, service):
+        """After any refresh the answers equal a from-scratch run."""
+        service.extend([("a", "b", 8), ("b", "c", 8), ("a", "c", 9)])
+        result = service.query(1, service.graph.tmax, strict=True)
+        offline = enumerate_temporal_kcores(
+            TemporalGraph(list(PAPER_EXAMPLE_EDGES)
+                          + [("a", "b", 8), ("b", "c", 8), ("a", "c", 9)]),
+            2,
+        )
+        assert result.edge_sets() == offline.edge_sets()
+
+
+class TestRawTimeQueries:
+    def test_raw_range_snaps_inward(self):
+        svc = StreamingCoreService(
+            2, [("a", "b", 100), ("b", "c", 200), ("a", "c", 300)]
+        )
+        result = svc.query_raw(50, 350)
+        assert result.num_results == 1
+
+    def test_raw_range_excludes_outside(self):
+        svc = StreamingCoreService(
+            2, [("a", "b", 100), ("b", "c", 200), ("a", "c", 300)]
+        )
+        result = svc.query_raw(100, 200)  # triangle incomplete here
+        assert result.num_results == 0
+
+    def test_empty_raw_range_raises(self):
+        svc = StreamingCoreService(2, [("a", "b", 100)])
+        with pytest.raises(InvalidParameterError):
+            svc.query_raw(500, 600)
+        with pytest.raises(InvalidParameterError):
+            svc.query_raw(600, 500)

@@ -1,0 +1,60 @@
+"""TimeRangeCoreQuery: engine routing, validation, timeouts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.query import ENGINES, TimeRangeCoreQuery
+from repro.errors import InvalidParameterError
+
+
+class TestRouting:
+    @pytest.mark.parametrize("engine", ENGINES)
+    def test_all_engines_agree(self, paper_graph, engine):
+        result = TimeRangeCoreQuery(
+            paper_graph, k=2, time_range=(1, 4), engine=engine
+        ).run()
+        reference = TimeRangeCoreQuery(paper_graph, k=2, time_range=(1, 4)).run()
+        assert result.edge_sets() == reference.edge_sets()
+
+    def test_default_range_is_full_span(self, paper_graph):
+        query = TimeRangeCoreQuery(paper_graph, k=2)
+        assert query.time_range == (1, 7)
+        assert query.run().num_results == 13
+
+    def test_engine_recorded_on_result(self, paper_graph):
+        result = TimeRangeCoreQuery(paper_graph, k=2, engine="otcd").run()
+        assert result.algorithm == "otcd"
+
+    def test_core_times_accessor(self, paper_graph):
+        query = TimeRangeCoreQuery(paper_graph, k=2, time_range=(1, 4))
+        ct = query.core_times()
+        assert ct.vct.span == (1, 4)
+        assert ct.ecs is not None
+
+
+class TestValidation:
+    def test_unknown_engine(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            TimeRangeCoreQuery(paper_graph, k=2, engine="magic")
+
+    def test_bad_k(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            TimeRangeCoreQuery(paper_graph, k=0)
+
+    def test_bad_range(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            TimeRangeCoreQuery(paper_graph, k=2, time_range=(0, 4))
+        with pytest.raises(InvalidParameterError):
+            TimeRangeCoreQuery(paper_graph, k=2, time_range=(5, 4))
+
+    def test_timeout_marks_incomplete(self, paper_graph):
+        result = TimeRangeCoreQuery(
+            paper_graph, k=2, engine="bruteforce", timeout=0.0
+        ).run()
+        assert not result.completed
+
+    def test_collect_false_streams(self, paper_graph):
+        result = TimeRangeCoreQuery(paper_graph, k=2, collect=False).run()
+        assert result.cores is None
+        assert result.num_results == 13

@@ -1,0 +1,69 @@
+"""Result containers: TemporalKCore and EnumerationResult."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.results import EnumerationResult, TemporalKCore
+
+
+class TestTemporalKCore:
+    def test_basics(self, paper_graph):
+        core = TemporalKCore((2, 3), (1, 3, 4))
+        assert core.num_edges == 3
+        assert core.edge_set() == frozenset({1, 3, 4})
+
+    def test_edge_triples(self, paper_graph):
+        core = TemporalKCore((1, 1), (0,))
+        triples = core.edge_triples(paper_graph)
+        assert len(triples) == 1
+        assert triples[0][2] == 1
+
+    def test_vertices_and_labels(self, paper_graph):
+        # Edge 0 is (v2, v9, 1).
+        core = TemporalKCore((1, 1), (0,))
+        labels = core.vertex_labels(paper_graph)
+        assert labels == {"v2", "v9"}
+        assert len(core.vertices(paper_graph)) == 2
+
+    def test_frozen(self):
+        core = TemporalKCore((1, 2), (0,))
+        with pytest.raises(AttributeError):
+            core.tti = (3, 4)  # type: ignore[misc]
+
+
+class TestEnumerationResult:
+    def test_record_collecting(self):
+        result = EnumerationResult("x", 2, (1, 5))
+        result.record(1, 3, [10, 11], collect=True)
+        result.record(2, 4, [10, 11, 12], collect=True)
+        assert result.num_results == 2
+        assert result.total_edges == 5
+        assert len(result) == 2
+        assert [c.tti for c in result] == [(1, 3), (2, 4)]
+
+    def test_record_copies_edge_list(self):
+        result = EnumerationResult("x", 2, (1, 5))
+        live = [1, 2]
+        result.record(1, 2, live, collect=True)
+        live.append(3)
+        assert result.cores[0].edge_ids == (1, 2)
+
+    def test_streaming_mode(self):
+        result = EnumerationResult("x", 2, (1, 5))
+        result.record(1, 3, [10], collect=False)
+        assert result.cores is None
+        assert result.num_results == 1
+        with pytest.raises(ValueError):
+            result.edge_sets()
+        with pytest.raises(ValueError):
+            result.by_tti()
+
+    def test_by_tti(self):
+        result = EnumerationResult("x", 2, (1, 5))
+        result.record(1, 3, [10], collect=True)
+        result.record(2, 5, [11], collect=True)
+        assert set(result.by_tti()) == {(1, 3), (2, 5)}
+
+    def test_completed_flag_defaults_true(self):
+        assert EnumerationResult("x", 2, (1, 5)).completed

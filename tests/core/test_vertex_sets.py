@@ -1,0 +1,53 @@
+"""Vertex-set view (the paper's future-work feature)."""
+
+from __future__ import annotations
+
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.vertex_sets import (
+    distinct_vertex_sets,
+    enumerate_vertex_sets,
+    vertex_set_compression,
+)
+
+
+class TestVertexSets:
+    def test_paper_example_range_1_4(self, paper_graph):
+        grouped = enumerate_vertex_sets(paper_graph, 2, 1, 4)
+        as_labels = {
+            frozenset(paper_graph.label_of(u) for u in vs): ttis
+            for vs, ttis in grouped.items()
+        }
+        assert as_labels == {
+            frozenset({"v1", "v2", "v4"}): [(2, 3)],
+            frozenset({"v1", "v2", "v3", "v4", "v9"}): [(1, 4)],
+        }
+
+    def test_groups_cover_all_results(self, random_graph):
+        result = enumerate_temporal_kcores(random_graph, 2)
+        grouped = distinct_vertex_sets(random_graph, result)
+        assert sum(len(ttis) for ttis in grouped.values()) == result.num_results
+
+    def test_ttis_sorted(self, random_graph):
+        result = enumerate_temporal_kcores(random_graph, 2)
+        for ttis in distinct_vertex_sets(random_graph, result).values():
+            assert ttis == sorted(ttis)
+
+    def test_accepts_core_iterable(self, paper_graph):
+        result = enumerate_temporal_kcores(paper_graph, 2)
+        grouped = distinct_vertex_sets(paper_graph, list(result))
+        assert grouped
+
+    def test_compression_ratio_bounds(self, random_graph):
+        result = enumerate_temporal_kcores(random_graph, 2)
+        ratio = vertex_set_compression(random_graph, result)
+        assert 0 < ratio <= 1
+
+    def test_compression_compresses_on_random_graphs(self, random_graph):
+        """Distinct vertex sets are never more numerous than edge sets."""
+        result = enumerate_temporal_kcores(random_graph, 2)
+        grouped = distinct_vertex_sets(random_graph, result)
+        assert len(grouped) <= result.num_results
+
+    def test_empty_result_ratio_is_one(self, paper_graph):
+        result = enumerate_temporal_kcores(paper_graph, 9)
+        assert vertex_set_compression(paper_graph, result) == 1.0

@@ -1,0 +1,135 @@
+"""Edge core window skylines: minimality, activation times, restriction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.coretime import compute_core_times
+from repro.core.windows import EdgeCoreSkyline, build_active_windows
+from repro.errors import InvalidParameterError
+from repro.graph.validation import exact_core_edge_ids
+
+
+def _skyline(graph, k):
+    result = compute_core_times(graph, k)
+    assert result.ecs is not None
+    return result.ecs
+
+
+class TestMinimality:
+    """Every reported window satisfies Definition 5, verified by peeling."""
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_windows_are_core_windows(self, random_graph, k):
+        skyline = _skyline(random_graph, k)
+        for eid, (t1, t2) in skyline:
+            core = exact_core_edge_ids(random_graph, k, t1, t2)
+            assert eid in core, f"edge {eid} not in core of [{t1}, {t2}]"
+
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_windows_are_minimal(self, random_graph, k):
+        skyline = _skyline(random_graph, k)
+        for eid, (t1, t2) in skyline:
+            if t2 > t1:
+                assert eid not in exact_core_edge_ids(random_graph, k, t1 + 1, t2)
+                assert eid not in exact_core_edge_ids(random_graph, k, t1, t2 - 1)
+
+    def test_completeness_against_bruteforce(self, random_graph):
+        """Every brute-force-minimal window appears in the skyline."""
+        k = 2
+        skyline = _skyline(random_graph, k)
+        tmax = random_graph.tmax
+        for eid in range(random_graph.num_edges):
+            expected = set()
+            for t1 in range(1, tmax + 1):
+                for t2 in range(t1, tmax + 1):
+                    if eid not in exact_core_edge_ids(random_graph, k, t1, t2):
+                        continue
+                    sub_ok = (
+                        t2 > t1
+                        and (
+                            eid in exact_core_edge_ids(random_graph, k, t1 + 1, t2)
+                            or eid in exact_core_edge_ids(random_graph, k, t1, t2 - 1)
+                        )
+                    )
+                    if not sub_ok:
+                        expected.add((t1, t2))
+            assert set(skyline.windows_of(eid)) == expected
+
+
+class TestSkylineStructure:
+    def test_invariant_check_passes(self, random_graph):
+        _skyline(random_graph, 2).check_skyline_invariant()
+
+    def test_window_contains_edge_timestamp(self, random_graph):
+        skyline = _skyline(random_graph, 2)
+        for eid, (t1, t2) in skyline:
+            t = random_graph.edges[eid].t
+            assert t1 <= t <= t2
+
+    def test_size(self, paper_graph):
+        skyline = _skyline(paper_graph, 2)
+        from repro.datasets.paper_example import PAPER_ECS_K2
+
+        assert skyline.size() == sum(len(w) for w in PAPER_ECS_K2.values())
+
+    def test_invariant_catches_bad_span(self):
+        skyline = EdgeCoreSkyline([((0, 2),)], 2, (1, 3))
+        with pytest.raises(AssertionError):
+            skyline.check_skyline_invariant()
+
+    def test_invariant_catches_non_monotone(self):
+        skyline = EdgeCoreSkyline([((1, 3), (2, 3))], 2, (1, 3))
+        with pytest.raises(AssertionError):
+            skyline.check_skyline_invariant()
+
+
+class TestActiveWindows:
+    def test_first_window_active_at_span_start(self, paper_graph):
+        skyline = _skyline(paper_graph, 2)
+        windows = build_active_windows(skyline, 1)
+        by_edge: dict[int, list] = {}
+        for w in windows:
+            by_edge.setdefault(w.edge_id, []).append(w)
+        for edge_windows in by_edge.values():
+            assert edge_windows[0].active == 1
+
+    def test_example6_active_time(self, paper_graph):
+        """Example 6: window [3, 5] of edge (v1, v2, 3) activates at 3."""
+        skyline = _skyline(paper_graph, 2)
+        windows = build_active_windows(skyline, 1)
+        eid = next(
+            i for i, (u, v, t) in enumerate(paper_graph.edges)
+            if {paper_graph.label_of(u), paper_graph.label_of(v)} == {"v1", "v2"}
+        )
+        target = [w for w in windows if w.edge_id == eid and (w.start, w.end) == (3, 5)]
+        assert len(target) == 1
+        assert target[0].active == 3
+
+    def test_active_never_exceeds_start(self, random_graph):
+        skyline = _skyline(random_graph, 2)
+        for w in build_active_windows(skyline, 1):
+            assert w.active <= w.start
+
+
+class TestRestriction:
+    def test_restricted_windows_inside_range(self, paper_graph):
+        skyline = _skyline(paper_graph, 2)
+        narrowed = skyline.restricted_to(2, 5)
+        for _, (t1, t2) in narrowed:
+            assert 2 <= t1 and t2 <= 5
+        narrowed.check_skyline_invariant()
+
+    def test_restriction_equals_fresh_computation(self, random_graph):
+        whole = _skyline(random_graph, 2)
+        tmax = random_graph.tmax
+        ts, te = 2, max(2, tmax - 2)
+        fresh = compute_core_times(random_graph, 2, ts, te).ecs
+        narrowed = whole.restricted_to(ts, te)
+        for eid in range(random_graph.num_edges):
+            assert narrowed.windows_of(eid) == fresh.windows_of(eid)
+
+    def test_restriction_outside_span_raises(self, paper_graph):
+        skyline = _skyline(paper_graph, 2)
+        with pytest.raises(InvalidParameterError):
+            skyline.restricted_to(0, 5)

@@ -1,0 +1,112 @@
+"""Dataset registry: recipes, aliases, shape properties."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import (
+    ALL_DATASETS,
+    FIG4_DATASETS,
+    PAPER_STATS,
+    RECIPES,
+    VARIED_DATASETS,
+    canonical_name,
+    load_dataset,
+    paper_stats,
+    recipe,
+)
+from repro.datasets.stats import compute_stats
+from repro.errors import DatasetError
+from repro.graph.validation import check_graph_invariants
+
+
+class TestRegistry:
+    def test_fourteen_datasets(self):
+        assert len(ALL_DATASETS) == 14
+        assert set(PAPER_STATS) == set(RECIPES)
+
+    def test_subsets_are_registered(self):
+        assert set(FIG4_DATASETS) <= set(ALL_DATASETS)
+        assert set(VARIED_DATASETS) <= set(ALL_DATASETS)
+
+    def test_aliases_resolve(self):
+        assert canonical_name("MF") == "MO"
+        assert canonical_name("ER") == "EN"
+        assert canonical_name("cm") == "CM"
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetError):
+            canonical_name("XX")
+
+    def test_load_is_cached(self):
+        assert load_dataset("FB") is load_dataset("FB")
+
+    def test_recipe_and_paper_stats_accessors(self):
+        assert recipe("CM").name == "CM"
+        assert paper_stats("CM").name == "CollegeMsg"
+
+    @pytest.mark.parametrize("name", ["FB", "CM", "PL"])
+    def test_generated_graphs_valid(self, name):
+        check_graph_invariants(load_dataset(name))
+
+
+class TestShapeProperties:
+    """The scaled recipes preserve the paper's dataset shape."""
+
+    def test_edge_counts_ascend_like_table3(self):
+        sizes = [load_dataset(name).num_edges for name in ALL_DATASETS]
+        # Allow local wobble but demand the global trend: the last
+        # dataset is the largest and the first is the smallest.
+        assert sizes[0] == min(sizes)
+        assert sizes[-1] == max(sizes)
+
+    def test_few_timestamp_datasets(self):
+        """WK/PL/YT have dramatically fewer timestamps per edge."""
+        for name in ("WK", "PL", "YT"):
+            graph = load_dataset(name)
+            assert graph.tmax / graph.num_edges < 0.02, name
+        for name in ("FB", "CM", "WT"):
+            graph = load_dataset(name)
+            assert graph.tmax / graph.num_edges > 0.2, name
+
+    @pytest.mark.parametrize("name", list(VARIED_DATASETS))
+    def test_varied_datasets_have_usable_kmax(self, name):
+        """k sweeps (10-40% kmax) need at least 4 distinct k values."""
+        stats = compute_stats(load_dataset(name))
+        ks = {max(2, round(stats.kmax * f)) for f in (0.1, 0.2, 0.3, 0.4)}
+        assert len(ks) >= 3, (name, stats.kmax)
+
+    @pytest.mark.parametrize("name", ["CM", "EM", "WT", "PL"])
+    def test_every_dataset_contains_cores(self, name):
+        """Default workloads must find non-empty temporal k-cores."""
+        from repro.bench.workloads import build_workload
+
+        graph = load_dataset(name)
+        workload = build_workload(graph, name, num_queries=2, seed=1)
+        assert workload.num_queries == 2
+
+
+class TestAllRecipesFidelity:
+    """Every registry dataset generates, validates and is reproducible."""
+
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("name", list(ALL_DATASETS))
+    def test_generation_matches_recipe(self, name):
+        graph = load_dataset(name)
+        config = recipe(name)
+        assert graph.num_edges == config.total_edges()
+        assert graph.tmax <= config.tmax
+        assert graph.num_vertices <= config.num_vertices
+
+    @_pytest.mark.parametrize("name", list(ALL_DATASETS))
+    def test_regeneration_is_deterministic(self, name):
+        from repro.graph.generators import generate_bursty
+
+        again = generate_bursty(recipe(name))
+        assert again.edges == load_dataset(name).edges
+
+    @_pytest.mark.parametrize("name", list(ALL_DATASETS))
+    def test_kmax_supports_default_k(self, name):
+        stats = compute_stats(load_dataset(name))
+        assert stats.kmax >= 4, f"{name}: kmax too small for the sweeps"

@@ -1,0 +1,39 @@
+"""Dataset statistics and the paper's fractional parameter helpers."""
+
+from __future__ import annotations
+
+from repro.datasets.paper_example import paper_example_graph
+from repro.datasets.stats import compute_stats, default_k, default_range_width
+
+
+class TestComputeStats:
+    def test_paper_example_stats(self):
+        stats = compute_stats(paper_example_graph())
+        assert stats.num_vertices == 9
+        assert stats.num_edges == 14
+        assert stats.tmax == 7
+        assert stats.kmax == 2
+        assert stats.as_row() == (9, 14, 7, 2)
+
+    def test_avg_degree(self):
+        stats = compute_stats(paper_example_graph())
+        assert stats.avg_degree == 2 * 14 / 9
+
+
+class TestDefaults:
+    def test_default_k_fractions(self):
+        stats = compute_stats(paper_example_graph())
+        assert default_k(stats, 0.3) == 2  # clamped to the minimum of 2
+        assert default_k(stats, 1.0) == 2
+
+    def test_default_k_rounds(self):
+        class FakeStats:
+            kmax = 21
+
+        assert default_k(FakeStats, 0.3) == 6
+        assert default_k(FakeStats, 0.1) == 2
+
+    def test_default_range_width(self):
+        stats = compute_stats(paper_example_graph())
+        assert default_range_width(stats, 0.1) == 1
+        assert default_range_width(stats, 0.5) == 4

@@ -1,0 +1,146 @@
+"""Synthetic generator behaviour: determinism, sizing, validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.generators import (
+    BurstyConfig,
+    chung_lu_temporal,
+    generate_bursty,
+    planted_bursts,
+    uniform_random_temporal,
+)
+from repro.graph.validation import check_graph_invariants
+
+
+class TestChungLu:
+    def test_edge_count_exact(self):
+        triples = chung_lu_temporal(50, 400, tmax=100, seed=1)
+        assert len(triples) == 400
+
+    def test_no_self_loops(self):
+        triples = chung_lu_temporal(20, 300, tmax=50, seed=2)
+        assert all(u != v for u, v, _ in triples)
+
+    def test_timestamps_in_range(self):
+        triples = chung_lu_temporal(20, 300, tmax=50, seed=3)
+        assert all(1 <= t <= 50 for _, _, t in triples)
+
+    def test_deterministic_under_seed(self):
+        a = chung_lu_temporal(30, 200, tmax=40, seed=9)
+        b = chung_lu_temporal(30, 200, tmax=40, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = chung_lu_temporal(30, 200, tmax=40, seed=1)
+        b = chung_lu_temporal(30, 200, tmax=40, seed=2)
+        assert a != b
+
+    def test_repeat_rate_produces_parallel_edges(self):
+        triples = chung_lu_temporal(30, 500, tmax=60, seed=4, repeat_rate=0.6)
+        pairs = {(min(u, v), max(u, v)) for u, v, _ in triples}
+        assert len(pairs) < 500 * 0.8  # clear pair repetition
+
+    def test_degree_skew(self):
+        triples = chung_lu_temporal(200, 2000, tmax=100, seed=5, exponent=2.1)
+        degree: dict[int, int] = {}
+        for u, v, _ in triples:
+            degree[u] = degree.get(u, 0) + 1
+            degree[v] = degree.get(v, 0) + 1
+        top = max(degree.values())
+        mean = sum(degree.values()) / len(degree)
+        assert top > 5 * mean  # heavy tail
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"num_vertices": 1, "num_edges": 10, "tmax": 5},
+            {"num_vertices": 10, "num_edges": 10, "tmax": 0},
+            {"num_vertices": 10, "num_edges": 10, "tmax": 5, "repeat_rate": 1.0},
+            {"num_vertices": 10, "num_edges": 10, "tmax": 5, "exponent": 1.0},
+        ],
+    )
+    def test_parameter_validation(self, kwargs):
+        with pytest.raises(InvalidParameterError):
+            chung_lu_temporal(**{"seed": 0, **kwargs})
+
+
+class TestPlantedBursts:
+    def test_burst_edges_confined_to_group_and_window(self):
+        triples = planted_bursts(
+            100, tmax=50, num_bursts=1, burst_size=8, burst_width=5,
+            edges_per_burst=40, seed=7,
+        )
+        vertices = {u for u, _, _ in triples} | {v for _, v, _ in triples}
+        times = {t for _, _, t in triples}
+        assert len(vertices) <= 8
+        assert max(times) - min(times) < 5
+
+    def test_burst_density_supports_core(self):
+        # 60 samples over 8 vertices: expect a dense group with min
+        # distinct degree >= 3.
+        triples = planted_bursts(
+            50, tmax=20, num_bursts=1, burst_size=8, burst_width=3,
+            edges_per_burst=60, seed=8,
+        )
+        neighbours: dict[int, set[int]] = {}
+        for u, v, _ in triples:
+            neighbours.setdefault(u, set()).add(v)
+            neighbours.setdefault(v, set()).add(u)
+        assert min(len(s) for s in neighbours.values()) >= 3
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            planted_bursts(5, tmax=10, num_bursts=1, burst_size=6,
+                           burst_width=2, edges_per_burst=5)
+        with pytest.raises(InvalidParameterError):
+            planted_bursts(50, tmax=10, num_bursts=1, burst_size=5,
+                           burst_width=11, edges_per_burst=5)
+
+
+class TestBurstyConfig:
+    def test_total_edges(self):
+        config = BurstyConfig(
+            num_vertices=50, background_edges=100, tmax=40,
+            num_bursts=3, edges_per_burst=20,
+        )
+        assert config.total_edges() == 160
+
+    def test_generate_produces_valid_graph(self):
+        config = BurstyConfig(
+            num_vertices=60, background_edges=300, tmax=80,
+            num_bursts=4, burst_size=8, burst_width=6, edges_per_burst=40,
+            seed=12,
+        )
+        graph = generate_bursty(config)
+        assert graph.num_edges == config.total_edges()
+        check_graph_invariants(graph)
+
+    def test_generation_deterministic(self):
+        config = BurstyConfig(
+            num_vertices=40, background_edges=150, tmax=30, num_bursts=2,
+            seed=5,
+        )
+        assert generate_bursty(config).edges == generate_bursty(config).edges
+
+    def test_background_only(self):
+        config = BurstyConfig(num_vertices=30, background_edges=100, tmax=20)
+        assert generate_bursty(config).num_edges == 100
+
+    def test_bursts_only(self):
+        config = BurstyConfig(
+            num_vertices=30, background_edges=0, tmax=20,
+            num_bursts=2, burst_size=6, burst_width=4, edges_per_burst=25,
+        )
+        assert generate_bursty(config).num_edges == 50
+
+
+class TestUniformRandom:
+    def test_shape_and_determinism(self):
+        g1 = uniform_random_temporal(10, 50, tmax=8, seed=3)
+        g2 = uniform_random_temporal(10, 50, tmax=8, seed=3)
+        assert g1.num_edges == 50
+        assert g1.edges == g2.edges
+        check_graph_invariants(g1)

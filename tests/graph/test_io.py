@@ -1,0 +1,101 @@
+"""Edge-list I/O: SNAP/KONECT layouts, comments, gzip, round trips."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.errors import GraphFormatError
+from repro.graph.io import (
+    dump_edge_list,
+    iter_edge_lines,
+    load_edge_list,
+    loads_edge_list,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+SNAP_TEXT = """\
+# comment line
+1 2 1082040961
+2 3 1082155839
+
+3 1 1082414391
+"""
+
+KONECT_TEXT = """\
+% konect style
+1 2 1 1082040961
+2 3 1 1082155839
+3 1 1082414391
+"""
+
+
+class TestParsing:
+    def test_snap_layout(self):
+        g = loads_edge_list(SNAP_TEXT)
+        assert g.num_edges == 3
+        assert g.tmax == 3  # three distinct raw timestamps, normalised
+
+    def test_konect_layout_with_and_without_weight(self):
+        g = TemporalGraph(iter_edge_lines(KONECT_TEXT.splitlines(), layout="konect"))
+        assert g.num_edges == 3
+
+    def test_comments_and_blanks_skipped(self):
+        g = loads_edge_list("# a\n\n% b\n1 2 10\n")
+        assert g.num_edges == 1
+
+    def test_scientific_timestamp(self):
+        g = loads_edge_list("1 2 1.08204e9\n")
+        assert g.raw_time_of(1) == 1082040000
+
+    def test_wrong_field_count_raises(self):
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("1 2\n")
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("1 2 3 4\n")
+
+    def test_konect_wrong_field_count_raises(self):
+        with pytest.raises(GraphFormatError):
+            list(iter_edge_lines(["1 2"], layout="konect"))
+
+    def test_bad_timestamp_raises(self):
+        with pytest.raises(GraphFormatError):
+            loads_edge_list("1 2 yesterday\n")
+
+    def test_unknown_layout_raises(self):
+        with pytest.raises(GraphFormatError):
+            list(iter_edge_lines([], layout="csv"))
+
+    def test_labels_stay_strings(self):
+        g = loads_edge_list("007 08 1\n")
+        labels = {g.label_of(u) for u in range(g.num_vertices)}
+        assert labels == {"007", "08"}
+
+
+class TestFiles:
+    def test_round_trip_raw_timestamps(self, tmp_path, paper_graph):
+        path = tmp_path / "graph.txt"
+        dump_edge_list(paper_graph, path)
+        loaded = load_edge_list(path)
+        assert loaded.num_edges == paper_graph.num_edges
+        assert loaded.tmax == paper_graph.tmax
+
+    def test_round_trip_normalised_timestamps(self, tmp_path, paper_graph):
+        path = tmp_path / "graph.txt"
+        dump_edge_list(paper_graph, path, raw_timestamps=False)
+        loaded = load_edge_list(path)
+        assert [e.t for e in loaded.edges] == [e.t for e in paper_graph.edges]
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "graph.txt.gz"
+        with gzip.open(path, "wt") as handle:
+            handle.write(SNAP_TEXT)
+        g = load_edge_list(path)
+        assert g.num_edges == 3
+
+    def test_deduplicate_flag(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("1 2 10\n1 2 10\n1 2 20\n")
+        assert load_edge_list(path).num_edges == 3
+        assert load_edge_list(path, deduplicate=True).num_edges == 2

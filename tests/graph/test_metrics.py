@@ -1,0 +1,83 @@
+"""Temporal metrics: burstiness, distinctness, histograms."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datasets.registry import load_dataset
+from repro.graph.metrics import (
+    activity_profile,
+    burstiness,
+    compute_temporal_metrics,
+    degree_histogram,
+    timestamp_histogram,
+)
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestBurstiness:
+    def test_regular_stream_is_negative(self):
+        # Perfectly regular gaps: sigma = 0 -> B = -1.
+        assert burstiness([5.0] * 10) == -1.0
+
+    def test_bursty_stream_is_positive(self):
+        gaps = [0.0] * 50 + [1000.0]
+        assert burstiness(gaps) > 0.5
+
+    def test_degenerate_inputs(self):
+        assert burstiness([]) == 0.0
+        assert burstiness([1.0]) == 0.0
+        assert burstiness([0.0, 0.0]) == 0.0
+
+
+class TestMetrics:
+    def test_paper_example(self, paper_graph):
+        metrics = compute_temporal_metrics(paper_graph)
+        assert metrics.distinctness == 7 / 14
+        assert metrics.mean_edges_per_timestamp == 2.0
+        assert metrics.max_edges_per_timestamp == 4  # t=5 has four edges
+        assert metrics.pair_multiplicity == 1.0  # no repeated pairs
+
+    def test_multigraph_multiplicity(self):
+        g = TemporalGraph([("a", "b", 1), ("a", "b", 2), ("a", "c", 3)])
+        metrics = compute_temporal_metrics(g)
+        assert metrics.pair_multiplicity == 1.5
+
+    def test_empty_graph(self):
+        metrics = compute_temporal_metrics(TemporalGraph([]))
+        assert metrics.distinctness == 0.0
+
+    def test_few_timestamp_datasets_have_low_distinctness(self):
+        dense = compute_temporal_metrics(load_dataset("PL"))
+        sparse = compute_temporal_metrics(load_dataset("CM"))
+        assert dense.distinctness < 0.01 < sparse.distinctness
+
+    def test_bursty_recipes_are_bursty(self):
+        metrics = compute_temporal_metrics(load_dataset("CM"))
+        assert metrics.burstiness > 0.0  # planted bursts shape the gaps
+
+
+class TestHistograms:
+    def test_timestamp_histogram(self, paper_graph):
+        histogram = timestamp_histogram(paper_graph)
+        assert sum(histogram) == 14
+        assert histogram[5] == 4
+        assert histogram[0] == 0
+
+    def test_degree_histogram(self, paper_graph):
+        histogram = degree_histogram(paper_graph)
+        assert sum(histogram.values()) == 9
+        assert histogram[6] == 1  # v1 is the hub
+        assert list(histogram) == sorted(histogram)
+
+    def test_activity_profile_sums_to_edges(self, paper_graph):
+        profile = activity_profile(paper_graph, num_buckets=3)
+        assert sum(profile) == 14
+        assert len(profile) == 3
+
+    def test_activity_profile_validation(self, paper_graph):
+        with pytest.raises(ValueError):
+            activity_profile(paper_graph, num_buckets=0)
+
+    def test_activity_profile_empty_graph(self):
+        assert activity_profile(TemporalGraph([]), 4) == [0, 0, 0, 0]

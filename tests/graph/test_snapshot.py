@@ -1,0 +1,61 @@
+"""Snapshot (window projection) behaviour."""
+
+from __future__ import annotations
+
+from repro.graph.snapshot import Snapshot
+from repro.graph.temporal_graph import TemporalGraph
+
+
+class TestSnapshot:
+    def test_window_filtering(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 2, 4)
+        assert snap.num_static_edges == 6
+        assert snap.window == (2, 4)
+
+    def test_parallel_edges_collapse(self):
+        g = TemporalGraph([("a", "b", 1), ("a", "b", 2), ("b", "c", 2)])
+        snap = Snapshot.from_graph(g, 1, 2)
+        assert snap.num_static_edges == 2
+        a, b = g.id_of("a"), g.id_of("b")
+        assert len(snap.temporal_edge_ids(a, b)) == 2
+
+    def test_temporal_edge_ids_orderless(self):
+        g = TemporalGraph([("a", "b", 1)])
+        snap = Snapshot.from_graph(g, 1, 1)
+        a, b = g.id_of("a"), g.id_of("b")
+        assert snap.temporal_edge_ids(a, b) == snap.temporal_edge_ids(b, a)
+
+    def test_degree_counts_distinct_neighbours(self):
+        g = TemporalGraph([("a", "b", 1), ("a", "b", 2), ("a", "c", 1)])
+        snap = Snapshot.from_graph(g, 1, 2)
+        assert snap.degree(g.id_of("a")) == 2
+
+    def test_isolated_vertex_has_empty_neighbours(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 1, 1)
+        assert snap.neighbours(paper_graph.id_of("v5")) == set()
+        assert snap.degree(paper_graph.id_of("v5")) == 0
+
+    def test_active_vertices(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 1, 1)
+        assert snap.num_active_vertices == 2  # only v2, v9 interact at t=1
+        assert snap.num_vertices == 9
+
+    def test_induced_temporal_edge_ids(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 1, 4)
+        members = {paper_graph.id_of(n) for n in ("v1", "v2", "v4")}
+        ids = snap.induced_temporal_edge_ids(members)
+        triples = {
+            tuple(sorted((paper_graph.label_of(paper_graph.edges[e].u),
+                          paper_graph.label_of(paper_graph.edges[e].v))))
+            for e in ids
+        }
+        assert triples == {("v1", "v4"), ("v1", "v2"), ("v2", "v4")}
+
+    def test_pairs_iteration_canonical(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 1, 7)
+        for u, v in snap.pairs():
+            assert u < v
+
+    def test_repr(self, paper_graph):
+        snap = Snapshot.from_graph(paper_graph, 1, 4)
+        assert "window=[1, 4]" in repr(snap)

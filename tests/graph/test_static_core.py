@@ -1,0 +1,139 @@
+"""Static k-core engine vs networkx and hand-built cases."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import uniform_random_temporal
+from repro.graph.snapshot import Snapshot
+from repro.graph.static_core import (
+    DecrementalCore,
+    core_decomposition,
+    kmax_of,
+    peel_k_core,
+    snapshot_k_core,
+)
+
+
+def _random_adjacency(seed: int, n: int = 30, m: int = 120) -> dict[int, set[int]]:
+    graph = uniform_random_temporal(n, m, tmax=5, seed=seed)
+    adjacency: dict[int, set[int]] = {}
+    for u, v, _ in graph.edges:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    return adjacency
+
+
+def _as_networkx(adjacency: dict[int, set[int]]) -> nx.Graph:
+    g = nx.Graph()
+    for u, neigh in adjacency.items():
+        for v in neigh:
+            g.add_edge(u, v)
+    return g
+
+
+class TestPeel:
+    def test_triangle_is_2core(self):
+        adjacency = {0: {1, 2}, 1: {0, 2}, 2: {0, 1}}
+        assert peel_k_core(adjacency, 2) == {0, 1, 2}
+        assert peel_k_core(adjacency, 3) == set()
+
+    def test_pendant_vertex_removed(self):
+        adjacency = {0: {1, 2}, 1: {0, 2}, 2: {0, 1, 3}, 3: {2}}
+        assert peel_k_core(adjacency, 2) == {0, 1, 2}
+
+    def test_cascade_removal(self):
+        # A path: peeling k=2 unravels completely.
+        adjacency = {0: {1}, 1: {0, 2}, 2: {1, 3}, 3: {2}}
+        assert peel_k_core(adjacency, 2) == set()
+
+    def test_k_must_be_positive(self):
+        with pytest.raises(ValueError):
+            peel_k_core({}, 0)
+
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 2, 3, 4])
+    def test_matches_networkx(self, seed, k):
+        adjacency = _random_adjacency(seed)
+        expected = set(nx.k_core(_as_networkx(adjacency), k).nodes())
+        assert peel_k_core(adjacency, k) == expected
+
+    def test_every_member_has_k_members_neighbours(self):
+        adjacency = _random_adjacency(3)
+        members = peel_k_core(adjacency, 3)
+        for u in members:
+            assert len(adjacency[u] & members) >= 3
+
+
+class TestCoreDecomposition:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_networkx_core_number(self, seed):
+        adjacency = _random_adjacency(seed)
+        expected = nx.core_number(_as_networkx(adjacency))
+        assert core_decomposition(adjacency) == expected
+
+    def test_empty(self):
+        assert core_decomposition({}) == {}
+        assert kmax_of({}) == 0
+
+    def test_kmax_of_triangle(self):
+        assert kmax_of({0: {1, 2}, 1: {0, 2}, 2: {0, 1}}) == 2
+
+    def test_star_core_numbers(self):
+        adjacency = {0: {1, 2, 3}, 1: {0}, 2: {0}, 3: {0}}
+        assert core_decomposition(adjacency) == {0: 1, 1: 1, 2: 1, 3: 1}
+
+
+class TestSnapshotCore:
+    def test_snapshot_core(self, paper_graph):
+        snapshot = Snapshot.from_graph(paper_graph, 1, 4)
+        assert snapshot_k_core(snapshot, 2) == {
+            paper_graph.id_of(n) for n in ("v1", "v2", "v3", "v4", "v9")
+        }
+
+    def test_empty_window_core(self, paper_graph):
+        snapshot = Snapshot.from_graph(paper_graph, 7, 7)
+        assert snapshot_k_core(snapshot, 2) == set()
+
+
+class TestDecrementalCore:
+    def _triangle_plus(self):
+        # Triangle 0-1-2 plus vertex 3 hanging on 0 and 1.
+        return {0: {1, 2, 3}, 1: {0, 2, 3}, 2: {0, 1}, 3: {0, 1}}
+
+    def test_rejects_unpeeled_seed(self):
+        with pytest.raises(ValueError):
+            DecrementalCore({0: {1}, 1: {0}}, 2)
+
+    def test_delete_cascades(self):
+        evicted_order: list[int] = []
+        core = DecrementalCore(self._triangle_plus(), 2, on_evict=evicted_order.append)
+        # Deleting 0-2 drops 2 (degree 1), leaving 0,1,3 as a triangle.
+        assert set(core.delete_pair(0, 2)) == {2}
+        assert core.members == {0, 1, 3}
+        assert evicted_order == [2]
+
+    def test_delete_collapse(self):
+        core = DecrementalCore(self._triangle_plus(), 2)
+        core.delete_pair(0, 2)
+        evicted = core.delete_pair(0, 3)
+        assert set(evicted) == {0, 1, 3}
+        assert len(core) == 0
+
+    def test_delete_absent_pair_is_noop(self):
+        core = DecrementalCore(self._triangle_plus(), 2)
+        assert core.delete_pair(0, 9) == []
+        assert core.delete_pair(9, 10) == []
+        assert len(core) == 4
+
+    def test_delete_pairs_bulk(self):
+        core = DecrementalCore(self._triangle_plus(), 2)
+        evicted = core.delete_pairs([(0, 2), (0, 3)])
+        assert set(evicted) == {0, 1, 2, 3}
+
+    def test_contains_protocol(self):
+        core = DecrementalCore(self._triangle_plus(), 2)
+        assert 0 in core
+        core.delete_pair(0, 2)
+        assert 2 not in core

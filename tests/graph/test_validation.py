@@ -1,0 +1,87 @@
+"""Validation helpers (the referees used across the suite)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.graph.validation import (
+    check_graph_invariants,
+    exact_core_edge_ids,
+    is_k_core_subgraph,
+    tightest_time_interval,
+)
+
+
+class TestExactCore:
+    def test_paper_core_1_4(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 1, 4)
+        assert len(ids) == 6  # Figure 2's larger temporal 2-core
+
+    def test_paper_core_2_3(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 2, 3)
+        assert len(ids) == 3  # Figure 2's triangle core
+
+    def test_no_core_in_singleton_window(self, paper_graph):
+        assert exact_core_edge_ids(paper_graph, 2, 1, 1) == set()
+
+    def test_single_timestamp_core(self, paper_graph):
+        # t=5 contains the v1-v6-v7 triangle.
+        ids = exact_core_edge_ids(paper_graph, 2, 5, 5)
+        labels = {
+            frozenset((paper_graph.label_of(paper_graph.edges[e].u),
+                       paper_graph.label_of(paper_graph.edges[e].v)))
+            for e in ids
+        }
+        assert labels == {
+            frozenset(("v1", "v6")), frozenset(("v1", "v7")),
+            frozenset(("v6", "v7")),
+        }
+
+
+class TestIsKCoreSubgraph:
+    def test_valid_subgraph(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 1, 4)
+        assert is_k_core_subgraph(paper_graph, ids, 2, 1, 4)
+
+    def test_edge_outside_window_rejected(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 1, 4)
+        assert not is_k_core_subgraph(paper_graph, ids, 2, 2, 4)
+
+    def test_insufficient_degree_rejected(self, paper_graph):
+        # A single edge can never satisfy k=2.
+        assert not is_k_core_subgraph(paper_graph, {0}, 2, 1, 7)
+
+
+class TestTTI:
+    def test_tti_of_core(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 1, 4)
+        assert tightest_time_interval(paper_graph, ids) == (1, 4)
+
+    def test_tti_can_be_tighter_than_window(self, paper_graph):
+        ids = exact_core_edge_ids(paper_graph, 2, 1, 3)
+        assert tightest_time_interval(paper_graph, ids) == (2, 3)
+
+    def test_empty_set_raises(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            tightest_time_interval(paper_graph, set())
+
+
+class TestGraphInvariantChecks:
+    def test_valid_graph_passes(self, paper_graph):
+        check_graph_invariants(paper_graph)
+
+    def test_random_graphs_pass(self, random_graph):
+        check_graph_invariants(random_graph)
+
+    def test_catches_broken_canonical_order(self):
+        g = TemporalGraph([("a", "b", 1), ("b", "c", 2)])
+        # Forge a non-canonical edge to ensure the check bites.
+        broken = list(g.edges)
+        from repro.graph.temporal_graph import TemporalEdge
+
+        broken[0] = TemporalEdge(broken[0].v, broken[0].u, broken[0].t)
+        g._edges = tuple(broken)  # type: ignore[attr-defined]
+        with pytest.raises(AssertionError):
+            check_graph_invariants(g)

@@ -1,0 +1,112 @@
+"""Analysis package: summaries and community bursts."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    CommunityBurst,
+    community_bursts,
+    filter_bursts,
+    match_planted_groups,
+    summarize,
+    vertex_participation,
+    window_width_histogram,
+)
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.errors import InvalidParameterError
+
+
+@pytest.fixture()
+def paper_result(paper_graph):
+    return enumerate_temporal_kcores(paper_graph, 2)
+
+
+class TestSummaries:
+    def test_summary_totals(self, paper_graph, paper_result):
+        summary = summarize(paper_result)
+        assert summary.num_results == 13
+        assert summary.total_edges == paper_result.total_edges
+        assert summary.min_edges <= summary.mean_edges <= summary.max_edges
+        assert summary.min_window >= 1
+
+    def test_empty_summary(self, paper_graph):
+        empty = enumerate_temporal_kcores(paper_graph, 9)
+        summary = summarize(empty)
+        assert summary.num_results == 0
+        assert summary.total_edges == 0
+
+    def test_requires_collect(self, paper_graph):
+        streamed = enumerate_temporal_kcores(paper_graph, 2, collect=False)
+        with pytest.raises(InvalidParameterError):
+            summarize(streamed)
+
+    def test_width_histogram(self, paper_result):
+        histogram = window_width_histogram(paper_result)
+        assert sum(histogram.values()) == 13
+        assert list(histogram) == sorted(histogram)
+        assert histogram.get(1) == 1  # the [5, 5] triangle core
+
+    def test_vertex_participation(self, paper_graph, paper_result):
+        ranked = vertex_participation(paper_graph, paper_result)
+        labels = [label for label, _ in ranked]
+        counts = [count for _, count in ranked]
+        assert counts == sorted(counts, reverse=True)
+        assert labels[0] in ("v1", "v2")  # the busiest actors
+
+    def test_vertex_participation_top(self, paper_graph, paper_result):
+        assert len(vertex_participation(paper_graph, paper_result, top=3)) == 3
+
+
+class TestCommunityBursts:
+    def test_groups_cover_results(self, paper_graph, paper_result):
+        bursts = community_bursts(paper_graph, paper_result)
+        assert sum(b.num_occurrences for b in bursts) == 13
+
+    def test_sorted_tightest_first(self, paper_graph, paper_result):
+        bursts = community_bursts(paper_graph, paper_result)
+        widths = [b.width for b in bursts]
+        assert widths == sorted(widths)
+
+    def test_range_1_4_bursts(self, paper_graph):
+        result = enumerate_temporal_kcores(paper_graph, 2, 1, 4)
+        bursts = community_bursts(paper_graph, result)
+        assert len(bursts) == 2
+        assert bursts[0].vertices == frozenset({"v1", "v2", "v4"})
+        assert bursts[0].tightest_tti == (2, 3)
+
+    def test_filter_by_size_and_width(self, paper_graph, paper_result):
+        bursts = community_bursts(paper_graph, paper_result)
+        big = filter_bursts(bursts, min_vertices=5)
+        assert all(len(b.vertices) >= 5 for b in big)
+        tight = filter_bursts(bursts, max_width=2)
+        assert all(b.width <= 2 for b in tight)
+
+    def test_match_planted_groups(self, paper_graph):
+        result = enumerate_temporal_kcores(paper_graph, 2, 1, 4)
+        bursts = community_bursts(paper_graph, result)
+        matches = match_planted_groups(
+            bursts,
+            [{"v1", "v2", "v4"}, {"v6", "v7", "v8"}],
+        )
+        assert matches[0] is not None
+        assert matches[0].vertices == frozenset({"v1", "v2", "v4"})
+        assert matches[1] is None
+
+    def test_match_allows_containment(self, paper_graph):
+        result = enumerate_temporal_kcores(paper_graph, 2, 1, 4)
+        bursts = community_bursts(paper_graph, result)
+        # A planted group that is a superset of a detected burst matches.
+        matches = match_planted_groups(
+            bursts, [{"v1", "v2", "v4", "extra"}]
+        )
+        assert matches[0] is not None
+
+    def test_requires_collect(self, paper_graph):
+        streamed = enumerate_temporal_kcores(paper_graph, 2, collect=False)
+        with pytest.raises(InvalidParameterError):
+            community_bursts(paper_graph, streamed)
+
+    def test_burst_dataclass(self):
+        burst = CommunityBurst(frozenset({"a"}), (3, 7), 2, 9)
+        assert burst.width == 5

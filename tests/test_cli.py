@@ -1,0 +1,96 @@
+"""Command-line interface tests (in-process via ``main(argv)``)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.graph.io import dump_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path, paper_graph):
+    path = tmp_path / "example.txt"
+    dump_edge_list(paper_graph, path, raw_timestamps=False)
+    return str(path)
+
+
+class TestQuery:
+    def test_text_output(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--range", "1", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "2 temporal 2-core(s)" in out
+        assert "TTI [1, 4]" in out
+        assert "TTI [2, 3]" in out
+
+    def test_json_output(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--range", "1", "4", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_results"] == 2
+        assert {tuple(c["tti"]) for c in payload["cores"]} == {(1, 4), (2, 3)}
+
+    def test_streaming_mode(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--streaming", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["num_results"] == 13
+        assert "cores" not in payload
+
+    def test_engine_selection(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--engine", "otcd", "--range", "1", "4"]) == 0
+        assert "2 temporal 2-core(s)" in capsys.readouterr().out
+
+    def test_full_span_default(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2"]) == 0
+        assert "13 temporal 2-core(s)" in capsys.readouterr().out
+
+    def test_missing_source_errors(self, capsys):
+        assert main(["query", "-k", "2"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestStats:
+    def test_text(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "vertices: 9" in out.replace("  ", " ").replace("  ", " ") or "9" in out
+        assert "kmax" in out
+
+    def test_json(self, graph_file, capsys):
+        assert main(["stats", "--input", graph_file, "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["vertices"] == 9
+        assert payload["kmax"] == 2
+
+    def test_dataset_source(self, capsys):
+        assert main(["stats", "--dataset", "FB", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["temporal_edges"] == 1200
+
+
+class TestGenerateAndIndex:
+    def test_generate(self, tmp_path, capsys):
+        out_file = tmp_path / "fb.txt"
+        assert main(["generate", "--dataset", "FB", "-o", str(out_file)]) == 0
+        assert out_file.exists()
+        assert "wrote 1200 edges" in capsys.readouterr().out
+
+    def test_index_round_trip(self, graph_file, tmp_path, capsys):
+        out_file = tmp_path / "skyline.ecs"
+        assert main(["index", "--input", graph_file, "-k", "2",
+                     "-o", str(out_file)]) == 0
+        from repro.core.index import load_skyline
+
+        skyline = load_skyline(out_file.read_text())
+        assert skyline.size() == 18  # Table II window count
+
+
+class TestExperimentsPassthrough:
+    def test_table1(self, capsys):
+        assert main(["experiments", "table1"]) == 0
+        assert "Table I" in capsys.readouterr().out

@@ -1,0 +1,109 @@
+"""Utility module tests: ordering primitives, timers, deadlines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.utils.order import (
+    counting_sort_by,
+    interval_contains,
+    kth_smallest,
+    merge_intervals,
+)
+from repro.utils.timer import Deadline, Stopwatch, time_call
+
+
+class TestKthSmallest:
+    def test_small_cases(self):
+        values = [5, 1, 4, 2, 3]
+        assert kth_smallest(values, 1) == 1
+        assert kth_smallest(values, 3) == 3
+        assert kth_smallest(values, 5) == 5
+
+    def test_duplicates(self):
+        assert kth_smallest([2, 2, 1, 2], 3) == 2
+
+    def test_large_list_heap_path(self):
+        values = list(range(1000, 0, -1))
+        assert kth_smallest(values, 7) == 7
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            kth_smallest([1], 0)
+        with pytest.raises(ValueError):
+            kth_smallest([1], 2)
+
+
+class TestCountingSort:
+    def test_sorted_by_key(self):
+        items = [(3, "c"), (1, "a"), (2, "b"), (1, "a2")]
+        ordered = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=3)
+        assert [x[0] for x in ordered] == [1, 1, 2, 3]
+
+    def test_stability(self):
+        items = [(1, "first"), (1, "second")]
+        ordered = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=1)
+        assert ordered == items
+
+    def test_key_outside_range(self):
+        with pytest.raises(ValueError):
+            counting_sort_by([(5,)], key=lambda x: x[0], lo=1, hi=3)
+
+    def test_empty_key_range(self):
+        with pytest.raises(ValueError):
+            counting_sort_by([], key=lambda x: x, lo=3, hi=2)
+
+
+class TestIntervals:
+    def test_merge_overlapping(self):
+        assert merge_intervals([(1, 3), (2, 5), (7, 8)]) == [(1, 5), (7, 8)]
+
+    def test_merge_adjacent(self):
+        assert merge_intervals([(1, 2), (3, 4)]) == [(1, 4)]
+
+    def test_merge_empty(self):
+        assert merge_intervals([]) == []
+
+    def test_merge_rejects_inverted(self):
+        with pytest.raises(ValueError):
+            merge_intervals([(3, 1)])
+
+    def test_contains(self):
+        intervals = [(1, 3), (7, 9)]
+        assert interval_contains(intervals, 2)
+        assert interval_contains(intervals, 7)
+        assert not interval_contains(intervals, 5)
+        assert not interval_contains(intervals, 10)
+        assert not interval_contains([], 1)
+
+
+class TestTimers:
+    def test_stopwatch_accumulates(self):
+        sw = Stopwatch()
+        sw.start()
+        sw.lap("early")
+        total = sw.stop()
+        assert total >= sw.laps["early"] >= 0
+        sw.reset()
+        assert sw.elapsed == 0.0
+
+    def test_stopwatch_misuse(self):
+        sw = Stopwatch()
+        with pytest.raises(RuntimeError):
+            sw.stop()
+        sw.start()
+        with pytest.raises(RuntimeError):
+            sw.start()
+
+    def test_time_call(self):
+        result, seconds = time_call(sum, range(100))
+        assert result == 4950
+        assert seconds >= 0
+
+    def test_deadline(self):
+        assert not Deadline(None).expired()
+        assert Deadline(None).remaining is None
+        expired = Deadline(0.0)
+        assert expired.expired()
+        assert expired.remaining == 0.0
+        assert not Deadline(60.0).expired()
