@@ -1,0 +1,153 @@
+"""PR 1 kernel benchmark: flat-array CoreTime vs the seed reference.
+
+Times :func:`repro.core.coretime.compute_core_times` (the compiled
+flat-array kernel) against
+:func:`repro.core.coretime_ref.compute_core_times_reference` (the seed
+dict-based kernel, preserved verbatim) on a synthetic bursty workload of
+at least 50k temporal edges, for k in {3, 5}, and verifies that both
+return bit-identical VCT entries and ECS windows.
+
+Standalone script (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_pr1_kernel.py --smoke
+
+writes ``BENCH_PR1.json`` next to the repository root with per-k
+old/new timings, the speedup, the one-off graph-compile cost and the
+equivalence verdict.  ``--smoke`` runs one repetition per k (< 60 s
+total); the default runs three and keeps the best of each side.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.coretime import compute_core_times  # noqa: E402
+from repro.core.coretime_ref import compute_core_times_reference  # noqa: E402
+from repro.graph.generators import BurstyConfig, generate_bursty  # noqa: E402
+
+#: Workload: >= 50k temporal edges of heavy-tailed background traffic
+#: plus planted bursts (the shape the paper's Table III datasets share).
+WORKLOAD = BurstyConfig(
+    num_vertices=3000,
+    background_edges=42000,
+    tmax=2000,
+    repeat_rate=0.25,
+    num_bursts=40,
+    burst_size=12,
+    burst_width=25,
+    edges_per_burst=220,
+    seed=1,
+    name="bench_pr1",
+)
+
+K_VALUES = (3, 5)
+
+
+def identical(a, b, num_vertices: int, num_edges: int) -> bool:
+    """Bit-identical VCT transition lists and ECS windows."""
+    for u in range(num_vertices):
+        if a.vct.entries_of(u) != b.vct.entries_of(u):
+            return False
+    for eid in range(num_edges):
+        if a.ecs.windows_of(eid) != b.ecs.windows_of(eid):
+            return False
+    return True
+
+
+def best_time(fn, repeats: int) -> tuple[float, object]:
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = min(best, elapsed)
+    return best, result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single repetition per k (CI budget: < 60 s total)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per side, best kept (default: 1 smoke, 3 full)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR1.json",
+        help="output JSON path (default: <repo>/BENCH_PR1.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+
+    graph = generate_bursty(WORKLOAD)
+    compile_start = time.perf_counter()
+    graph.compiled()
+    compile_seconds = time.perf_counter() - compile_start
+
+    report = {
+        "benchmark": "bench_pr1_kernel",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "graph": {
+            "name": WORKLOAD.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "tmax": graph.tmax,
+        },
+        "compile_seconds": round(compile_seconds, 4),
+        "results": [],
+    }
+
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges} tmax={graph.tmax} "
+          f"(compile {compile_seconds:.3f}s, cached)")
+    all_identical = True
+    worst_speedup = float("inf")
+    for k in K_VALUES:
+        ref_seconds, ref_result = best_time(
+            lambda: compute_core_times_reference(graph, k), repeats
+        )
+        flat_seconds, flat_result = best_time(
+            lambda: compute_core_times(graph, k), repeats
+        )
+        same = identical(ref_result, flat_result, graph.num_vertices, graph.num_edges)
+        all_identical &= same
+        speedup = ref_seconds / flat_seconds
+        worst_speedup = min(worst_speedup, speedup)
+        report["results"].append({
+            "k": k,
+            "reference_seconds": round(ref_seconds, 4),
+            "flat_seconds": round(flat_seconds, 4),
+            "speedup": round(speedup, 2),
+            "identical": same,
+            "vct_size": ref_result.vct.size(),
+            "ecs_size": ref_result.ecs.size(),
+        })
+        print(f"k={k}: reference {ref_seconds:.3f}s  flat {flat_seconds:.3f}s  "
+              f"speedup {speedup:.2f}x  identical={same}")
+
+    report["worst_speedup"] = round(worst_speedup, 2)
+    report["identical"] = all_identical
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[report written to {args.out}]")
+
+    if not all_identical:
+        print("FAIL: kernel outputs diverge from the reference", file=sys.stderr)
+        return 1
+    if worst_speedup < 3.0:
+        print(f"WARN: worst speedup {worst_speedup:.2f}x below the 3x target",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,7 @@ Quickstart::
 
 from repro.core import (
     CoreIndex,
+    CoreIndexRegistry,
     StreamingCoreService,
     CoreTimeResult,
     EdgeCoreSkyline,
@@ -49,6 +50,7 @@ __version__ = "1.0.0"
 __all__ = [
     "BenchmarkError",
     "CoreIndex",
+    "CoreIndexRegistry",
     "CoreTimeResult",
     "DatasetError",
     "EdgeCoreSkyline",

@@ -1,5 +1,6 @@
 """Benchmark harness: workloads, timing/memory measurement, experiments."""
 
+from repro.bench.batch import BatchAnswer, run_engine_batch, run_query_batch
 from repro.bench.harness import (
     EngineSummary,
     FIG6_ENGINES,
@@ -17,6 +18,7 @@ from repro.bench.workloads import (
 )
 
 __all__ = [
+    "BatchAnswer",
     "EngineSummary",
     "FIG6_ENGINES",
     "QueryRecord",
@@ -28,6 +30,8 @@ __all__ = [
     "orders_of_magnitude",
     "range_has_core",
     "run_dataset_point",
+    "run_engine_batch",
+    "run_query_batch",
     "run_workload",
     "sample_query_ranges",
     "speedup",

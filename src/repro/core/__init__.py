@@ -9,8 +9,14 @@ from repro.core.coretime import (
 )
 from repro.core.enumbase import enumerate_temporal_kcores_base
 from repro.core.enumerate import enumerate_temporal_kcores
-from repro.core.index import CoreIndex, load_skyline
-from repro.core.index import load_vct
+from repro.core.index import (
+    CoreIndex,
+    CoreIndexRegistry,
+    DEFAULT_REGISTRY,
+    get_core_index,
+    load_skyline,
+    load_vct,
+)
 from repro.core.linkedlist import WindowList
 from repro.core.maintenance import StreamingCoreService
 from repro.core.query import ENGINES, TimeRangeCoreQuery
@@ -25,6 +31,8 @@ from repro.core.windows import ActiveWindow, EdgeCoreSkyline, build_active_windo
 __all__ = [
     "ActiveWindow",
     "CoreIndex",
+    "CoreIndexRegistry",
+    "DEFAULT_REGISTRY",
     "CoreTimeResult",
     "EdgeCoreSkyline",
     "ENGINES",
@@ -42,6 +50,7 @@ __all__ = [
     "enumerate_temporal_kcores",
     "enumerate_temporal_kcores_base",
     "enumerate_vertex_sets",
+    "get_core_index",
     "load_skyline",
     "load_vct",
     "vertex_set_compression",

@@ -33,19 +33,55 @@ Algorithmic structure
    ``ts``, moving to ``ts+1`` only requires chaotic re-evaluation seeded
    at the endpoints of the edges stamped ``ts`` — the scheme whose cost
    matches the ``O(|VCT| * deg_avg)`` bound quoted by the paper.
+
+Implementation notes
+--------------------
+
+The kernel runs entirely over the flat-array graph representation of
+:class:`repro.graph.csr.CompiledGraph` (built once per graph and cached
+via :meth:`TemporalGraph.compiled`): CSR distinct-neighbour adjacency,
+one flat ``array('q')`` of pair timestamps with per-slot slices, a
+timestamp→edge-id offset table making every window a contiguous edge-id
+range, and a per-vertex incident-edge CSR for the skyline-emission loop.
+Per query the only allocations are the pair-pointer array, the
+earliest-time cache, the live-count array and the core-time array — no
+pair dict, no nested list cells, no closures in inner loops.
+
+Three further devices cut the fixpoint cost:
+
+* **Eager earliest-times** — ``ett[s]``, the first edge time of slot
+  ``s`` at or after the current start, is maintained incrementally: it
+  only changes for pairs with an edge stamped at the expiring start
+  time, whose ids are one contiguous range.  Operator evaluation then
+  needs no pointer chasing at all.
+* **Seed filtering** — when the start moves past ``ts - 1``, an endpoint
+  ``u`` of an expiring edge ``(u, v)`` needs re-evaluation only if the
+  pair's available time was at most ``CT(u)`` and strictly grows, an
+  O(1) test (``CT(v) <= CT(u)`` and next pair time ``> CT(v)``).
+* **Vectorised operator** — evaluating ``T(f)(u)`` is a gather of the
+  neighbour core times over the CSR slice, an elementwise max against
+  the slot earliest-times and a k-th-smallest partition, all on int64
+  arrays; neighbour re-scheduling reuses the same slices.
+
+The original dict-based kernel is preserved verbatim in
+:mod:`repro.core.coretime_ref` as the equivalence oracle and benchmark
+baseline; the property suite asserts bit-identical VCT and ECS output.
 """
 
 from __future__ import annotations
 
-import bisect
+from bisect import bisect_left, bisect_right
 from collections import deque
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.errors import InvalidParameterError
-from repro.graph.static_core import DecrementalCore, peel_k_core
 from repro.graph.temporal_graph import TemporalGraph
 from repro.core.windows import EdgeCoreSkyline
-from repro.utils.order import kth_smallest
+
+#: Sentinel for "no remaining edge time" — larger than any timestamp.
+_NO_TIME = 1 << 62
 
 
 class VertexCoreTimeIndex:
@@ -57,7 +93,7 @@ class VertexCoreTimeIndex:
     have no entries at all.
     """
 
-    __slots__ = ("k", "span", "_entries")
+    __slots__ = ("k", "span", "_entries", "_starts")
 
     def __init__(
         self,
@@ -68,6 +104,11 @@ class VertexCoreTimeIndex:
         self.k = k
         self.span = span
         self._entries = entries
+        # Parallel start-time lists so lookups bisect a plain int list
+        # (no per-call ``key=`` lambda in the hot path).
+        self._starts: list[list[int]] = [
+            [start for start, _ in vertex_entries] for vertex_entries in entries
+        ]
 
     @property
     def num_vertices(self) -> int:
@@ -89,16 +130,16 @@ class VertexCoreTimeIndex:
         lo, hi = self.span
         if ts < lo or ts > hi:
             raise InvalidParameterError(f"start {ts} outside computed span {self.span}")
-        entries = self._entries[u]
-        if not entries:
+        starts = self._starts[u]
+        if not starts:
             return None
-        pos = bisect.bisect_right(entries, ts, key=lambda entry: entry[0]) - 1
+        pos = bisect_right(starts, ts) - 1
         if pos < 0:
             # Before the first recorded start; the first entry starts at
             # the span start, so this only happens for ts < span start,
             # which the guard above already excluded.
             return None
-        return entries[pos][1]
+        return self._entries[u][pos][1]
 
     def in_core(self, u: int, ts: int, te: int) -> bool:
         """Is ``u`` in the k-core of ``G[ts, te]``?  (Historical query.)"""
@@ -124,165 +165,305 @@ class CoreTimeResult:
 
 
 class _WindowState:
-    """Mutable per-query working state shared by both phases.
+    """Mutable per-query working state over the compiled flat arrays.
 
-    ``adjacency[u]`` holds one entry per distinct neighbour with at least
-    one edge in the computed span: ``[v, times, ptr]`` where ``times`` is
-    the sorted list of the pair's edge timestamps inside the span and
-    ``ptr`` indexes the first time at or after the current start (advanced
-    lazily and monotonically).  ``incident[u]`` lists the temporal edges of
-    ``u`` sorted by *descending* timestamp so that skyline maintenance can
-    stop scanning once edge times drop below the current start.
+    The compiled graph supplies all immutable structure; per query only
+    four mutable pieces exist: ``ct`` (current core times, int64),
+    ``ptr`` (per adjacency slot, the index into the flat pair-timestamp
+    array of the first time at or after the current start, advanced
+    monotonically), ``ett`` (the timestamp that pointer designates, or a
+    sentinel when the pair has no further edge) and, during the initial
+    scan, per-slot live-edge counts.  Sub-windows need no rebuilt
+    structure: pointers are positioned once at ``ts_lo`` and the end
+    bound is a comparison against ``ts_hi``.
     """
 
-    __slots__ = ("graph", "k", "ts_lo", "ts_hi", "inf", "adjacency", "incident", "ct")
+    __slots__ = (
+        "graph",
+        "cg",
+        "k",
+        "ts_lo",
+        "ts_hi",
+        "inf",
+        "ct",
+        "ptr",
+        "ett",
+        "_inq",
+        "_inc_end",
+    )
 
     def __init__(self, graph: TemporalGraph, k: int, ts_lo: int, ts_hi: int):
         self.graph = graph
+        self.cg = cg = graph.compiled()
         self.k = k
         self.ts_lo = ts_lo
         self.ts_hi = ts_hi
         self.inf = ts_hi + 1
-        n = graph.num_vertices
-
-        pair_times: dict[tuple[int, int], list[int]] = {}
-        incident: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
-        for eid in graph.window_edge_ids(ts_lo, ts_hi):
-            u, v, t = graph.edges[eid]
-            pair_times.setdefault((u, v), []).append(t)
-            incident[u].append((t, v, eid))
-            incident[v].append((t, u, eid))
-        adjacency: list[list[list]] = [[] for _ in range(n)]
-        for (u, v), times in pair_times.items():
-            # window_edge_ids yields in timestamp order, so times is sorted.
-            adjacency[u].append([v, times, 0])
-            adjacency[v].append([u, times, 0])
-        for lst in incident:
-            lst.sort(key=lambda item: -item[0])
-
-        self.adjacency = adjacency
-        self.incident = incident
-        self.ct: list[int] = [self.inf] * n
+        self.ct = np.full(cg.num_vertices, self.inf, dtype=np.int64)
+        if ts_lo == 1:
+            self.ptr = list(cg.slot_times_start)
+            self.ett = cg.np_slot_first_time.copy()
+        else:
+            # Position each pair's pointer at its first edge time >= ts_lo
+            # (bisect once per pair; both directional slots share it).
+            pair_times = cg.pair_times
+            pair_offset = cg.pair_offset
+            first_index = [
+                bisect_left(pair_times, ts_lo, pair_offset[pid], pair_offset[pid + 1])
+                for pid in range(cg.num_pairs)
+            ]
+            self.ptr = [first_index[pid] for pid in cg.slot_pid]
+            pair_first_time = np.asarray(
+                [
+                    pair_times[index] if index < pair_offset[pid + 1] else _NO_TIME
+                    for pid, index in enumerate(first_index)
+                ],
+                dtype=np.int64,
+            )
+            self.ett = pair_first_time[cg.np_slot_pid]
+        self._inq = bytearray(cg.num_vertices)
+        self._inc_end: dict[int, int] | None = None if ts_hi >= cg.tmax else {}
 
     # ------------------------------------------------------------------
 
     def initial_scan(self) -> None:
-        """Compute ``CT_Ts`` for all vertices by the decremental scan."""
-        graph, k = self.graph, self.k
-        ts_lo, ts_hi = self.ts_lo, self.ts_hi
-        adjacency_sets: dict[int, set[int]] = {}
-        for u, entries in enumerate(self.adjacency):
-            if entries:
-                adjacency_sets[u] = {entry[0] for entry in entries}
-        members = peel_k_core(adjacency_sets, k) if adjacency_sets else set()
-        if not members:
-            return
-        core_adjacency = {
-            u: {v for v in adjacency_sets[u] if v in members} for u in members
-        }
-        pair_live: dict[tuple[int, int], int] = {}
-        for u, entries in enumerate(self.adjacency):
-            for v, times, _ in entries:
-                if u < v:
-                    pair_live[(u, v)] = len(times)
+        """Compute ``CT_Ts`` for all vertices by the decremental scan.
 
-        current_te = ts_hi
-        ct = self.ct
-
-        def on_evict(w: int) -> None:
-            ct[w] = current_te
-
-        core = DecrementalCore(core_adjacency, k, on_evict=on_evict)
-        for te in range(ts_hi, ts_lo, -1):
-            current_te = te
-            for eid in graph.edge_ids_at(te):
-                u, v, _ = graph.edges[eid]
-                pair = (u, v)
-                remaining = pair_live[pair] - 1
-                pair_live[pair] = remaining
-                if remaining == 0:
-                    core.delete_pair(u, v)
-        for u in core.members:
-            ct[u] = ts_lo
-
-    def earliest_time(self, entry: list, ts: int) -> int | None:
-        """Earliest edge time of a pair entry at or after ``ts`` (or None).
-
-        Advances the entry's pointer; pointers only move forward because
-        start times are processed in increasing order.
+        Peels the k-core of the widest window with flat degree/live-count
+        arrays, then shrinks the end time deleting contiguous edge-id
+        batches; per-pair live counts are maintained through the
+        edge→slot maps with two array writes per edge.
         """
-        times = entry[1]
-        ptr = entry[2]
-        n = len(times)
-        while ptr < n and times[ptr] < ts:
-            ptr += 1
-        entry[2] = ptr
-        return times[ptr] if ptr < n else None
-
-    def evaluate(self, u: int, ts: int) -> int:
-        """The operator ``T(f)(u)`` at start ``ts`` under the current cts."""
+        cg = self.cg
         k = self.k
-        inf = self.inf
+        ts_lo, ts_hi = self.ts_lo, self.ts_hi
+        n = cg.num_vertices
+        adj_offsets = cg.adj_offsets
+        adj_neighbour = cg.adj_neighbour
+        edge_slot_u = cg.edge_slot_u
+        edge_slot_v = cg.edge_slot_v
+        edge_u = cg.edge_u
+        edge_v = cg.edge_v
+        time_offset = cg.time_offset
+
+        if ts_lo == 1 and ts_hi == cg.tmax:
+            live = list(cg.slot_count)
+            degree = list(cg.full_degree)
+        else:
+            live = [0] * cg.num_slots
+            for eid in range(time_offset[ts_lo], time_offset[ts_hi + 1]):
+                live[edge_slot_u[eid]] += 1
+                live[edge_slot_v[eid]] += 1
+            degree = [0] * n
+            for u in range(n):
+                d = 0
+                for s in range(adj_offsets[u], adj_offsets[u + 1]):
+                    if live[s]:
+                        d += 1
+                degree[u] = d
+
+        # Peel the k-core of G[ts_lo, ts_hi].
+        alive = bytearray(n)
+        stack: list[int] = []
+        for u in range(n):
+            if degree[u] < k:
+                stack.append(u)
+            else:
+                alive[u] = 1
+        while stack:
+            u = stack.pop()
+            if alive[u]:
+                alive[u] = 0
+            for s in range(adj_offsets[u], adj_offsets[u + 1]):
+                if live[s]:
+                    v = adj_neighbour[s]
+                    if alive[v]:
+                        d = degree[v] - 1
+                        degree[v] = d
+                        if d == k - 1:
+                            stack.append(v)
+
+        # Decremental end-time scan: delete the edges stamped te (a
+        # contiguous id range), cascading evictions; a vertex evicted
+        # while shrinking to te - 1 has CT_Ts = te.
         ct = self.ct
-        avails: list[int] = []
-        for entry in self.adjacency[u]:
-            ett = self.earliest_time(entry, ts)
-            if ett is None:
-                continue
-            cv = ct[entry[0]]
-            if cv >= inf:
-                continue
-            avails.append(ett if ett >= cv else cv)
-        if len(avails) < k:
-            return inf
-        return kth_smallest(avails, k)
+        for te in range(ts_hi, ts_lo, -1):
+            for eid in range(time_offset[te], time_offset[te + 1]):
+                su = edge_slot_u[eid]
+                remaining = live[su] - 1
+                live[su] = remaining
+                sv = edge_slot_v[eid]
+                live[sv] -= 1
+                if remaining == 0:
+                    u = edge_u[eid]
+                    v = edge_v[eid]
+                    if alive[u] and alive[v]:
+                        du = degree[u] - 1
+                        degree[u] = du
+                        dv = degree[v] - 1
+                        degree[v] = dv
+                        if du == k - 1:
+                            stack.append(u)
+                        if dv == k - 1:
+                            stack.append(v)
+                        while stack:
+                            w = stack.pop()
+                            if not alive[w]:
+                                continue
+                            alive[w] = 0
+                            ct[w] = te
+                            for s in range(adj_offsets[w], adj_offsets[w + 1]):
+                                if live[s]:
+                                    x = adj_neighbour[s]
+                                    if alive[x]:
+                                        d = degree[x] - 1
+                                        degree[x] = d
+                                        if d == k - 1:
+                                            stack.append(x)
+        for u in range(n):
+            if alive[u]:
+                ct[u] = ts_lo
+
+    def expire_start(self, ts: int) -> None:
+        """Advance pair pointers past the edges stamped ``ts - 1``.
+
+        The earliest time of a pair changes exactly when the start moves
+        past one of its edge times, so only the (contiguous) edge batch at
+        ``ts - 1`` needs its two directional slots refreshed.
+        """
+        cg = self.cg
+        ptr = self.ptr
+        ett = self.ett
+        times = cg.pair_times
+        slot_times_end = cg.slot_times_end
+        edge_slot_u = cg.edge_slot_u
+        edge_slot_v = cg.edge_slot_v
+        time_offset = cg.time_offset
+        for eid in range(time_offset[ts - 1], time_offset[ts]):
+            s = edge_slot_u[eid]
+            p = ptr[s]
+            end = slot_times_end[s]
+            while p < end and times[p] < ts:
+                p += 1
+            ptr[s] = p
+            ett[s] = times[p] if p < end else _NO_TIME
+            s = edge_slot_v[eid]
+            p = ptr[s]
+            end = slot_times_end[s]
+            while p < end and times[p] < ts:
+                p += 1
+            ptr[s] = p
+            ett[s] = times[p] if p < end else _NO_TIME
 
     def advance_start(self, ts: int) -> dict[int, int]:
         """Move the start time to ``ts`` (from ``ts - 1``).
 
-        Runs the chaotic fixpoint iteration seeded at the endpoints of the
-        edges stamped ``ts - 1`` and returns ``{vertex: previous core
+        Refreshes the earliest-times of the expiring edge batch, then
+        runs the chaotic fixpoint iteration seeded at the endpoints whose
+        core time can actually grow, and returns ``{vertex: previous core
         time}`` for every vertex whose core time increased.
         """
-        graph = self.graph
+        self.expire_start(ts)
+        cg = self.cg
         ct = self.ct
+        ett = self.ett
+        k = self.k
         inf = self.inf
+        ts_hi = self.ts_hi
+        adj_offsets = cg.adj_offsets
+        np_adj_neighbour = cg.np_adj_neighbour
+        time_offset = cg.time_offset
         changed: dict[int, int] = {}
         queue: deque[int] = deque()
-        queued: set[int] = set()
-        for eid in graph.edge_ids_at(ts - 1):
-            u, v, _ = graph.edges[eid]
-            for w in (u, v):
-                if ct[w] < inf and w not in queued:
+        inq = self._inq
+
+        batch_lo = time_offset[ts - 1]
+        batch_hi = time_offset[ts]
+        if batch_lo < batch_hi:
+            # Seed filter, vectorised over the expiring batch: endpoint u
+            # of pair (u, v) needs re-evaluation only if the pair's
+            # available time max(ett, CT(v)) contributed to CT(u) before
+            # (CT(v) <= CT(u), since the expiring time made the max CT(v))
+            # and strictly grows now (next pair time > CT(v)).
+            batch = slice(batch_lo, batch_hi)
+            endpoint_u = cg.np_edge_u[batch]
+            endpoint_v = cg.np_edge_v[batch]
+            ct_u = ct[endpoint_u]
+            ct_v = ct[endpoint_v]
+            next_time = ett[cg.np_edge_slot_u[batch]]
+            seed_u = (ct_u <= ts_hi) & (ct_v <= ct_u) & (next_time > ct_v)
+            seed_v = (ct_v <= ts_hi) & (ct_u <= ct_v) & (next_time > ct_u)
+            for w in np.concatenate(
+                (endpoint_u[seed_u], endpoint_v[seed_v])
+            ).tolist():
+                if not inq[w]:
+                    inq[w] = 1
                     queue.append(w)
-                    queued.add(w)
+
+        km1 = k - 1
         while queue:
             u = queue.popleft()
-            queued.discard(u)
-            old = ct[u]
+            inq[u] = 0
+            old = int(ct[u])
             if old >= inf:
                 continue
-            new = self.evaluate(u, ts)
+            lo = adj_offsets[u]
+            hi = adj_offsets[u + 1]
+            neighbours = np_adj_neighbour[lo:hi]
+            neighbour_ct = ct[neighbours]
+            slot_ett = ett[lo:hi]
+            avail = np.maximum(slot_ett, neighbour_ct)
+            # Entries past ts_hi (neighbour or pair exhausted) sort after
+            # every finite value, so the k-th smallest of the raw array is
+            # either the k-th finite value or a witness that fewer than k
+            # finite values exist.
+            if avail.size <= km1:
+                new = inf
+            else:
+                if k == 1:
+                    candidate = int(avail.min())
+                else:
+                    avail.partition(km1)
+                    candidate = int(avail[km1])
+                new = candidate if candidate <= ts_hi else inf
             if new <= old:
                 continue
             if u not in changed:
                 changed[u] = old
             ct[u] = new
-            for entry in self.adjacency[u]:
-                v = entry[0]
-                cv = ct[v]
-                if cv >= inf or v in queued:
-                    continue
-                ett = self.earliest_time(entry, ts)
-                if ett is None:
-                    continue
-                old_avail = ett if ett >= old else old
-                if old_avail <= cv:
-                    new_avail = ett if ett >= new else new
-                    if new_avail > cv:
-                        queue.append(v)
-                        queued.add(v)
+            # Re-schedule neighbours whose k-th-smallest input may have
+            # grown: only those for which u's available time was at most
+            # their core time before the increase and above it after.
+            push = (np.maximum(slot_ett, old) <= neighbour_ct) & (
+                neighbour_ct <= ts_hi
+            )
+            if new <= ts_hi:
+                push &= np.maximum(slot_ett, new) > neighbour_ct
+            for w in neighbours[push].tolist():
+                if not inq[w]:
+                    inq[w] = 1
+                    queue.append(w)
         return changed
+
+    def incident_end(self, u: int) -> int:
+        """One past the last incident-CSR index of ``u`` inside the span.
+
+        Incident edges are sorted by ascending time; for full-span
+        queries this is just the CSR offset, for sub-windows the cut at
+        ``ts_hi`` is binary-searched once per vertex and memoised.
+        """
+        cg = self.cg
+        if self._inc_end is None:
+            return cg.inc_offsets[u + 1]
+        cached = self._inc_end.get(u)
+        if cached is not None:
+            return cached
+        inc_time = cg.np_inc_time
+        lo = cg.inc_offsets[u]
+        hi = cg.inc_offsets[u + 1]
+        end = lo + int(np.searchsorted(inc_time[lo:hi], self.ts_hi, side="right"))
+        self._inc_end[u] = end
+        return end
 
 
 def compute_core_times(
@@ -300,7 +481,9 @@ def compute_core_times(
     windows of every edge emitted as a byproduct.
 
     Parameters default to the graph's full span.  Complexity:
-    ``O(|VCT| * deg_avg)`` plus the ``O(n + m)`` initial scan.
+    ``O(|VCT| * deg_avg)`` plus the ``O(n + m)`` initial scan.  The first
+    call on a graph compiles its flat-array representation (cached on the
+    graph); subsequent calls reuse it.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -309,53 +492,90 @@ def compute_core_times(
     graph.check_window(ts_lo, ts_hi)
 
     state = _WindowState(graph, k, ts_lo, ts_hi)
+    cg = state.cg
     inf = state.inf
     ct = state.ct
     state.initial_scan()
 
-    vct_entries: list[list[tuple[int, int | None]]] = [
-        [] for _ in range(graph.num_vertices)
-    ]
-    for u in range(graph.num_vertices):
-        if ct[u] < inf:
-            vct_entries[u].append((ts_lo, ct[u]))
+    num_vertices = cg.num_vertices
+    vct_entries: list[list[tuple[int, int | None]]] = [[] for _ in range(num_vertices)]
+    for u, c in enumerate(ct.tolist()):
+        if c < inf:
+            vct_entries[u].append((ts_lo, c))
+
+    time_offset = cg.time_offset
+    inc_offsets = cg.inc_offsets
+    inc_time = cg.np_inc_time
+    inc_other = cg.np_inc_other
+    inc_eid = cg.np_inc_eid
 
     ecs: list[list[tuple[int, int]]] | None = None
-    ect: list[int] | None = None
+    ect: "np.ndarray | None" = None
     if with_skyline:
-        ecs = [[] for _ in range(graph.num_edges)]
-        ect = [inf] * graph.num_edges
-        for eid in graph.window_edge_ids(ts_lo, ts_hi):
-            u, v, t = graph.edges[eid]
-            cu, cv = ct[u], ct[v]
-            ect[eid] = max(cu, cv, t)
+        ecs = [[] for _ in range(cg.num_edges)]
+        ect = np.full(cg.num_edges, inf, dtype=np.int64)
+        window = slice(time_offset[ts_lo], time_offset[ts_hi + 1])
+        ect[window] = np.maximum(
+            np.maximum(ct[cg.np_edge_u[window]], ct[cg.np_edge_v[window]]),
+            cg.np_edge_t[window],
+        )
         # Edges stamped with the very first start time leave the window as
         # soon as the start advances: their pending window finalises now.
-        for eid in graph.edge_ids_at(ts_lo):
-            if ect[eid] <= ts_hi:
-                ecs[eid].append((ts_lo, ect[eid]))
+        base = time_offset[ts_lo]
+        first_batch = ect[base : time_offset[ts_lo + 1]]
+        for offset in np.nonzero(first_batch <= ts_hi)[0].tolist():
+            ecs[base + offset].append((ts_lo, int(first_batch[offset])))
 
     for current_ts in range(ts_lo + 1, ts_hi + 1):
         changed = state.advance_start(current_ts)
-        for u, _previous in changed.items():
-            new_ct = ct[u]
-            vct_entries[u].append((current_ts, new_ct if new_ct < inf else None))
-            if ecs is None or ect is None:
-                continue
-            cu = new_ct
-            for t, v, eid in state.incident[u]:
-                if t < current_ts:
-                    break
-                new_ect = max(cu, ct[v], t)
-                old_ect = ect[eid]
-                if new_ect > old_ect:
-                    if old_ect <= ts_hi:
-                        ecs[eid].append((current_ts - 1, old_ect))
-                    ect[eid] = new_ect
+        if changed:
+            # Collect the incident-CSR suffixes (time >= current_ts) of
+            # every changed vertex and re-derive the core times of those
+            # edges in one vectorised pass: any strict increase finalises
+            # the previously pending minimal window at current_ts - 1
+            # (Lemma 2).  An edge with both endpoints changed appears
+            # twice with the same re-derived value (both gathers read the
+            # final cts), so increases are deduplicated per edge id.
+            pieces: list[np.ndarray] = []
+            piece_ct: list[int] = []
+            piece_len: list[int] = []
+            for u in changed:
+                new_ct = int(ct[u])
+                vct_entries[u].append((current_ts, new_ct if new_ct < inf else None))
+                if ecs is None:
+                    continue
+                lo = inc_offsets[u]
+                hi = state.incident_end(u)
+                lo += inc_time[lo:hi].searchsorted(current_ts)
+                if lo < hi:
+                    pieces.append(np.arange(lo, hi))
+                    piece_ct.append(new_ct)
+                    piece_len.append(hi - lo)
+            if pieces:
+                index = np.concatenate(pieces)
+                changed_ct = np.repeat(
+                    np.asarray(piece_ct, dtype=np.int64),
+                    np.asarray(piece_len),
+                )
+                new_ect = np.maximum(ct[inc_other[index]], inc_time[index])
+                np.maximum(new_ect, changed_ct, out=new_ect)
+                edge_ids = inc_eid[index]
+                old_ect = ect[edge_ids]
+                grew = (new_ect > old_ect).nonzero()[0]
+                if grew.size:
+                    grew_ids = edge_ids[grew]
+                    grew_old = old_ect[grew]
+                    _, first = np.unique(grew_ids, return_index=True)
+                    for j in first.tolist():
+                        finalised = int(grew_old[j])
+                        if finalised <= ts_hi:
+                            ecs[int(grew_ids[j])].append((current_ts - 1, finalised))
+                    ect[grew_ids] = new_ect[grew]
         if ecs is not None and ect is not None:
-            for eid in graph.edge_ids_at(current_ts):
-                if ect[eid] <= ts_hi:
-                    ecs[eid].append((current_ts, ect[eid]))
+            base = time_offset[current_ts]
+            batch = ect[base : time_offset[current_ts + 1]]
+            for offset in (batch <= ts_hi).nonzero()[0].tolist():
+                ecs[base + offset].append((current_ts, int(batch[offset])))
 
     vct = VertexCoreTimeIndex(vct_entries, k, (ts_lo, ts_hi))
     skyline = (
@@ -383,4 +603,4 @@ def core_time_by_rescan(graph: TemporalGraph, k: int, ts: int, te: int) -> dict[
     graph.check_window(ts, te)
     state = _WindowState(graph, k, ts, te)
     state.initial_scan()
-    return {u: c for u, c in enumerate(state.ct) if c < state.inf}
+    return {u: c for u, c in enumerate(state.ct.tolist()) if c < state.inf}

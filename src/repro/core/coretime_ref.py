@@ -1,0 +1,278 @@
+"""Reference (pre-compiled-kernel) implementation of Algorithm 2.
+
+This is the original dict-and-list CoreTime kernel, kept verbatim after
+the hot path moved to the flat-array representation of
+:mod:`repro.graph.csr`.  It serves two purposes:
+
+* the equivalence oracle for the compiled kernel — the property tests
+  assert that :func:`repro.core.coretime.compute_core_times` returns
+  bit-identical VCT entries and ECS windows to this implementation;
+* the "before" side of the PR 1 kernel benchmark
+  (``benchmarks/bench_pr1_kernel.py``), which reports the speedup of the
+  flat-array rewrite against this baseline.
+
+It intentionally re-creates all per-query working state (pair-timestamp
+dict, per-neighbour ``[v, times, ptr]`` cells, per-vertex incident lists)
+on every call, exactly as the seed implementation did.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.errors import InvalidParameterError
+from repro.graph.static_core import DecrementalCore, peel_k_core
+from repro.graph.temporal_graph import TemporalGraph
+from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex
+from repro.core.windows import EdgeCoreSkyline
+from repro.utils.order import kth_smallest
+
+
+class _ReferenceWindowState:
+    """Mutable per-query working state shared by both phases.
+
+    ``adjacency[u]`` holds one entry per distinct neighbour with at least
+    one edge in the computed span: ``[v, times, ptr]`` where ``times`` is
+    the sorted list of the pair's edge timestamps inside the span and
+    ``ptr`` indexes the first time at or after the current start (advanced
+    lazily and monotonically).  ``incident[u]`` lists the temporal edges of
+    ``u`` sorted by *descending* timestamp so that skyline maintenance can
+    stop scanning once edge times drop below the current start.
+    """
+
+    __slots__ = ("graph", "k", "ts_lo", "ts_hi", "inf", "adjacency", "incident", "ct")
+
+    def __init__(self, graph: TemporalGraph, k: int, ts_lo: int, ts_hi: int):
+        self.graph = graph
+        self.k = k
+        self.ts_lo = ts_lo
+        self.ts_hi = ts_hi
+        self.inf = ts_hi + 1
+        n = graph.num_vertices
+
+        pair_times: dict[tuple[int, int], list[int]] = {}
+        incident: list[list[tuple[int, int, int]]] = [[] for _ in range(n)]
+        for eid in graph.window_edge_ids(ts_lo, ts_hi):
+            u, v, t = graph.edges[eid]
+            pair_times.setdefault((u, v), []).append(t)
+            incident[u].append((t, v, eid))
+            incident[v].append((t, u, eid))
+        adjacency: list[list[list]] = [[] for _ in range(n)]
+        for (u, v), times in pair_times.items():
+            # window_edge_ids yields in timestamp order, so times is sorted.
+            adjacency[u].append([v, times, 0])
+            adjacency[v].append([u, times, 0])
+        for lst in incident:
+            lst.sort(key=lambda item: -item[0])
+
+        self.adjacency = adjacency
+        self.incident = incident
+        self.ct: list[int] = [self.inf] * n
+
+    # ------------------------------------------------------------------
+
+    def initial_scan(self) -> None:
+        """Compute ``CT_Ts`` for all vertices by the decremental scan."""
+        graph, k = self.graph, self.k
+        ts_lo, ts_hi = self.ts_lo, self.ts_hi
+        adjacency_sets: dict[int, set[int]] = {}
+        for u, entries in enumerate(self.adjacency):
+            if entries:
+                adjacency_sets[u] = {entry[0] for entry in entries}
+        members = peel_k_core(adjacency_sets, k) if adjacency_sets else set()
+        if not members:
+            return
+        core_adjacency = {
+            u: {v for v in adjacency_sets[u] if v in members} for u in members
+        }
+        pair_live: dict[tuple[int, int], int] = {}
+        for u, entries in enumerate(self.adjacency):
+            for v, times, _ in entries:
+                if u < v:
+                    pair_live[(u, v)] = len(times)
+
+        current_te = ts_hi
+        ct = self.ct
+
+        def on_evict(w: int) -> None:
+            ct[w] = current_te
+
+        core = DecrementalCore(core_adjacency, k, on_evict=on_evict)
+        for te in range(ts_hi, ts_lo, -1):
+            current_te = te
+            for eid in graph.edge_ids_at(te):
+                u, v, _ = graph.edges[eid]
+                pair = (u, v)
+                remaining = pair_live[pair] - 1
+                pair_live[pair] = remaining
+                if remaining == 0:
+                    core.delete_pair(u, v)
+        for u in core.members:
+            ct[u] = ts_lo
+
+    def earliest_time(self, entry: list, ts: int) -> int | None:
+        """Earliest edge time of a pair entry at or after ``ts`` (or None).
+
+        Advances the entry's pointer; pointers only move forward because
+        start times are processed in increasing order.
+        """
+        times = entry[1]
+        ptr = entry[2]
+        n = len(times)
+        while ptr < n and times[ptr] < ts:
+            ptr += 1
+        entry[2] = ptr
+        return times[ptr] if ptr < n else None
+
+    def evaluate(self, u: int, ts: int) -> int:
+        """The operator ``T(f)(u)`` at start ``ts`` under the current cts."""
+        k = self.k
+        inf = self.inf
+        ct = self.ct
+        avails: list[int] = []
+        for entry in self.adjacency[u]:
+            ett = self.earliest_time(entry, ts)
+            if ett is None:
+                continue
+            cv = ct[entry[0]]
+            if cv >= inf:
+                continue
+            avails.append(ett if ett >= cv else cv)
+        if len(avails) < k:
+            return inf
+        return kth_smallest(avails, k)
+
+    def advance_start(self, ts: int) -> dict[int, int]:
+        """Move the start time to ``ts`` (from ``ts - 1``).
+
+        Runs the chaotic fixpoint iteration seeded at the endpoints of the
+        edges stamped ``ts - 1`` and returns ``{vertex: previous core
+        time}`` for every vertex whose core time increased.
+        """
+        graph = self.graph
+        ct = self.ct
+        inf = self.inf
+        changed: dict[int, int] = {}
+        queue: deque[int] = deque()
+        queued: set[int] = set()
+        for eid in graph.edge_ids_at(ts - 1):
+            u, v, _ = graph.edges[eid]
+            for w in (u, v):
+                if ct[w] < inf and w not in queued:
+                    queue.append(w)
+                    queued.add(w)
+        while queue:
+            u = queue.popleft()
+            queued.discard(u)
+            old = ct[u]
+            if old >= inf:
+                continue
+            new = self.evaluate(u, ts)
+            if new <= old:
+                continue
+            if u not in changed:
+                changed[u] = old
+            ct[u] = new
+            for entry in self.adjacency[u]:
+                v = entry[0]
+                cv = ct[v]
+                if cv >= inf or v in queued:
+                    continue
+                ett = self.earliest_time(entry, ts)
+                if ett is None:
+                    continue
+                old_avail = ett if ett >= old else old
+                if old_avail <= cv:
+                    new_avail = ett if ett >= new else new
+                    if new_avail > cv:
+                        queue.append(v)
+                        queued.add(v)
+        return changed
+
+
+def compute_core_times_reference(
+    graph: TemporalGraph,
+    k: int,
+    ts: int | None = None,
+    te: int | None = None,
+    *,
+    with_skyline: bool = True,
+) -> CoreTimeResult:
+    """Reference Algorithm 2: VCT index (and optionally ECS) over ``[ts, te]``.
+
+    Semantically identical to
+    :func:`repro.core.coretime.compute_core_times`; kept as the oracle for
+    the compiled flat-array kernel.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    ts_lo = 1 if ts is None else ts
+    ts_hi = graph.tmax if te is None else te
+    graph.check_window(ts_lo, ts_hi)
+
+    state = _ReferenceWindowState(graph, k, ts_lo, ts_hi)
+    inf = state.inf
+    ct = state.ct
+    state.initial_scan()
+
+    vct_entries: list[list[tuple[int, int | None]]] = [
+        [] for _ in range(graph.num_vertices)
+    ]
+    for u in range(graph.num_vertices):
+        if ct[u] < inf:
+            vct_entries[u].append((ts_lo, ct[u]))
+
+    ecs: list[list[tuple[int, int]]] | None = None
+    ect: list[int] | None = None
+    if with_skyline:
+        ecs = [[] for _ in range(graph.num_edges)]
+        ect = [inf] * graph.num_edges
+        for eid in graph.window_edge_ids(ts_lo, ts_hi):
+            u, v, t = graph.edges[eid]
+            cu, cv = ct[u], ct[v]
+            ect[eid] = max(cu, cv, t)
+        # Edges stamped with the very first start time leave the window as
+        # soon as the start advances: their pending window finalises now.
+        for eid in graph.edge_ids_at(ts_lo):
+            if ect[eid] <= ts_hi:
+                ecs[eid].append((ts_lo, ect[eid]))
+
+    for current_ts in range(ts_lo + 1, ts_hi + 1):
+        changed = state.advance_start(current_ts)
+        for u, _previous in changed.items():
+            new_ct = ct[u]
+            vct_entries[u].append((current_ts, new_ct if new_ct < inf else None))
+            if ecs is None or ect is None:
+                continue
+            cu = new_ct
+            for t, v, eid in state.incident[u]:
+                if t < current_ts:
+                    break
+                new_ect = max(cu, ct[v], t)
+                old_ect = ect[eid]
+                if new_ect > old_ect:
+                    if old_ect <= ts_hi:
+                        ecs[eid].append((current_ts - 1, old_ect))
+                    ect[eid] = new_ect
+        if ecs is not None and ect is not None:
+            for eid in graph.edge_ids_at(current_ts):
+                if ect[eid] <= ts_hi:
+                    ecs[eid].append((current_ts, ect[eid]))
+
+    vct = VertexCoreTimeIndex(vct_entries, k, (ts_lo, ts_hi))
+    skyline = (
+        EdgeCoreSkyline([tuple(w) for w in ecs], k, (ts_lo, ts_hi))
+        if ecs is not None
+        else None
+    )
+    return CoreTimeResult(vct=vct, ecs=skyline)
+
+
+def core_time_by_rescan_reference(
+    graph: TemporalGraph, k: int, ts: int, te: int
+) -> dict[int, int]:
+    """Reference ``CT_ts`` for a single start time by direct scan."""
+    graph.check_window(ts, te)
+    state = _ReferenceWindowState(graph, k, ts, te)
+    state.initial_scan()
+    return {u: c for u, c in enumerate(state.ct) if c < state.inf}

@@ -5,7 +5,9 @@ The paper computes the skyline per query.  In an index-serving deployment
 time span and answer arbitrary sub-ranges.  Minimal core windows are
 intrinsic to the graph, so the skyline of a sub-range is a filter of the
 whole-span skyline (``EdgeCoreSkyline.restricted_to``); activation times
-are re-derived by the enumerator.  This module packages that pattern,
+are re-derived by the enumerator.  This module packages that pattern —
+:class:`CoreIndex` for one ``(graph, k)``, :class:`CoreIndexRegistry`
+for an LRU-bounded pool of them serving many graphs and ``k`` values —
 plus a simple text serialisation for persistence.
 """
 
@@ -13,6 +15,7 @@ from __future__ import annotations
 
 import io
 import os
+from collections import OrderedDict
 
 from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
 from repro.core.enumerate import enumerate_temporal_kcores
@@ -20,6 +23,7 @@ from repro.core.results import EnumerationResult
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.timer import Deadline
 
 
 class CoreIndex:
@@ -36,7 +40,12 @@ class CoreIndex:
         self.ecs: EdgeCoreSkyline = result.ecs
 
     def query(
-        self, ts: int, te: int, *, collect: bool = True
+        self,
+        ts: int,
+        te: int,
+        *,
+        collect: bool = True,
+        deadline: Deadline | None = None,
     ) -> EnumerationResult:
         """All distinct temporal k-cores of ``[ts, te]`` from the index.
 
@@ -46,7 +55,13 @@ class CoreIndex:
         self.graph.check_window(ts, te)
         restricted = self.ecs.restricted_to(ts, te)
         return enumerate_temporal_kcores(
-            self.graph, self.k, ts, te, skyline=restricted, collect=collect
+            self.graph,
+            self.k,
+            ts,
+            te,
+            skyline=restricted,
+            collect=collect,
+            deadline=deadline,
         )
 
     def historical_core(self, ts: int, te: int) -> set[int]:
@@ -99,6 +114,80 @@ class CoreIndex:
             )
             buffer.write(f"{u}: {rendered}\n")
         return buffer.getvalue()
+
+
+class CoreIndexRegistry:
+    """An LRU cache of :class:`CoreIndex` instances keyed on ``(graph, k)``.
+
+    The serving path of :class:`~repro.core.query.TimeRangeCoreQuery`
+    (``engine="index"``) and the batch runner go through a registry so
+    that repeated queries against the same graph and ``k`` build the
+    index once and answer sub-ranges from it.  Graphs are keyed by
+    identity (they are immutable but not hashable by value); each cache
+    entry pins its graph, so an ``id()`` can never be observed for two
+    different live graphs.
+
+    Not thread-safe; use one registry per serving thread or guard
+    externally.
+    """
+
+    def __init__(self, capacity: int = 8):
+        if capacity < 1:
+            raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: OrderedDict[tuple[int, int], CoreIndex] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, graph: TemporalGraph, k: int) -> CoreIndex:
+        """The cached index for ``(graph, k)``, building it on a miss.
+
+        Least-recently-used entries are evicted beyond ``capacity``.
+        """
+        key = (id(graph), k)
+        index = self._entries.get(key)
+        if index is not None and index.graph is graph:
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return index
+        self.misses += 1
+        index = CoreIndex(graph, k)
+        self._entries[key] = index
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+        return index
+
+    def clear(self) -> None:
+        """Drop every cached index (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Hit/miss/size counters for observability."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }
+
+
+#: Process-wide default registry used by ``engine="index"`` and the
+#: sequential batch runner.
+DEFAULT_REGISTRY = CoreIndexRegistry()
+
+
+def get_core_index(
+    graph: TemporalGraph, k: int, *, registry: CoreIndexRegistry | None = None
+) -> CoreIndex:
+    """Fetch (or build) the shared index for ``(graph, k)``.
+
+    Uses :data:`DEFAULT_REGISTRY` unless an explicit registry is given.
+    """
+    return (registry if registry is not None else DEFAULT_REGISTRY).get(graph, k)
 
 
 def load_vct(text: str) -> VertexCoreTimeIndex:

@@ -19,13 +19,17 @@ from repro.baselines.otcd import enumerate_otcd
 from repro.core.coretime import CoreTimeResult, compute_core_times
 from repro.core.enumbase import enumerate_temporal_kcores_base
 from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.index import CoreIndexRegistry, get_core_index
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.timer import Deadline
 
-#: Engines selectable by name.  ``enum`` is the paper's final algorithm.
-ENGINES = ("enum", "enumbase", "otcd", "otcd-nopruning", "bruteforce")
+#: Engines selectable by name.  ``enum`` is the paper's final algorithm;
+#: ``index`` answers from a shared full-span CoreIndex (built once per
+#: ``(graph, k)`` and cached in an LRU registry), which is the serving
+#: path for repeated queries against the same graph.
+ENGINES = ("enum", "enumbase", "otcd", "otcd-nopruning", "bruteforce", "index")
 
 
 @dataclass
@@ -47,7 +51,15 @@ class TimeRangeCoreQuery:
         Materialise cores (default) or stream counters only.
     timeout:
         Optional per-query soft deadline in seconds; on expiry the result
-        is returned partially filled with ``completed=False``.
+        is returned partially filled with ``completed=False``.  For
+        ``engine="index"`` the deadline governs the enumeration only: a
+        cold-cache index build runs to completion (a partial index would
+        be useless to later queries), so the first query against a
+        ``(graph, k)`` can overshoot the deadline by the build time.
+    registry:
+        Index registry consulted by ``engine="index"``; defaults to the
+        process-wide :data:`repro.core.index.DEFAULT_REGISTRY`.  Ignored
+        by the other engines.
     """
 
     graph: TemporalGraph
@@ -56,6 +68,7 @@ class TimeRangeCoreQuery:
     engine: str = "enum"
     collect: bool = True
     timeout: float | None = None
+    registry: CoreIndexRegistry | None = None
 
     def __post_init__(self) -> None:
         if self.engine not in ENGINES:
@@ -96,6 +109,9 @@ class TimeRangeCoreQuery:
                 collect=self.collect,
                 deadline=deadline,
             )
+        if self.engine == "index":
+            index = get_core_index(self.graph, self.k, registry=self.registry)
+            return index.query(ts, te, collect=self.collect, deadline=deadline)
         return enumerate_bruteforce(
             self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
         )

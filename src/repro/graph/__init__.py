@@ -16,6 +16,7 @@ from repro.graph.metrics import (
     degree_histogram,
     timestamp_histogram,
 )
+from repro.graph.csr import CompiledGraph, compile_graph
 from repro.graph.snapshot import Snapshot
 from repro.graph.static_core import (
     DecrementalCore,
@@ -34,6 +35,7 @@ from repro.graph.validation import (
 
 __all__ = [
     "BurstyConfig",
+    "CompiledGraph",
     "DecrementalCore",
     "Snapshot",
     "TemporalMetrics",
@@ -43,6 +45,7 @@ __all__ = [
     "burstiness",
     "check_graph_invariants",
     "chung_lu_temporal",
+    "compile_graph",
     "compute_temporal_metrics",
     "core_decomposition",
     "degree_histogram",

@@ -56,11 +56,13 @@ class TemporalGraph:
     __slots__ = (
         "_edges",
         "_edge_ids_by_time",
+        "_time_offset",
         "_labels",
         "_label_ids",
         "_raw_times",
         "_num_dropped_self_loops",
         "_adjacency_cache",
+        "_compiled_cache",
     )
 
     def __init__(
@@ -127,6 +129,7 @@ class TemporalGraph:
         self._raw_times: tuple[int, ...] = tuple(raw_times)
         self._num_dropped_self_loops = dropped
         self._adjacency_cache: list[list[tuple[int, int, int]]] | None = None
+        self._compiled_cache = None
 
         tmax = self.tmax
         ids_by_time: list[list[int]] = [[] for _ in range(tmax + 1)]
@@ -135,6 +138,15 @@ class TemporalGraph:
         self._edge_ids_by_time: tuple[tuple[int, ...], ...] = tuple(
             tuple(ids) for ids in ids_by_time
         )
+        # Edges are sorted by timestamp, so ``_time_offset[t]`` (the number
+        # of edges stamped strictly before ``t``) turns any window into a
+        # contiguous edge-id range: ids in ``[ts, te]`` are exactly
+        # ``range(_time_offset[ts], _time_offset[te + 1])``.
+        offsets = [0] * (tmax + 2)
+        running = 0
+        for t in range(1, tmax + 2):
+            offsets[t] = running = running + len(ids_by_time[t - 1])
+        self._time_offset: tuple[int, ...] = tuple(offsets)
 
     # ------------------------------------------------------------------
     # Basic accessors
@@ -192,6 +204,16 @@ class TemporalGraph:
             raise KeyError(f"raw timestamp {raw_t} not present in graph")
         return pos + 1
 
+    def time_offsets(self) -> tuple[int, ...]:
+        """The timestamp→edge-id prefix table (length ``tmax + 2``).
+
+        ``time_offsets()[t]`` is the number of edges stamped strictly
+        before ``t``; edge ids in ``[ts, te]`` are exactly
+        ``range(table[ts], table[te + 1])``.  Shared with the compiled
+        flat-array view so the table exists once per graph.
+        """
+        return self._time_offset
+
     def edge_ids_at(self, t: int) -> tuple[int, ...]:
         """Edge ids whose timestamp is exactly ``t``."""
         if t < 1 or t > self.tmax:
@@ -218,20 +240,35 @@ class TemporalGraph:
             self._adjacency_cache = adjacency
         return self._adjacency_cache
 
-    def window_edge_ids(self, ts: int, te: int) -> Iterator[int]:
-        """Yield ids of edges whose timestamp lies in ``[ts, te]``.
+    def compiled(self):
+        """The flat-array (CSR) view of this graph, built once and cached.
 
-        Edge ids are yielded in timestamp order.  The cost is proportional
-        to the width of the window plus the number of matching edges.
+        Returns a :class:`repro.graph.csr.CompiledGraph`; every CoreTime
+        query over this graph shares it, which is what removes the
+        per-query adjacency rebuild from the hot path.
+        """
+        if self._compiled_cache is None:
+            from repro.graph.csr import CompiledGraph
+
+            self._compiled_cache = CompiledGraph(self)
+        return self._compiled_cache
+
+    def window_edge_ids(self, ts: int, te: int) -> range:
+        """Edge ids whose timestamp lies in ``[ts, te]``, in timestamp order.
+
+        Edges are stored sorted by timestamp, so the ids of a window form
+        the contiguous range ``_time_offset[ts] .. _time_offset[te + 1]``;
+        the lookup is O(1) regardless of window width (sparse windows cost
+        nothing), and iteration is proportional to the matches alone.
         """
         self.check_window(ts, te)
-        for t in range(ts, te + 1):
-            yield from self._edge_ids_by_time[t]
+        return range(self._time_offset[ts], self._time_offset[te + 1])
 
     def window_edges(self, ts: int, te: int) -> Iterator[TemporalEdge]:
         """Yield the edges of the projected graph ``G[ts, te]``."""
+        edges = self._edges
         for eid in self.window_edge_ids(ts, te):
-            yield self._edges[eid]
+            yield edges[eid]
 
     def check_window(self, ts: int, te: int) -> None:
         """Validate that ``[ts, te]`` is a window inside ``[1, tmax]``."""

@@ -38,21 +38,42 @@ def kth_smallest(values: Sequence[int], k: int) -> int:
     return sorted(values)[k - 1]
 
 
+#: Sparse cut-over: fall back to timsort when the key span exceeds this
+#: multiple of the item count (bucket allocation would dominate).
+_SPARSE_SPAN_FACTOR = 8
+
+
 def counting_sort_by(
     items: Iterable[T],
     key: Callable[[T], int],
     lo: int,
     hi: int,
 ) -> list[T]:
-    """Stable counting sort of ``items`` by an integer key in ``[lo, hi]``.
+    """Stable sort of ``items`` by an integer key in ``[lo, hi]``.
 
-    Runs in ``O(len(items) + hi - lo)`` time, which keeps the window
-    ordering step of the enumeration linear in the skyline size.
+    Dense key ranges use a counting sort — ``O(len(items) + hi - lo)``
+    time, which keeps the window ordering step of the enumeration linear
+    in the skyline size.  When the span is much wider than the item count
+    (sparse windows), allocating one bucket per key would dominate, so
+    the sort falls back to a decorate-and-timsort pass —
+    ``O(len(items) log len(items))`` with no span-sized allocation.  Both
+    paths are stable and validate every key against ``[lo, hi]``.
     """
     if hi < lo:
         raise ValueError(f"empty key range [{lo}, {hi}]")
-    buckets: list[list[T]] = [[] for _ in range(hi - lo + 1)]
-    for item in items:
+    materialised = list(items)
+    span = hi - lo + 1
+    if span > _SPARSE_SPAN_FACTOR * len(materialised) + 16:
+        decorated: list[tuple[int, int]] = []
+        for position, item in enumerate(materialised):
+            value = key(item)
+            if value < lo or value > hi:
+                raise ValueError(f"key {value} outside [{lo}, {hi}]")
+            decorated.append((value, position))
+        decorated.sort()
+        return [materialised[position] for _, position in decorated]
+    buckets: list[list[T]] = [[] for _ in range(span)]
+    for item in materialised:
         value = key(item)
         if value < lo or value > hi:
             raise ValueError(f"key {value} outside [{lo}, {hi}]")

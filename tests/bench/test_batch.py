@@ -49,3 +49,35 @@ class TestParallelBatch:
         a = BatchAnswer((1, 2), 3, 9)
         b = BatchAnswer((1, 2), 3, 9)
         assert a == b
+
+
+class TestEngineBatch:
+    def test_index_engine_matches_default_runner(self, paper_graph):
+        from repro.bench.batch import run_engine_batch
+
+        ranges = [(1, 4), (2, 3), (1, 7), (5, 5)]
+        assert run_engine_batch(paper_graph, 2, ranges) == run_query_batch(
+            paper_graph, 2, ranges
+        )
+
+    def test_enum_engine_agrees(self, paper_graph):
+        from repro.bench.batch import run_engine_batch
+
+        ranges = [(1, 7), (2, 6)]
+        assert run_engine_batch(paper_graph, 2, ranges, engine="enum") == (
+            run_engine_batch(paper_graph, 2, ranges)
+        )
+
+    def test_empty(self, paper_graph):
+        from repro.bench.batch import run_engine_batch
+
+        assert run_engine_batch(paper_graph, 2, []) == []
+
+    def test_batch_reuses_registry_index(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=2)
+        run_query_batch(paper_graph, 2, [(1, 4), (2, 6)], registry=registry)
+        run_query_batch(paper_graph, 2, [(1, 7)], registry=registry)
+        assert registry.misses == 1
+        assert registry.hits == 1

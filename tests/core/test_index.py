@@ -110,3 +110,65 @@ class TestVctSerialisation:
 
         with pytest.raises(InvalidParameterError):
             load_vct("nope")
+
+
+class TestCoreIndexRegistry:
+    def test_hit_and_miss_counters(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=4)
+        first = registry.get(paper_graph, 2)
+        second = registry.get(paper_graph, 2)
+        assert first is second
+        assert registry.stats() == {"hits": 1, "misses": 1, "size": 1, "capacity": 4}
+
+    def test_distinct_k_are_distinct_entries(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=4)
+        assert registry.get(paper_graph, 2) is not registry.get(paper_graph, 3)
+        assert len(registry) == 2
+
+    def test_lru_eviction(self, paper_graph, triangle_graph):
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=2)
+        a = registry.get(paper_graph, 2)
+        b = registry.get(triangle_graph, 2)
+        registry.get(paper_graph, 2)  # refresh a
+        registry.get(paper_graph, 3)  # evicts b (least recently used)
+        assert len(registry) == 2
+        assert registry.get(paper_graph, 2) is a
+        assert registry.get(triangle_graph, 2) is not b  # rebuilt after eviction
+
+    def test_identity_keying_rejects_stale_graph(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry
+        from repro.datasets.paper_example import paper_example_graph
+
+        registry = CoreIndexRegistry(capacity=2)
+        registry.get(paper_graph, 2)
+        other = paper_example_graph()  # equal content, different object
+        built = registry.get(other, 2)
+        assert built.graph is other
+        assert registry.misses == 2
+
+    def test_invalid_capacity(self):
+        from repro.core.index import CoreIndexRegistry
+
+        with pytest.raises(InvalidParameterError):
+            CoreIndexRegistry(capacity=0)
+
+    def test_default_registry_helper(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry, get_core_index
+
+        registry = CoreIndexRegistry(capacity=1)
+        index = get_core_index(paper_graph, 2, registry=registry)
+        assert get_core_index(paper_graph, 2, registry=registry) is index
+
+    def test_clear_drops_entries(self, paper_graph):
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=2)
+        registry.get(paper_graph, 2)
+        registry.clear()
+        assert len(registry) == 0

@@ -1,0 +1,134 @@
+"""CompiledGraph: flat-array invariants against the naive structures."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+import pytest
+
+from repro.graph.csr import CompiledGraph, compile_graph
+from repro.graph.generators import uniform_random_temporal
+from repro.graph.temporal_graph import TemporalGraph
+
+
+@pytest.fixture(params=range(3))
+def compiled_pair(request):
+    graph = uniform_random_temporal(10, 60, tmax=12, seed=100 + request.param)
+    return graph, graph.compiled()
+
+
+class TestCaching:
+    def test_compiled_is_cached(self, paper_graph):
+        assert paper_graph.compiled() is paper_graph.compiled()
+
+    def test_compile_graph_builds_fresh(self, paper_graph):
+        assert compile_graph(paper_graph) is not paper_graph.compiled()
+
+    def test_repr_mentions_sizes(self, paper_graph):
+        cg = paper_graph.compiled()
+        assert f"m={paper_graph.num_edges}" in repr(cg)
+        assert cg.nbytes() > 0
+
+
+class TestTimeOffsets:
+    def test_window_ranges_match_edge_times(self, compiled_pair):
+        graph, cg = compiled_pair
+        for ts in range(1, graph.tmax + 1):
+            for te in range(ts, graph.tmax + 1):
+                ids = list(cg.window_edge_range(ts, te))
+                expected = [
+                    eid for eid, e in enumerate(graph.edges) if ts <= e.t <= te
+                ]
+                assert ids == expected, (ts, te)
+
+    def test_window_range_clamps(self, compiled_pair):
+        graph, cg = compiled_pair
+        assert list(cg.window_edge_range(-5, graph.tmax + 5)) == list(
+            range(graph.num_edges)
+        )
+        assert list(cg.window_edge_range(graph.tmax + 1, graph.tmax + 9)) == []
+        assert list(cg.window_edge_range(3, 2)) == []
+
+
+class TestAdjacency:
+    def test_neighbours_sorted_and_complete(self, compiled_pair):
+        graph, cg = compiled_pair
+        expected: list[set[int]] = [set() for _ in range(graph.num_vertices)]
+        for u, v, _ in graph.edges:
+            expected[u].add(v)
+            expected[v].add(u)
+        for u in range(graph.num_vertices):
+            neighbours = cg.neighbours_of(u)
+            assert neighbours == sorted(expected[u])
+            assert cg.full_degree[u] == len(expected[u])
+
+    def test_pair_times_match_multigraph(self, compiled_pair):
+        graph, cg = compiled_pair
+        expected: dict[tuple[int, int], list[int]] = defaultdict(list)
+        for u, v, t in graph.edges:
+            expected[(u, v)].append(t)
+        for (u, v), times in expected.items():
+            assert cg.pair_times_of(u, v) == sorted(times)
+            assert cg.pair_times_of(v, u) == sorted(times)
+        assert cg.pair_times_of(0, 0) == []
+
+    def test_slot_slices_shared_between_directions(self, compiled_pair):
+        _, cg = compiled_pair
+        for s in range(cg.num_slots):
+            assert cg.slot_count[s] == cg.slot_times_end[s] - cg.slot_times_start[s]
+            assert cg.slot_count[s] >= 1
+        # Total flat timestamp storage is one entry per temporal edge.
+        assert len(cg.pair_times) == cg.num_edges
+        assert cg.num_slots == 2 * cg.num_pairs
+
+    def test_edge_slot_round_trip(self, compiled_pair):
+        graph, cg = compiled_pair
+        for eid, (u, v, t) in enumerate(graph.edges):
+            su = cg.edge_slot_u[eid]
+            sv = cg.edge_slot_v[eid]
+            assert cg.adj_offsets[u] <= su < cg.adj_offsets[u + 1]
+            assert cg.adj_offsets[v] <= sv < cg.adj_offsets[v + 1]
+            assert cg.adj_neighbour[su] == v
+            assert cg.adj_neighbour[sv] == u
+            times = cg.pair_times[cg.slot_times_start[su] : cg.slot_times_end[su]]
+            assert t in times
+
+
+class TestIncidentCsr:
+    def test_ascending_times_and_degrees(self, compiled_pair):
+        graph, cg = compiled_pair
+        inc_degree = [0] * graph.num_vertices
+        for u, v, _ in graph.edges:
+            inc_degree[u] += 1
+            inc_degree[v] += 1
+        for u in range(graph.num_vertices):
+            lo, hi = cg.inc_offsets[u], cg.inc_offsets[u + 1]
+            assert hi - lo == inc_degree[u]
+            times = cg.np_inc_time[lo:hi].tolist()
+            assert times == sorted(times)
+            for i in range(lo, hi):
+                eid = int(cg.np_inc_eid[i])
+                edge = graph.edges[eid]
+                assert edge.t == int(cg.np_inc_time[i])
+                assert {edge.u, edge.v} == {u, int(cg.np_inc_other[i])}
+
+    def test_first_times_per_slot(self, compiled_pair):
+        _, cg = compiled_pair
+        for s in range(cg.num_slots):
+            assert int(cg.np_slot_first_time[s]) == cg.pair_times[cg.slot_times_start[s]]
+
+
+class TestDegenerate:
+    def test_single_edge(self):
+        graph = TemporalGraph([("a", "b", 7)])
+        cg = graph.compiled()
+        assert cg.num_pairs == 1
+        assert cg.pair_times_of(0, 1) == [1]  # normalised timestamp
+        assert list(cg.window_edge_range(1, 1)) == [0]
+
+    def test_multi_edges_one_pair(self):
+        graph = TemporalGraph([("a", "b", 1), ("a", "b", 3), ("a", "b", 2)])
+        cg = graph.compiled()
+        assert cg.num_pairs == 1
+        assert cg.num_edges == 3
+        assert cg.pair_times_of(0, 1) == [1, 2, 3]

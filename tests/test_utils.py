@@ -107,3 +107,39 @@ class TestTimers:
         assert expired.expired()
         assert expired.remaining == 0.0
         assert not Deadline(60.0).expired()
+
+
+class TestCountingSortSparseFallback:
+    """Both code paths of counting_sort_by: dense buckets vs timsort."""
+
+    def test_sparse_span_falls_back_and_sorts(self):
+        # Span far wider than the item count triggers the timsort path.
+        items = [(1_000_000, "z"), (5, "a"), (700_000, "m"), (5, "b")]
+        ordered = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=1_000_000)
+        assert [x[1] for x in ordered] == ["a", "b", "m", "z"]
+
+    def test_sparse_path_is_stable(self):
+        items = [(9, i) for i in range(20)]
+        ordered = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=10_000)
+        assert ordered == items
+
+    def test_sparse_path_validates_keys(self):
+        with pytest.raises(ValueError):
+            counting_sort_by([(0, "bad")], key=lambda x: x[0], lo=1, hi=1_000_000)
+
+    def test_dense_and_sparse_agree(self):
+        import random
+
+        rng = random.Random(7)
+        items = [(rng.randint(1, 40), i) for i in range(60)]
+        dense = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=40)
+        # Widening the declared span flips to the sparse path; the order
+        # must not change.
+        sparse = counting_sort_by(items, key=lambda x: x[0], lo=1, hi=100_000)
+        assert dense == sparse
+
+    def test_generator_input_materialised_once(self):
+        ordered = counting_sort_by(
+            ((value, value) for value in [3, 1, 2]), key=lambda x: x[0], lo=1, hi=64
+        )
+        assert [x[0] for x in ordered] == [1, 2, 3]
