@@ -42,8 +42,11 @@ from repro.errors import (
     GraphFormatError,
     InvalidParameterError,
     ReproError,
+    StoreCorruptionError,
+    StoreError,
 )
 from repro.graph import TemporalEdge, TemporalGraph
+from repro.store import IndexStore
 
 __version__ = "1.0.0"
 
@@ -58,9 +61,12 @@ __all__ = [
     "EmptyGraphError",
     "EnumerationResult",
     "GraphFormatError",
+    "IndexStore",
     "InvalidParameterError",
     "PHCIndex",
     "ReproError",
+    "StoreCorruptionError",
+    "StoreError",
     "StreamingCoreService",
     "TemporalEdge",
     "TemporalGraph",

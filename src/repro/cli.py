@@ -3,14 +3,19 @@
 Subcommands::
 
     python -m repro query     --input edges.txt -k 3 --range 10 80
+    python -m repro query     --store var/idx -k 3 --range 10 80
     python -m repro stats     --input edges.txt          (or --dataset CM)
     python -m repro generate  --dataset CM -o cm.txt
-    python -m repro index     --input edges.txt -k 3 -o skyline.ecs
+    python -m repro index     --input edges.txt -k 3 --save-store var/idx
+    python -m repro warm      --store var/idx --dataset CM -k 3 5
     python -m repro experiments fig6 --profile quick
 
 ``query`` prints each temporal k-core's TTI, vertex count and edge count
 (``--format json`` emits machine-readable output; ``--streaming`` counts
-without materialising, for huge result sets).
+without materialising, for huge result sets).  ``--store DIR`` answers
+from the on-disk index store — precomputed indexes are opened via mmap
+instead of recomputed; missing entries are built once and persisted.
+``warm`` prebuilds a store for a dataset so daemons cold-start warm.
 """
 
 from __future__ import annotations
@@ -28,6 +33,8 @@ from repro.datasets.stats import compute_stats
 from repro.errors import ReproError
 from repro.graph.io import dump_edge_list, load_edge_list
 from repro.graph.temporal_graph import TemporalGraph
+from repro.store import IndexStore
+from repro.utils.timer import Deadline
 
 
 def _load_graph(args: argparse.Namespace) -> TemporalGraph:
@@ -50,23 +57,58 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _query_via_store(args: argparse.Namespace):
+    """Resolve (graph, result) for ``query --store``: disk before compute."""
+    store = IndexStore(args.store)
+    key = None
+    if args.input or args.dataset:
+        graph = _load_graph(args)
+    else:
+        keys = store.keys()
+        key = args.store_graph
+        if key is None:
+            if len(keys) != 1:
+                raise ReproError(
+                    f"store holds {len(keys)} graphs; pass --store-graph "
+                    f"(available: {', '.join(keys) or 'none'})"
+                )
+            key = keys[0]
+        elif key not in keys:
+            raise ReproError(f"store has no graph {key!r} "
+                             f"(available: {', '.join(keys) or 'none'})")
+        graph = store.load_graph(key)
+    index = store.load_index(graph, args.k, key=key)
+    if index is None:
+        index = CoreIndex(graph, args.k)
+        store.save_index(index, name=args.store_graph)
+    ts, te = tuple(args.range) if args.range else (1, graph.tmax)
+    deadline = Deadline(args.timeout) if args.timeout is not None else None
+    result = index.query(ts, te, collect=not args.streaming, deadline=deadline)
+    return graph, (ts, te), result
+
+
 def cmd_query(args: argparse.Namespace) -> int:
-    graph = _load_graph(args)
-    time_range = tuple(args.range) if args.range else None
-    query = TimeRangeCoreQuery(
-        graph,
-        k=args.k,
-        time_range=time_range,
-        engine=args.engine,
-        collect=not args.streaming,
-        timeout=args.timeout,
-    )
-    result = query.run()
+    if args.store:
+        graph, time_range, result = _query_via_store(args)
+        engine = "store"
+    else:
+        graph = _load_graph(args)
+        query = TimeRangeCoreQuery(
+            graph,
+            k=args.k,
+            time_range=tuple(args.range) if args.range else None,
+            engine=args.engine,
+            collect=not args.streaming,
+            timeout=args.timeout,
+        )
+        result = query.run()
+        time_range = query.time_range
+        engine = args.engine
     if args.format == "json":
         payload: dict = {
             "k": args.k,
-            "time_range": list(query.time_range),
-            "engine": args.engine,
+            "time_range": list(time_range),
+            "engine": engine,
             "num_results": result.num_results,
             "total_edges": result.total_edges,
             "completed": result.completed,
@@ -84,7 +126,7 @@ def cmd_query(args: argparse.Namespace) -> int:
         return 0
     print(
         f"{result.num_results} temporal {args.k}-core(s) in "
-        f"[{query.time_range[0]}, {query.time_range[1]}], "
+        f"[{time_range[0]}, {time_range[1]}], "
         f"|R| = {result.total_edges} edges"
         + ("" if result.completed else "  [TIMED OUT - partial]")
     )
@@ -125,11 +167,39 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 
 def cmd_index(args: argparse.Namespace) -> int:
+    if not args.output and not args.save_store:
+        raise ReproError("provide -o FILE (debug text dump) and/or --save-store DIR")
     graph = _load_graph(args)
     index = CoreIndex(graph, args.k)
-    index.dump_skyline(args.output)
+    sinks = []
+    if args.output:
+        index.dump_skyline(args.output)
+        sinks.append(f"{args.output} (debug text)")
+    if args.save_store:
+        key = IndexStore(args.save_store).save_index(
+            index, name=args.name or args.dataset
+        )
+        sinks.append(f"{args.save_store}/{key} (binary store)")
     print(f"|VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
-          f"-> {args.output}")
+          f"-> {'; '.join(sinks)}")
+    return 0
+
+
+def cmd_warm(args: argparse.Namespace) -> int:
+    """Prebuild a store so serving processes open indexes instead of computing."""
+    store = IndexStore(args.store)
+    graph = _load_graph(args)
+    name = args.name or args.dataset
+    for k in args.k:
+        index = store.load_index(graph, k)
+        if index is not None:  # already stored and fresh: warm is idempotent
+            print(f"k={k}: |VCT| = {index.vct.size()}, "
+                  f"|ECS| = {index.ecs.size()} (already stored, skipped)")
+            continue
+        index = CoreIndex(graph, k)
+        key = store.save_index(index, name=name)
+        print(f"k={k}: |VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
+              f"-> {args.store}/{key}")
     return 0
 
 
@@ -154,6 +224,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="count results without materialising them",
     )
     query.add_argument("--timeout", type=float, default=None)
+    query.add_argument(
+        "--store", metavar="DIR",
+        help="answer from an on-disk index store (open + filter instead of "
+             "recompute); missing entries are built once and persisted",
+    )
+    query.add_argument(
+        "--store-graph", metavar="KEY",
+        help="store key to serve when no --input/--dataset is given "
+             "(defaults to the store's only graph)",
+    )
     query.set_defaults(func=cmd_query)
 
     stats = sub.add_parser("stats", help="Table III statistics of a graph")
@@ -169,8 +249,34 @@ def build_parser() -> argparse.ArgumentParser:
     index = sub.add_parser("index", help="build and save a core index")
     _add_graph_source(index)
     index.add_argument("-k", type=int, required=True)
-    index.add_argument("-o", "--output", required=True)
+    index.add_argument(
+        "-o", "--output",
+        help="text skyline dump (debug format; the binary store is primary)",
+    )
+    index.add_argument(
+        "--save-store", metavar="DIR",
+        help="persist graph + index into an on-disk index store",
+    )
+    index.add_argument(
+        "--name", help="store key to save under (default: dataset name or "
+                       "a fingerprint-derived key)",
+    )
     index.set_defaults(func=cmd_index)
+
+    warm = sub.add_parser(
+        "warm", help="prebuild an index store for a dataset (daemon warm-up)"
+    )
+    _add_graph_source(warm)
+    warm.add_argument("--store", required=True, metavar="DIR")
+    warm.add_argument(
+        "-k", type=int, nargs="+", required=True, metavar="K",
+        help="one or more k values to prebuild",
+    )
+    warm.add_argument(
+        "--name", help="store key to save under (default: dataset name or "
+                       "a fingerprint-derived key)",
+    )
+    warm.set_defaults(func=cmd_warm)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

@@ -7,15 +7,22 @@ intrinsic to the graph, so the skyline of a sub-range is a filter of the
 whole-span skyline (``EdgeCoreSkyline.restricted_to``); activation times
 are re-derived by the enumerator.  This module packages that pattern —
 :class:`CoreIndex` for one ``(graph, k)``, :class:`CoreIndexRegistry`
-for an LRU-bounded pool of them serving many graphs and ``k`` values —
-plus a simple text serialisation for persistence.
+for an LRU-bounded pool of them serving many graphs and ``k`` values.
+
+Persistence lives in :mod:`repro.store`: the binary index store is the
+primary path (mmap-able flat arrays, fingerprint staleness checks,
+registry warm-up).  The text serialisation kept here (``dumps_vct`` /
+``dump_skyline`` and the ``load_*`` parsers) is a human-readable debug
+format only.
 """
 
 from __future__ import annotations
 
 import io
 import os
+import threading
 from collections import OrderedDict
+from typing import TYPE_CHECKING
 
 from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
 from repro.core.enumerate import enumerate_temporal_kcores
@@ -24,6 +31,9 @@ from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.timer import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.store.index_store import IndexStore
 
 
 class CoreIndex:
@@ -127,52 +137,109 @@ class CoreIndexRegistry:
     entry pins its graph, so an ``id()`` can never be observed for two
     different live graphs.
 
-    Not thread-safe; use one registry per serving thread or guard
-    externally.
+    When an :class:`~repro.store.index_store.IndexStore` is attached
+    (constructor ``store=`` or per-call ``get(..., store=)``), a cache
+    miss falls through to disk before computing: the store is probed by
+    content fingerprint, and a hit opens the persisted flat arrays
+    instead of running Algorithm 2.  :meth:`warm` preloads every stored
+    entry, the daemon-boot pattern.
+
+    Thread-safe: all cache operations hold an internal lock, so a
+    warm-up thread plus serving threads is a supported pattern.  The
+    lock is coarse — it is held across an index build — which keeps
+    concurrent lookups of the same key from duplicating an expensive
+    build at the cost of serialising distinct builds.
     """
 
-    def __init__(self, capacity: int = 8):
+    def __init__(self, capacity: int = 8, *, store: "IndexStore | None" = None):
         if capacity < 1:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
+        self.store = store
         self.hits = 0
         self.misses = 0
+        self.store_hits = 0
+        self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[int, int], CoreIndex] = OrderedDict()
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
-    def get(self, graph: TemporalGraph, k: int) -> CoreIndex:
-        """The cached index for ``(graph, k)``, building it on a miss.
-
-        Least-recently-used entries are evicted beyond ``capacity``.
-        """
-        key = (id(graph), k)
-        index = self._entries.get(key)
-        if index is not None and index.graph is graph:
-            self._entries.move_to_end(key)
-            self.hits += 1
-            return index
-        self.misses += 1
-        index = CoreIndex(graph, k)
+    def _insert(self, key: tuple[int, int], index: CoreIndex) -> None:
+        """Insert under the lock, evicting beyond capacity (LRU order)."""
         self._entries[key] = index
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
-        return index
+
+    def get(
+        self,
+        graph: TemporalGraph,
+        k: int,
+        *,
+        store: "IndexStore | None" = None,
+    ) -> CoreIndex:
+        """The cached index for ``(graph, k)``, loading or building on a miss.
+
+        Miss resolution order: the attached/passed store (fingerprint
+        match, counted in ``store_hits``), then a fresh Algorithm-2
+        build.  Least-recently-used entries are evicted beyond
+        ``capacity``.
+        """
+        if store is None:
+            store = self.store
+        key = (id(graph), k)
+        with self._lock:
+            index = self._entries.get(key)
+            if index is not None and index.graph is graph:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return index
+            self.misses += 1
+            if store is not None:
+                index = store.load_index(graph, k)
+                if index is not None:
+                    self.store_hits += 1
+                    self._insert(key, index)
+                    return index
+            index = CoreIndex(graph, k)
+            self._insert(key, index)
+            return index
+
+    def warm(self, store: "IndexStore | None" = None) -> int:
+        """Preload every loadable stored index; returns how many.
+
+        Uses the attached store when none is passed.  Loaded graphs are
+        pinned by their cache entries; entries beyond ``capacity`` evict
+        in insertion order, so warm a registry sized for the store.
+        """
+        if store is None:
+            store = self.store
+        if store is None:
+            raise InvalidParameterError("no store attached and none passed to warm()")
+        loaded = 0
+        for _key, graph, index in store.iter_indexes():
+            with self._lock:
+                self._insert((id(graph), index.k), index)
+            loaded += 1
+        return loaded
 
     def clear(self) -> None:
         """Drop every cached index (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Hit/miss/size counters for observability."""
-        return {
-            "hits": self.hits,
-            "misses": self.misses,
-            "size": len(self._entries),
-            "capacity": self.capacity,
-        }
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "store_hits": self.store_hits,
+                "size": len(self._entries),
+                "capacity": self.capacity,
+            }
 
 
 #: Process-wide default registry used by ``engine="index"`` and the
@@ -181,61 +248,145 @@ DEFAULT_REGISTRY = CoreIndexRegistry()
 
 
 def get_core_index(
-    graph: TemporalGraph, k: int, *, registry: CoreIndexRegistry | None = None
+    graph: TemporalGraph,
+    k: int,
+    *,
+    registry: CoreIndexRegistry | None = None,
+    store: "IndexStore | None" = None,
 ) -> CoreIndex:
     """Fetch (or build) the shared index for ``(graph, k)``.
 
-    Uses :data:`DEFAULT_REGISTRY` unless an explicit registry is given.
+    Uses :data:`DEFAULT_REGISTRY` unless an explicit registry is given;
+    a ``store`` makes cache misses fall through to disk before building.
     """
-    return (registry if registry is not None else DEFAULT_REGISTRY).get(graph, k)
+    target = registry if registry is not None else DEFAULT_REGISTRY
+    return target.get(graph, k, store=store)
 
 
-def load_vct(text: str) -> VertexCoreTimeIndex:
-    """Parse a VCT index produced by :meth:`CoreIndex.dumps_vct`."""
-    lines = text.splitlines()
-    if not lines or not lines[0].startswith("# vct "):
-        raise InvalidParameterError("not a serialised vertex core time index")
+def _parse_text_header(
+    lines: list[str], tag: str, count_field: str, what: str
+) -> tuple[int, int, int, int]:
+    """Parse ``# <tag> k=... span=lo,hi <count_field>=N`` → (k, lo, hi, N)."""
+    prefix = f"# {tag} "
+    if not lines or not lines[0].startswith(prefix):
+        raise InvalidParameterError(f"not a serialised {what}")
     header = dict(
-        field.split("=", 1) for field in lines[0][len("# vct ") :].split() if "=" in field
+        field.split("=", 1) for field in lines[0][len(prefix):].split() if "=" in field
     )
-    k = int(header["k"])
-    lo, hi = (int(x) for x in header["span"].split(","))
-    num_vertices = int(header["vertices"])
-    entries: list[list[tuple[int, int | None]]] = [[] for _ in range(num_vertices)]
-    for line in lines[1:]:
+    try:
+        k = int(header["k"])
+        lo, hi = (int(x) for x in header["span"].split(","))
+        count = int(header[count_field])
+    except (KeyError, ValueError) as exc:
+        raise InvalidParameterError(f"{tag} header is malformed: {lines[0]!r}") from exc
+    if k < 1 or count < 0 or lo > hi:
+        raise InvalidParameterError(
+            f"{tag} header values out of range: k={k} span=({lo},{hi}) "
+            f"{count_field}={count}"
+        )
+    return k, lo, hi, count
+
+
+def _payload_lines(lines: list[str]):
+    """Yield ``(line_number, id_part, rest)`` for every payload line."""
+    for lineno, line in enumerate(lines[1:], start=2):
         line = line.strip()
         if not line or line.startswith("#"):
             continue
-        vertex_part, _, rest = line.partition(":")
-        u = int(vertex_part)
+        id_part, sep, rest = line.partition(":")
+        if not sep:
+            raise InvalidParameterError(f"line {lineno}: missing ':' separator")
+        yield lineno, id_part, rest
+
+
+def load_vct(text: str) -> VertexCoreTimeIndex:
+    """Parse a VCT index produced by :meth:`CoreIndex.dumps_vct`.
+
+    The payload is validated against the header: vertex ids must lie
+    within the declared vertex count, appear at most once, and every
+    ``start,ct`` entry must fall inside the declared span.  Violations
+    raise :class:`InvalidParameterError` naming the offending line.
+    """
+    lines = text.splitlines()
+    k, lo, hi, num_vertices = _parse_text_header(
+        lines, "vct", "vertices", "vertex core time index"
+    )
+    entries: list[list[tuple[int, int | None]]] = [[] for _ in range(num_vertices)]
+    for lineno, vertex_part, rest in _payload_lines(lines):
+        try:
+            u = int(vertex_part)
+        except ValueError:
+            raise InvalidParameterError(
+                f"line {lineno}: vertex id {vertex_part.strip()!r} is not an integer"
+            ) from None
+        if not 0 <= u < num_vertices:
+            raise InvalidParameterError(
+                f"line {lineno}: vertex {u} outside the {num_vertices} vertices "
+                f"declared by the header"
+            )
+        if entries[u]:
+            raise InvalidParameterError(f"line {lineno}: vertex {u} listed twice")
         for token in rest.split():
-            start_str, ct_str = token.split(",")
-            ct = None if ct_str == "inf" else int(ct_str)
-            entries[u].append((int(start_str), ct))
+            try:
+                start_str, ct_str = token.split(",")
+                start = int(start_str)
+                ct = None if ct_str == "inf" else int(ct_str)
+            except ValueError:
+                raise InvalidParameterError(
+                    f"line {lineno}: malformed entry {token!r}"
+                ) from None
+            if not lo <= start <= hi:
+                raise InvalidParameterError(
+                    f"line {lineno}: start {start} outside span [{lo}, {hi}]"
+                )
+            if ct is not None and not start <= ct <= hi:
+                raise InvalidParameterError(
+                    f"line {lineno}: core time {ct} outside [{start}, {hi}]"
+                )
+            entries[u].append((start, ct))
     return VertexCoreTimeIndex(entries, k, (lo, hi))
 
 
 def load_skyline(text: str) -> EdgeCoreSkyline:
-    """Parse a skyline produced by :meth:`CoreIndex.dumps_skyline`."""
+    """Parse a skyline produced by :meth:`CoreIndex.dumps_skyline`.
+
+    The payload is validated against the header: edge ids must lie
+    within the declared edge count, appear at most once, and every
+    window must fall inside the declared span with ``t1 <= t2``.
+    Violations raise :class:`InvalidParameterError` naming the
+    offending line.
+    """
     lines = text.splitlines()
-    if not lines or not lines[0].startswith("# ecs "):
-        raise InvalidParameterError("not a serialised edge core skyline")
-    header = dict(
-        field.split("=", 1) for field in lines[0][len("# ecs ") :].split() if "=" in field
+    k, lo, hi, num_edges = _parse_text_header(
+        lines, "ecs", "edges", "edge core skyline"
     )
-    k = int(header["k"])
-    lo, hi = (int(x) for x in header["span"].split(","))
-    num_edges = int(header["edges"])
     windows: list[tuple[tuple[int, int], ...]] = [() for _ in range(num_edges)]
-    for line in lines[1:]:
-        line = line.strip()
-        if not line or line.startswith("#"):
-            continue
-        eid_part, _, rest = line.partition(":")
-        eid = int(eid_part)
+    for lineno, eid_part, rest in _payload_lines(lines):
+        try:
+            eid = int(eid_part)
+        except ValueError:
+            raise InvalidParameterError(
+                f"line {lineno}: edge id {eid_part.strip()!r} is not an integer"
+            ) from None
+        if not 0 <= eid < num_edges:
+            raise InvalidParameterError(
+                f"line {lineno}: edge {eid} outside the {num_edges} edges "
+                f"declared by the header"
+            )
+        if windows[eid]:
+            raise InvalidParameterError(f"line {lineno}: edge {eid} listed twice")
         parsed = []
         for token in rest.split():
-            t1, t2 = (int(x) for x in token.split(","))
+            try:
+                t1, t2 = (int(x) for x in token.split(","))
+            except ValueError:
+                raise InvalidParameterError(
+                    f"line {lineno}: malformed window {token!r}"
+                ) from None
+            if not (lo <= t1 <= t2 <= hi):
+                raise InvalidParameterError(
+                    f"line {lineno}: window ({t1}, {t2}) outside span [{lo}, {hi}]"
+                )
             parsed.append((t1, t2))
         windows[eid] = tuple(parsed)
     return EdgeCoreSkyline(windows, k, (lo, hi))

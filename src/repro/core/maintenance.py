@@ -12,7 +12,12 @@ that pattern:
   (``max_pending``): a query first folds in pending edges when the
   budget is exceeded or when ``strict`` freshness is requested;
 * queries can be asked in raw timestamps, translated through the
-  current normalisation.
+  current normalisation;
+* the service can :meth:`~StreamingCoreService.snapshot` its graph and
+  index into an :class:`~repro.store.index_store.IndexStore` and a
+  restarted process can :meth:`~StreamingCoreService.restore` from it —
+  resuming from the last persisted index (fingerprint-checked) so only
+  the edges appended after the snapshot need folding in.
 
 Incrementally *maintaining* the skyline under insertions is an open
 problem the paper leaves to future work; this layer deliberately
@@ -22,11 +27,15 @@ rebuilds (costs one Algorithm-2 run) rather than pretend otherwise.
 from __future__ import annotations
 
 from collections.abc import Hashable, Iterable
+from typing import TYPE_CHECKING
 
 from repro.core.index import CoreIndex
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.store.index_store import IndexStore
 
 
 class StreamingCoreService:
@@ -141,13 +150,68 @@ class StreamingCoreService:
         if raw_ts > raw_te:
             raise InvalidParameterError(f"empty raw range [{raw_ts}, {raw_te}]")
         self._ensure_fresh(strict)
-        graph = self.graph
-        inside = [
-            t for t in range(1, graph.tmax + 1)
-            if raw_ts <= graph.raw_time_of(t) <= raw_te
-        ]
-        if not inside:
+        window = self.graph.snap_raw_window(raw_ts, raw_te)
+        if window is None:
             raise InvalidParameterError(
                 f"no ingested timestamps inside raw range [{raw_ts}, {raw_te}]"
             )
-        return self.query(inside[0], inside[-1], strict=False, collect=collect)
+        return self.query(window[0], window[1], strict=False, collect=collect)
+
+    # ------------------------------------------------------------------
+    # Persistence: streaming snapshots
+    # ------------------------------------------------------------------
+
+    def snapshot(self, store: "IndexStore", *, name: str | None = None) -> str:
+        """Persist the current graph + index into ``store``; returns the key.
+
+        Pending edges are folded in first (one rebuild if stale), so the
+        snapshot always captures everything ingested so far.  Blob and
+        manifest writes are atomic — a crash mid-snapshot leaves the
+        previous snapshot intact.
+        """
+        if self._index is None or self._pending:
+            self.refresh()
+        assert self._index is not None
+        return store.save_index(self._index, name=name)
+
+    @classmethod
+    def restore(
+        cls,
+        store: "IndexStore",
+        k: int,
+        *,
+        name: str | None = None,
+        max_pending: int = 1_000,
+    ) -> "StreamingCoreService":
+        """Resume a service from the last snapshot in ``store``.
+
+        ``name`` selects the stored graph; when omitted the store must
+        hold exactly one.  The ingested edge log is reconstructed from
+        the persisted graph (labels and raw timestamps round-trip), and
+        the persisted index for ``k`` is attached when its fingerprint
+        still matches — in that case the first query runs with **zero**
+        core-time computation.  A missing, stale or corrupt index simply
+        leaves the restored service stale: the next query folds
+        everything in with one rebuild, never serving bad data.
+        """
+        keys = store.keys()
+        if name is None:
+            if len(keys) != 1:
+                raise InvalidParameterError(
+                    f"store holds {len(keys)} graphs; pass name= to choose one"
+                )
+            name = keys[0]
+        elif name not in keys:
+            raise InvalidParameterError(f"store has no graph named {name!r}")
+        graph = store.load_graph(name)
+        edges = [
+            (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
+            for u, v, t in graph.edges
+        ]
+        service = cls(k, edges, max_pending=max_pending)
+        index = store.load_index(graph, k, key=name)
+        if index is not None:
+            service._graph = graph
+            service._index = index
+            service._pending = 0
+        return service

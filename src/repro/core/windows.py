@@ -56,18 +56,19 @@ class EdgeCoreSkyline:
 
     def size(self) -> int:
         """``|ECS|`` — total number of minimal core windows."""
-        return sum(len(w) for w in self._windows)
+        return sum(len(self.windows_of(eid)) for eid in range(self.num_edges))
 
     def __iter__(self) -> Iterator[tuple[int, tuple[int, int]]]:
         """Yield ``(eid, (t1, t2))`` for every window of every edge."""
-        for eid, windows in enumerate(self._windows):
-            for window in windows:
+        for eid in range(self.num_edges):
+            for window in self.windows_of(eid):
                 yield eid, window
 
     def check_skyline_invariant(self) -> None:
         """Assert the strict bi-monotonicity of every per-edge skyline."""
         ts, te = self.span
-        for eid, windows in enumerate(self._windows):
+        for eid in range(self.num_edges):
+            windows = self.windows_of(eid)
             previous: tuple[int, int] | None = None
             for t1, t2 in windows:
                 if t1 < ts or t2 > te or t1 > t2:
@@ -97,8 +98,8 @@ class EdgeCoreSkyline:
                 f"[{ts}, {te}] is not inside the computed span [{span_ts}, {span_te}]"
             )
         filtered = [
-            tuple(w for w in windows if ts <= w[0] and w[1] <= te)
-            for windows in self._windows
+            tuple(w for w in self.windows_of(eid) if ts <= w[0] and w[1] <= te)
+            for eid in range(self.num_edges)
         ]
         return EdgeCoreSkyline(filtered, self.k, (ts, te))
 

@@ -33,3 +33,20 @@ class DatasetError(ReproError):
 
 class BenchmarkError(ReproError):
     """Raised by the benchmark harness on misconfiguration."""
+
+
+class StoreError(ReproError):
+    """Raised by the on-disk index store on unusable files or inputs.
+
+    Examples: a path that is not a store blob, an unsupported format
+    version, or a graph whose labels cannot be persisted.
+    """
+
+
+class StoreCorruptionError(StoreError):
+    """Raised when a store file fails integrity checks.
+
+    Covers truncation (the payload is shorter than the header declares)
+    and checksum mismatches.  Callers on the serving path treat this as
+    "entry absent" and rebuild rather than serve corrupt data.
+    """

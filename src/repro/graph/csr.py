@@ -45,6 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.graph.temporal_graph import TemporalGraph
 
 
+def _int64_ndarray(section) -> np.ndarray:
+    """An ``int64`` ndarray over any int64 buffer (zero-copy when possible)."""
+    if len(section) == 0:
+        return np.empty(0, dtype=np.int64)
+    return np.frombuffer(section, dtype=np.int64)
+
+
 class CompiledGraph:
     """Flat-array (CSR) view of a temporal graph, built once and reused.
 
@@ -241,6 +248,58 @@ class CompiledGraph:
 
     # ------------------------------------------------------------------
 
+    @classmethod
+    def _from_parts(cls, meta: dict, parts, time_offset) -> "CompiledGraph":
+        """Rebuild a compiled view from persisted flat sections.
+
+        Trusted fast path used by :mod:`repro.store`: ``parts`` must map
+        section names to int64 sequences produced by the store codec
+        from a compiled graph — no consistency checks happen here.
+        Sequence attributes may be zero-copy ``memoryview`` slices of
+        the store's file mapping; every kernel consumer indexes, slices
+        or copies them, which memoryviews support.
+        """
+        cg = cls.__new__(cls)
+        cg.num_vertices = meta["num_vertices"]
+        cg.num_edges = meta["num_edges"]
+        cg.tmax = meta["tmax"]
+        cg.num_slots = meta["num_slots"]
+        cg.num_pairs = meta["num_pairs"]
+        cg.time_offset = time_offset
+        for name in (
+            "edge_u",
+            "edge_v",
+            "edge_t",
+            "adj_offsets",
+            "adj_neighbour",
+            "slot_pid",
+            "slot_times_start",
+            "slot_times_end",
+            "slot_count",
+            "pair_offset",
+            "pair_times",
+            "full_degree",
+            "edge_slot_u",
+            "edge_slot_v",
+            "inc_offsets",
+        ):
+            setattr(cg, name, parts[name])
+        cg.np_adj_neighbour = _int64_ndarray(parts["adj_neighbour"])
+        cg.np_slot_pid = _int64_ndarray(parts["slot_pid"])
+        cg.np_edge_u = _int64_ndarray(parts["edge_u"])
+        cg.np_edge_v = _int64_ndarray(parts["edge_v"])
+        cg.np_edge_t = _int64_ndarray(parts["edge_t"])
+        cg.np_edge_slot_u = _int64_ndarray(parts["edge_slot_u"])
+        cg.np_inc_time = _int64_ndarray(parts["inc_time"])
+        cg.np_inc_other = _int64_ndarray(parts["inc_other"])
+        cg.np_inc_eid = _int64_ndarray(parts["inc_eid"])
+        np_pair_times = _int64_ndarray(parts["pair_times"])
+        starts = _int64_ndarray(parts["slot_times_start"])
+        cg.np_slot_first_time = (
+            np_pair_times[starts] if cg.num_slots else np.empty(0, np.int64)
+        )
+        return cg
+
     def window_edge_range(self, ts: int, te: int) -> range:
         """Edge ids with timestamp in ``[ts, te]`` as a contiguous range.
 
@@ -284,6 +343,8 @@ class CompiledGraph:
             value = getattr(self, name)
             if isinstance(value, array):
                 total += value.itemsize * len(value)
+            elif isinstance(value, memoryview):
+                total += value.nbytes
             elif isinstance(value, np.ndarray):
                 if value.base is None:
                     total += value.nbytes

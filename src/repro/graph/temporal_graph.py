@@ -204,6 +204,25 @@ class TemporalGraph:
             raise KeyError(f"raw timestamp {raw_t} not present in graph")
         return pos + 1
 
+    def snap_raw_window(self, raw_ts: int, raw_te: int) -> tuple[int, int] | None:
+        """Largest normalised window inside the raw range ``[raw_ts, raw_te]``.
+
+        Bounds snap *inward* to the nearest ingested timestamps by
+        bisecting the sorted raw-timestamp table — O(log tmax), never a
+        scan.  Returns ``None`` when no ingested timestamp falls inside
+        the range (or the range is empty).  For graphs built with
+        ``normalize_time=False`` the mapping is the identity clamped to
+        the span.
+        """
+        if raw_ts > raw_te or not self._edges:
+            return None
+        if not self._raw_times:
+            ts, te = max(raw_ts, 1), min(raw_te, self.tmax)
+            return (ts, te) if ts <= te else None
+        lo = bisect.bisect_left(self._raw_times, raw_ts) + 1
+        hi = bisect.bisect_right(self._raw_times, raw_te)
+        return (lo, hi) if lo <= hi else None
+
     def time_offsets(self) -> tuple[int, ...]:
         """The timestamp→edge-id prefix table (length ``tmax + 2``).
 
@@ -304,6 +323,41 @@ class TemporalGraph:
     # ------------------------------------------------------------------
     # Construction helpers & dunder protocol
     # ------------------------------------------------------------------
+
+    @classmethod
+    def _from_parts(
+        cls,
+        *,
+        edges: tuple[TemporalEdge, ...],
+        labels: tuple[Hashable, ...],
+        raw_times: tuple[int, ...],
+        time_offset: tuple[int, ...],
+        num_dropped_self_loops: int = 0,
+    ) -> "TemporalGraph":
+        """Rebuild a graph from persisted parts, skipping normalisation.
+
+        Trusted fast path used by :mod:`repro.store`: the parts must
+        describe a graph previously produced by this class (edges sorted
+        by timestamp with internal ids matching ``labels`` order, the
+        prefix table consistent with the edge timestamps).  Restores the
+        exact internal vertex and edge ids of the persisted graph.
+        """
+        graph = cls.__new__(cls)
+        graph._edges = edges
+        graph._labels = labels
+        graph._label_ids = {label: u for u, label in enumerate(labels)}
+        graph._raw_times = raw_times
+        graph._num_dropped_self_loops = num_dropped_self_loops
+        graph._adjacency_cache = None
+        graph._compiled_cache = None
+        graph._time_offset = time_offset
+        # Edges are sorted by timestamp, so the ids at time t are the
+        # contiguous range given by the prefix table.
+        graph._edge_ids_by_time = tuple(
+            tuple(range(time_offset[t], time_offset[t + 1]))
+            for t in range(len(time_offset) - 1)
+        )
+        return graph
 
     @classmethod
     def from_edges(

@@ -1,0 +1,56 @@
+"""On-disk persistence for compiled graphs and core indexes.
+
+The store subsystem gives a serving process a warm start: instead of
+paying a full Algorithm-2 run per ``(graph, k)`` on boot, precomputed
+indexes are opened from disk in milliseconds —
+
+* :mod:`repro.store.format` — the versioned binary blob container
+  (little-endian flat int64 sections, crc32 integrity, mmap zero-copy
+  reads with a plain-read fallback);
+* :mod:`repro.store.codec` — graph and index encoders/decoders plus the
+  graph fingerprint used for staleness detection;
+* :mod:`repro.store.views` — lazy flat-array VCT/ECS views served
+  straight off the file mapping;
+* :mod:`repro.store.index_store` — the :class:`IndexStore` directory
+  abstraction (JSON manifest, one directory per graph, one index file
+  per ``k``).
+
+Typical use::
+
+    from repro.store import IndexStore
+
+    store = IndexStore("var/indexes")
+    store.save_index(CoreIndex(graph, 3))        # offline prebuild
+    ...
+    registry.warm(store)                         # daemon boot
+    index = registry.get(graph, 3, store=store)  # disk before compute
+
+The text skyline dump (``CoreIndex.dump_skyline``) remains available
+for debugging; this binary store is the primary persistence path.
+"""
+
+from repro.store.codec import (
+    dump_graph,
+    dump_index,
+    graph_fingerprint,
+    load_graph,
+    load_index,
+)
+from repro.store.format import FORMAT_VERSION, Blob, read_blob, write_blob
+from repro.store.index_store import IndexStore
+from repro.store.views import FlatEdgeSkyline, FlatVertexCoreTimes
+
+__all__ = [
+    "Blob",
+    "FORMAT_VERSION",
+    "FlatEdgeSkyline",
+    "FlatVertexCoreTimes",
+    "IndexStore",
+    "dump_graph",
+    "dump_index",
+    "graph_fingerprint",
+    "load_graph",
+    "load_index",
+    "read_blob",
+    "write_blob",
+]

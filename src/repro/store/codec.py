@@ -1,0 +1,251 @@
+"""Encoding and decoding of graphs and core indexes as store blobs.
+
+Two blob kinds exist:
+
+* ``"compiled-graph"`` — a :class:`~repro.graph.temporal_graph.TemporalGraph`
+  together with its :class:`~repro.graph.csr.CompiledGraph` flat arrays.
+  Loading reconstructs both without re-normalising, re-sorting or
+  re-compiling; the compiled arrays are zero-copy views of the file
+  mapping.  Vertex labels ride in the blob meta (JSON), which restricts
+  persistable graphs to ``str``/``int`` labels.
+* ``"core-index"`` — a :class:`~repro.core.index.CoreIndex` (VCT + ECS)
+  flattened to offset-indexed arrays.  Loading wraps the arrays in the
+  lazy views of :mod:`repro.store.views`; nothing is materialised until
+  queried.
+
+Both blob kinds carry the graph *fingerprint* (edge count, span, raw
+span and an edge-array crc32) in their meta, so staleness is detectable
+from the file alone: an index whose fingerprint disagrees with the graph
+it is asked to serve is treated as absent and rebuilt.
+"""
+
+from __future__ import annotations
+
+import os
+import zlib
+
+import numpy as np
+
+from repro.core.index import CoreIndex
+from repro.errors import StoreError
+from repro.graph.csr import CompiledGraph
+from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
+from repro.store.format import read_blob, write_blob
+from repro.store.views import INF_CT, FlatEdgeSkyline, FlatVertexCoreTimes
+
+GRAPH_KIND = "compiled-graph"
+INDEX_KIND = "core-index"
+
+
+# ----------------------------------------------------------------------
+# Fingerprints
+# ----------------------------------------------------------------------
+
+def graph_fingerprint(graph: TemporalGraph) -> dict:
+    """A cheap content fingerprint: counts, spans and content crc32s.
+
+    Computed straight from the edge triples (no compile needed) in one
+    numpy pass, plus crc32s of the vertex labels and the raw-timestamp
+    table.  Two graphs with equal fingerprints hold the same edges with
+    the same internal ids *and* the same labels and raw times — without
+    the label/raw coverage, two structurally identical graphs over
+    different vertex sets would silently share one store entry and a
+    restore would resurrect the wrong labels.
+    """
+    m = graph.num_edges
+    cg = graph._compiled_cache
+    if cg is not None:
+        # Already-compiled graphs (every loaded graph, most served ones)
+        # have the edge columns as flat arrays: interleave vectorised
+        # instead of converting m namedtuples in Python.
+        triples = np.column_stack(
+            (
+                np.frombuffer(cg.edge_u, dtype=np.int64) if m else np.empty(0, np.int64),
+                np.frombuffer(cg.edge_v, dtype=np.int64) if m else np.empty(0, np.int64),
+                np.frombuffer(cg.edge_t, dtype=np.int64) if m else np.empty(0, np.int64),
+            )
+        )
+    else:
+        triples = np.asarray(graph.edges, dtype=np.int64).reshape(m, 3)
+    if m:
+        raw_span = [graph.raw_time_of(1), graph.raw_time_of(graph.tmax)]
+    else:
+        raw_span = [0, 0]
+    raw_times = np.asarray(
+        [graph.raw_time_of(t) for t in range(1, graph.tmax + 1)], dtype=np.int64
+    )
+    # Type-tagged reprs hash any hashable label (fingerprints are also
+    # taken of graphs the store could never persist).
+    labels_blob = "\x00".join(
+        f"{type(graph.label_of(u)).__name__}:{graph.label_of(u)!r}"
+        for u in range(graph.num_vertices)
+    ).encode("utf-8", "backslashreplace")
+    return {
+        "num_vertices": graph.num_vertices,
+        "num_edges": m,
+        "tmax": graph.tmax,
+        "raw_span": raw_span,
+        "edge_crc32": zlib.crc32(triples.astype("<i8", copy=False).tobytes()),
+        "label_crc32": zlib.crc32(labels_blob),
+        "raw_time_crc32": zlib.crc32(raw_times.astype("<i8", copy=False).tobytes()),
+    }
+
+
+# ----------------------------------------------------------------------
+# Graph blobs
+# ----------------------------------------------------------------------
+
+_COMPILED_SECTIONS = (
+    "edge_u",
+    "edge_v",
+    "edge_t",
+    "adj_offsets",
+    "adj_neighbour",
+    "slot_pid",
+    "slot_times_start",
+    "slot_times_end",
+    "slot_count",
+    "pair_offset",
+    "pair_times",
+    "full_degree",
+    "edge_slot_u",
+    "edge_slot_v",
+    "inc_offsets",
+)
+
+
+def _json_safe_labels(graph: TemporalGraph) -> list:
+    labels = [graph.label_of(u) for u in range(graph.num_vertices)]
+    for label in labels:
+        if not isinstance(label, (str, int)) or isinstance(label, bool):
+            raise StoreError(
+                f"cannot persist vertex label {label!r} of type "
+                f"{type(label).__name__}; the store requires str or int labels"
+            )
+    return labels
+
+
+def dump_graph(path: str | os.PathLike[str], graph: TemporalGraph) -> int:
+    """Write a graph (and its compiled flat arrays) as one blob."""
+    cg = graph.compiled()
+    meta = {
+        "num_vertices": cg.num_vertices,
+        "num_edges": cg.num_edges,
+        "tmax": cg.tmax,
+        "num_slots": cg.num_slots,
+        "num_pairs": cg.num_pairs,
+        "num_dropped_self_loops": graph.num_dropped_self_loops,
+        "labels": _json_safe_labels(graph),
+        "fingerprint": graph_fingerprint(graph),
+    }
+    sections = {name: getattr(cg, name) for name in _COMPILED_SECTIONS}
+    sections["inc_time"] = cg.np_inc_time
+    sections["inc_other"] = cg.np_inc_other
+    sections["inc_eid"] = cg.np_inc_eid
+    sections["time_offset"] = cg.time_offset
+    sections["raw_times"] = [graph.raw_time_of(t) for t in range(1, cg.tmax + 1)]
+    return write_blob(path, GRAPH_KIND, meta, sections)
+
+
+def load_graph(path: str | os.PathLike[str], *, verify: bool = True) -> TemporalGraph:
+    """Reconstruct a graph blob: exact ids, compiled view attached.
+
+    The compiled arrays are zero-copy views of the blob's mapping; the
+    edge tuple and offset tables are materialised (O(m), no sorting).
+    """
+    blob = read_blob(path, verify=verify)
+    if blob.kind != GRAPH_KIND:
+        raise StoreError(f"{blob.path}: expected a {GRAPH_KIND} blob, got {blob.kind!r}")
+    meta = blob.meta
+    parts = blob.sections
+    time_offset = tuple(parts["time_offset"])
+    graph = TemporalGraph._from_parts(
+        edges=tuple(map(TemporalEdge, parts["edge_u"], parts["edge_v"], parts["edge_t"])),
+        labels=tuple(meta["labels"]),
+        raw_times=tuple(parts["raw_times"]),
+        time_offset=time_offset,
+        num_dropped_self_loops=meta.get("num_dropped_self_loops", 0),
+    )
+    graph._compiled_cache = CompiledGraph._from_parts(meta, parts, time_offset)
+    return graph
+
+
+# ----------------------------------------------------------------------
+# Index blobs
+# ----------------------------------------------------------------------
+
+def dump_index(path: str | os.PathLike[str], index: CoreIndex) -> int:
+    """Write a CoreIndex (VCT + ECS) as one flat-array blob."""
+    vct, ecs = index.vct, index.ecs
+    n, m = vct.num_vertices, ecs.num_edges
+
+    vct_offsets = [0] * (n + 1)
+    vct_starts: list[int] = []
+    vct_cts: list[int] = []
+    for u in range(n):
+        for start, ct in vct.entries_of(u):
+            vct_starts.append(start)
+            vct_cts.append(INF_CT if ct is None else ct)
+        vct_offsets[u + 1] = len(vct_starts)
+
+    ecs_offsets = [0] * (m + 1)
+    ecs_t1: list[int] = []
+    ecs_t2: list[int] = []
+    for eid in range(m):
+        for t1, t2 in ecs.windows_of(eid):
+            ecs_t1.append(t1)
+            ecs_t2.append(t2)
+        ecs_offsets[eid + 1] = len(ecs_t1)
+
+    if vct.span != ecs.span:
+        raise StoreError(f"index spans disagree: vct {vct.span} vs ecs {ecs.span}")
+    meta = {
+        "k": index.k,
+        "span": list(vct.span),
+        "num_vertices": n,
+        "num_edges": m,
+        "vct_size": len(vct_starts),
+        "ecs_size": len(ecs_t1),
+        "fingerprint": graph_fingerprint(index.graph),
+    }
+    sections = {
+        "vct_offsets": vct_offsets,
+        "vct_starts": vct_starts,
+        "vct_cts": vct_cts,
+        "ecs_offsets": ecs_offsets,
+        "ecs_t1": ecs_t1,
+        "ecs_t2": ecs_t2,
+    }
+    return write_blob(path, INDEX_KIND, meta, sections)
+
+
+def load_index(
+    path: str | os.PathLike[str], graph: TemporalGraph, *, verify: bool = True
+) -> CoreIndex:
+    """Open an index blob against ``graph`` (lazy flat-array views).
+
+    Raises :class:`StoreError` when the blob's fingerprint does not
+    match ``graph`` — serving an index for a different or stale graph
+    would silently return wrong answers.
+    """
+    blob = read_blob(path, verify=verify)
+    if blob.kind != INDEX_KIND:
+        raise StoreError(f"{blob.path}: expected a {INDEX_KIND} blob, got {blob.kind!r}")
+    meta = blob.meta
+    if meta.get("fingerprint") != graph_fingerprint(graph):
+        raise StoreError(
+            f"{blob.path}: index fingerprint does not match the graph "
+            f"(stale or foreign index)"
+        )
+    span = tuple(meta["span"])
+    parts = blob.sections
+    index = CoreIndex.__new__(CoreIndex)
+    index.graph = graph
+    index.k = meta["k"]
+    index.vct = FlatVertexCoreTimes(
+        parts["vct_offsets"], parts["vct_starts"], parts["vct_cts"], meta["k"], span
+    )
+    index.ecs = FlatEdgeSkyline(
+        parts["ecs_offsets"], parts["ecs_t1"], parts["ecs_t2"], meta["k"], span
+    )
+    return index

@@ -1,0 +1,269 @@
+"""The :class:`IndexStore` — a directory of persisted graphs and indexes.
+
+Layout (one sub-directory per graph)::
+
+    <root>/
+        <key>/
+            manifest.json       # format version, fingerprint, file table
+            graph.bin           # compiled-graph blob
+            k3.idx              # core-index blob for k = 3
+            k5.idx              # ...one per persisted k
+
+``manifest.json`` schema::
+
+    {
+      "format_version": 1,
+      "fingerprint": {"num_vertices": ..., "num_edges": ..., "tmax": ...,
+                       "raw_span": [lo, hi], "edge_crc32": ...},
+      "graph_file": "graph.bin",
+      "indexes": {"3": {"file": "k3.idx", "vct_size": ..., "ecs_size": ...}}
+    }
+
+Graphs are matched by *fingerprint*, never by name: ``load_index(graph,
+k)`` fingerprints the live graph, finds the matching directory and opens
+the blob — so any process holding an equal graph gets the cached index
+regardless of how either process named it.  Integrity failures
+(truncation, checksum, fingerprint drift) make an entry read as absent;
+callers rebuild and overwrite, they never serve corrupt data.  Manifest
+and blob writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import json
+import os
+import pathlib
+import zlib
+from collections.abc import Iterator
+
+try:  # POSIX advisory locking; absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX fallback
+    fcntl = None  # type: ignore[assignment]
+
+from repro.core.index import CoreIndex
+from repro.errors import StoreError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.store import codec
+from repro.store.format import FORMAT_VERSION
+
+MANIFEST_NAME = "manifest.json"
+GRAPH_FILE = "graph.bin"
+
+
+class IndexStore:
+    """Durable store of compiled graphs and their core indexes.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with parents) when missing.
+    verify:
+        Check blob payload checksums on every open (default).  Disabling
+        skips the sequential crc pass for trusted local stores;
+        truncation is still detected from the declared payload length.
+    """
+
+    def __init__(self, root: str | os.PathLike[str], *, verify: bool = True):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.verify = verify
+
+    def __repr__(self) -> str:
+        return f"IndexStore({str(self.root)!r}, graphs={len(self.keys())})"
+
+    # ------------------------------------------------------------------
+    # Manifests
+    # ------------------------------------------------------------------
+
+    def keys(self) -> list[str]:
+        """Keys of every graph directory holding a readable manifest."""
+        return sorted(
+            entry.name
+            for entry in self.root.iterdir()
+            if entry.is_dir() and self._read_manifest(entry.name) is not None
+        )
+
+    def manifest(self, key: str) -> dict:
+        """The manifest of ``key`` (raises :class:`StoreError` if absent)."""
+        manifest = self._read_manifest(key)
+        if manifest is None:
+            raise StoreError(f"no stored graph under key {key!r} in {self.root}")
+        return manifest
+
+    def _read_manifest(self, key: str) -> dict | None:
+        try:
+            with open(self.root / key / MANIFEST_NAME, encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        if manifest.get("format_version") != FORMAT_VERSION:
+            return None
+        return manifest
+
+    def _write_manifest(self, key: str, manifest: dict) -> None:
+        final = self.root / key / MANIFEST_NAME
+        tmp = final.with_suffix(f".tmp.{os.getpid()}")
+        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n",
+                       encoding="utf-8")
+        os.replace(tmp, final)
+
+    @contextlib.contextmanager
+    def _dir_lock(self, key: str):
+        """Advisory exclusive lock on a graph directory's writers.
+
+        Serialises manifest read-modify-write across *processes* (two
+        concurrent ``save_index`` calls for different ``k`` must not
+        lose each other's entries).  Readers never take the lock — blob
+        and manifest writes are individually atomic, so an unlocked
+        reader sees a consistent before-or-after state.  No-op where
+        ``fcntl`` is unavailable.
+        """
+        directory = self.root / key
+        directory.mkdir(parents=True, exist_ok=True)
+        if fcntl is None:  # pragma: no cover - non-POSIX fallback
+            yield
+            return
+        with open(directory / ".lock", "a+b") as handle:
+            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
+            try:
+                yield
+            finally:
+                fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+
+    @staticmethod
+    def _default_key(fingerprint: dict) -> str:
+        # Blend all content crcs: graphs differing only in labels or raw
+        # times must land in different directories too.
+        blended = zlib.crc32(
+            b"%d:%d:%d"
+            % (
+                fingerprint["edge_crc32"],
+                fingerprint["label_crc32"],
+                fingerprint["raw_time_crc32"],
+            )
+        )
+        return f"g{blended:08x}-m{fingerprint['num_edges']}"
+
+    def find(self, graph: TemporalGraph) -> str | None:
+        """The key whose stored fingerprint matches ``graph``, if any."""
+        fingerprint = codec.graph_fingerprint(graph)
+        for key in self.keys():
+            manifest = self._read_manifest(key)
+            if manifest is not None and manifest.get("fingerprint") == fingerprint:
+                return key
+        return None
+
+    # ------------------------------------------------------------------
+    # Saving
+    # ------------------------------------------------------------------
+
+    def save_graph(self, graph: TemporalGraph, *, name: str | None = None) -> str:
+        """Persist ``graph`` (idempotent), returning its key.
+
+        A directory whose fingerprint already matches is reused as-is.
+        Reusing a ``name`` for a *different* graph resets the directory:
+        the graph blob is rewritten and all index entries are dropped
+        (their files deleted), since they describe the old graph.
+        """
+        fingerprint = codec.graph_fingerprint(graph)
+        key = name if name is not None else None
+        if key is None:
+            key = self.find(graph) or self._default_key(fingerprint)
+        directory = self.root / key
+        with self._dir_lock(key):
+            manifest = self._read_manifest(key)
+            if manifest is not None and manifest.get("fingerprint") == fingerprint:
+                return key
+            if manifest is not None:
+                for entry in manifest.get("indexes", {}).values():
+                    try:
+                        os.unlink(directory / entry["file"])
+                    except OSError:
+                        pass
+            codec.dump_graph(directory / GRAPH_FILE, graph)
+            self._write_manifest(key, {
+                "format_version": FORMAT_VERSION,
+                "fingerprint": fingerprint,
+                "graph_file": GRAPH_FILE,
+                "indexes": {},
+            })
+        return key
+
+    def save_index(self, index: CoreIndex, *, name: str | None = None) -> str:
+        """Persist an index (and its graph if absent), returning the key."""
+        key = self.save_graph(index.graph, name=name)
+        directory = self.root / key
+        filename = f"k{index.k}.idx"
+        with self._dir_lock(key):
+            codec.dump_index(directory / filename, index)
+            manifest = self.manifest(key)
+            manifest.setdefault("indexes", {})[str(index.k)] = {
+                "file": filename,
+                "vct_size": index.vct.size(),
+                "ecs_size": index.ecs.size(),
+            }
+            self._write_manifest(key, manifest)
+        return key
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+
+    def load_graph(self, key: str) -> TemporalGraph:
+        """Open the graph blob of ``key`` (raises on absence/corruption)."""
+        manifest = self.manifest(key)
+        return codec.load_graph(
+            self.root / key / manifest.get("graph_file", GRAPH_FILE),
+            verify=self.verify,
+        )
+
+    def stored_ks(self, key: str) -> list[int]:
+        """The ``k`` values with a persisted index under ``key``."""
+        return sorted(int(k) for k in self.manifest(key).get("indexes", {}))
+
+    def load_index(
+        self, graph: TemporalGraph, k: int, *, key: str | None = None
+    ) -> CoreIndex | None:
+        """The stored index for ``(graph, k)``, or ``None``.
+
+        ``None`` means "not served from disk": no fingerprint-matching
+        directory, no entry for ``k``, or a file that failed integrity
+        checks (truncated, checksum mismatch, stale fingerprint).  The
+        caller computes and typically re-saves — corrupt entries are
+        rebuilt, never served.
+        """
+        if key is None:
+            key = self.find(graph)
+            if key is None:
+                return None
+        manifest = self._read_manifest(key)
+        if manifest is None:
+            return None
+        entry = manifest.get("indexes", {}).get(str(k))
+        if entry is None:
+            return None
+        try:
+            return codec.load_index(
+                self.root / key / entry["file"], graph, verify=self.verify
+            )
+        except (StoreError, OSError):
+            return None
+
+    def iter_indexes(self) -> Iterator[tuple[str, TemporalGraph, CoreIndex]]:
+        """Yield ``(key, graph, index)`` for every loadable stored index.
+
+        Each key's graph blob is opened once and shared by its indexes;
+        unreadable graphs or indexes are skipped silently (warm-up must
+        never fail because one entry rotted on disk).
+        """
+        for key in self.keys():
+            try:
+                graph = self.load_graph(key)
+            except (StoreError, OSError):
+                continue
+            for k in self.stored_ks(key):
+                index = self.load_index(graph, k, key=key)
+                if index is not None:
+                    yield key, graph, index

@@ -76,6 +76,48 @@ class TestSerialisation:
             load_skyline("not a skyline")
 
 
+class TestSkylineValidation:
+    """The parser rejects payloads that disagree with their header."""
+
+    HEADER = "# ecs k=2 span=1,5 edges=3\n"
+
+    def test_edge_id_beyond_declared_count(self):
+        with pytest.raises(InvalidParameterError, match="line 2.*edge 7"):
+            load_skyline(self.HEADER + "7: 1,2\n")
+
+    def test_window_outside_span(self):
+        with pytest.raises(InvalidParameterError, match="line 3.*outside span"):
+            load_skyline(self.HEADER + "0: 1,2\n1: 2,9\n")
+
+    def test_inverted_window(self):
+        with pytest.raises(InvalidParameterError, match="line 2"):
+            load_skyline(self.HEADER + "0: 4,2\n")
+
+    def test_malformed_token(self):
+        with pytest.raises(InvalidParameterError, match="line 2.*malformed"):
+            load_skyline(self.HEADER + "0: 1-2\n")
+
+    def test_non_integer_edge_id(self):
+        with pytest.raises(InvalidParameterError, match="line 2.*not an integer"):
+            load_skyline(self.HEADER + "x: 1,2\n")
+
+    def test_duplicate_edge_line(self):
+        with pytest.raises(InvalidParameterError, match="line 3.*twice"):
+            load_skyline(self.HEADER + "0: 1,2\n0: 2,3\n")
+
+    def test_missing_separator(self):
+        with pytest.raises(InvalidParameterError, match="line 2.*':'"):
+            load_skyline(self.HEADER + "0 1,2\n")
+
+    def test_malformed_header_values(self):
+        with pytest.raises(InvalidParameterError, match="header"):
+            load_skyline("# ecs k=2 span=oops edges=3\n")
+
+    def test_comments_and_blanks_skipped(self):
+        loaded = load_skyline(self.HEADER + "\n# comment\n0: 1,2\n")
+        assert loaded.windows_of(0) == ((1, 2),)
+
+
 class TestVctSerialisation:
     def test_round_trip(self, paper_graph):
         from repro.core.index import load_vct
@@ -112,6 +154,48 @@ class TestVctSerialisation:
             load_vct("nope")
 
 
+class TestVctValidation:
+    """The parser rejects payloads that disagree with their header."""
+
+    HEADER = "# vct k=2 span=1,5 vertices=4\n"
+
+    def test_vertex_beyond_declared_count(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError, match="line 2.*vertex 9"):
+            load_vct(self.HEADER + "9: 1,3\n")
+
+    def test_start_outside_span(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError, match="line 2.*outside span"):
+            load_vct(self.HEADER + "0: 7,7\n")
+
+    def test_core_time_before_start(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError, match="line 2.*core time"):
+            load_vct(self.HEADER + "0: 3,2\n")
+
+    def test_malformed_entry(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError, match="line 3.*malformed"):
+            load_vct(self.HEADER + "0: 1,3\n1: 1;3\n")
+
+    def test_duplicate_vertex_line(self):
+        from repro.core.index import load_vct
+
+        with pytest.raises(InvalidParameterError, match="line 3.*twice"):
+            load_vct(self.HEADER + "0: 1,3\n0: 2,4\n")
+
+    def test_infinity_entries_still_accepted(self):
+        from repro.core.index import load_vct
+
+        loaded = load_vct(self.HEADER + "0: 1,inf\n")
+        assert loaded.core_time(0, 1) is None
+
+
 class TestCoreIndexRegistry:
     def test_hit_and_miss_counters(self, paper_graph):
         from repro.core.index import CoreIndexRegistry
@@ -120,7 +204,9 @@ class TestCoreIndexRegistry:
         first = registry.get(paper_graph, 2)
         second = registry.get(paper_graph, 2)
         assert first is second
-        assert registry.stats() == {"hits": 1, "misses": 1, "size": 1, "capacity": 4}
+        assert registry.stats() == {
+            "hits": 1, "misses": 1, "store_hits": 0, "size": 1, "capacity": 4,
+        }
 
     def test_distinct_k_are_distinct_entries(self, paper_graph):
         from repro.core.index import CoreIndexRegistry

@@ -89,6 +89,133 @@ class TestStaleness:
         assert result.edge_sets() == offline.edge_sets()
 
 
+class TestSnapshotRestore:
+    """Streaming snapshots: a restarted daemon resumes from disk."""
+
+    EXTRA = [("a", "b", 8), ("b", "c", 8), ("a", "c", 9)]
+
+    @staticmethod
+    def _store(tmp_path):
+        from repro.store import IndexStore
+
+        return IndexStore(tmp_path / "store")
+
+    @staticmethod
+    def _canonical(result, graph):
+        """Cores as label-space edge triples (internal ids may differ)."""
+        return {
+            frozenset((*sorted((str(u), str(v))), t) for u, v, t in core.edge_triples(graph))
+            for core in result
+        }
+
+    def test_snapshot_folds_pending_first(self, tmp_path, service):
+        store = self._store(tmp_path)
+        key = service.snapshot(store, name="svc")
+        assert key == "svc"
+        assert service.num_pending == 0
+        assert store.stored_ks("svc") == [2]
+
+    def test_restore_resumes_without_compute(self, tmp_path, service, monkeypatch):
+        import repro.core.index as index_module
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path), name="svc")
+
+        def explode(*args, **kwargs):
+            raise AssertionError("restore path recomputed the index")
+
+        monkeypatch.setattr(index_module, "compute_core_times", explode)
+        restored = StreamingCoreService.restore(store, 2, name="svc")
+        assert restored.num_edges == service.num_edges
+        assert restored.num_pending == 0
+        assert not restored.is_stale
+        result = restored.query(1, 4)
+        assert result.num_results == 2
+        assert restored.num_rebuilds == 0
+
+    def test_restore_plus_pending_appends_matches_scratch(self, tmp_path, service):
+        """Acceptance: restore + appends is bit-identical to a full rebuild."""
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path), name="svc")
+        restored = StreamingCoreService.restore(store, 2, name="svc")
+        restored.extend(self.EXTRA)
+        assert restored.num_pending == len(self.EXTRA)
+        # query_raw with strict folds the pending edges in *before*
+        # snapping the range, so this covers the grown full span.
+        result = restored.query_raw(1, 10**9, strict=True)
+
+        scratch = StreamingCoreService(2, list(PAPER_EXAMPLE_EDGES) + self.EXTRA)
+        expected = scratch.query_raw(1, 10**9, strict=True)
+        assert self._canonical(result, restored.graph) == self._canonical(
+            expected, scratch.graph
+        )
+
+    def test_restore_single_graph_needs_no_name(self, tmp_path, service):
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path))
+        restored = StreamingCoreService.restore(store, 2)
+        assert restored.num_edges == service.num_edges
+
+    def test_restore_ambiguous_store_requires_name(self, tmp_path, service):
+        from repro.core.maintenance import StreamingCoreService
+
+        store = self._store(tmp_path)
+        service.snapshot(store, name="one")
+        StreamingCoreService(2, [("x", "y", 1), ("y", "z", 2), ("x", "z", 3)]).snapshot(
+            store, name="two"
+        )
+        with pytest.raises(InvalidParameterError, match="name"):
+            StreamingCoreService.restore(store, 2)
+
+    def test_restore_unknown_name(self, tmp_path, service):
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path), name="svc")
+        with pytest.raises(InvalidParameterError, match="nope"):
+            StreamingCoreService.restore(store, 2, name="nope")
+
+    def test_restore_with_corrupt_index_rebuilds(self, tmp_path, service):
+        """Fingerprint/checksum failure leaves the service stale, not wrong."""
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path), name="svc")
+        path = store.root / "svc" / "k2.idx"
+        path.write_bytes(path.read_bytes()[:-32])
+        restored = StreamingCoreService.restore(store, 2, name="svc")
+        assert restored.is_stale
+        result = restored.query(1, 4)
+        assert result.num_results == 2
+        assert restored.num_rebuilds == 1
+
+    def test_restore_with_different_k_rebuilds(self, tmp_path, service):
+        from repro.core.maintenance import StreamingCoreService
+
+        service.snapshot(store := self._store(tmp_path), name="svc")
+        restored = StreamingCoreService.restore(store, 3, name="svc")  # only k=2 stored
+        assert restored.is_stale
+        restored.query(1, 7)
+        assert restored.num_rebuilds == 1
+
+    def test_raw_queries_survive_restore(self, tmp_path):
+        from repro.core.maintenance import StreamingCoreService
+
+        svc = StreamingCoreService(
+            2, [("a", "b", 100), ("b", "c", 200), ("a", "c", 300)]
+        )
+        svc.snapshot(store := self._store(tmp_path), name="svc")
+        restored = StreamingCoreService.restore(store, 2, name="svc")
+        assert restored.query_raw(50, 350).num_results == 1
+        restored.append("a", "b", 400)
+        scratch = StreamingCoreService(
+            2, [("a", "b", 100), ("b", "c", 200), ("a", "c", 300), ("a", "b", 400)]
+        )
+        assert self._canonical(
+            restored.query_raw(50, 450, strict=True), restored.graph
+        ) == self._canonical(scratch.query_raw(50, 450), scratch.graph)
+
+
 class TestRawTimeQueries:
     def test_raw_range_snaps_inward(self):
         svc = StreamingCoreService(

@@ -1,0 +1,96 @@
+"""The binary blob container: round trips, integrity, versioning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.store.format import FORMAT_VERSION, MAGIC, read_blob, write_blob
+
+
+@pytest.fixture()
+def blob_path(tmp_path):
+    return tmp_path / "test.bin"
+
+
+class TestRoundTrip:
+    def test_sections_and_meta_survive(self, blob_path):
+        sections = {
+            "a": [1, 2, 3],
+            "b": [],
+            "c": [-5, 1 << 40, 0],
+        }
+        write_blob(blob_path, "test-kind", {"x": 7, "name": "n"}, sections)
+        blob = read_blob(blob_path)
+        assert blob.kind == "test-kind"
+        assert blob.meta == {"x": 7, "name": "n"}
+        assert {name: list(view) for name, view in blob.sections.items()} == sections
+
+    def test_empty_sections(self, blob_path):
+        write_blob(blob_path, "k", {}, {})
+        blob = read_blob(blob_path)
+        assert blob.sections == {}
+
+    def test_negative_and_large_values(self, blob_path):
+        values = [-(1 << 62), -1, 0, 1, (1 << 62)]
+        write_blob(blob_path, "k", {}, {"v": values})
+        assert list(read_blob(blob_path).sections["v"]) == values
+
+    def test_write_returns_file_size(self, blob_path):
+        written = write_blob(blob_path, "k", {}, {"v": [1, 2]})
+        assert written == blob_path.stat().st_size
+
+
+class TestIntegrity:
+    def test_not_a_blob(self, blob_path):
+        blob_path.write_bytes(b"definitely not a store blob at all")
+        with pytest.raises(StoreError):
+            read_blob(blob_path)
+
+    def test_unsupported_version(self, blob_path):
+        write_blob(blob_path, "k", {}, {"v": [1]})
+        raw = bytearray(blob_path.read_bytes())
+        raw[8:12] = (FORMAT_VERSION + 1).to_bytes(4, "little")
+        blob_path.write_bytes(bytes(raw))
+        with pytest.raises(StoreError, match="version"):
+            read_blob(blob_path)
+
+    def test_truncation_detected(self, blob_path):
+        write_blob(blob_path, "k", {}, {"v": list(range(64))})
+        raw = blob_path.read_bytes()
+        blob_path.write_bytes(raw[:-16])
+        with pytest.raises(StoreCorruptionError, match="truncated"):
+            read_blob(blob_path)
+
+    def test_bit_flip_detected(self, blob_path):
+        write_blob(blob_path, "k", {}, {"v": list(range(64))})
+        raw = bytearray(blob_path.read_bytes())
+        raw[-1] ^= 0xFF
+        blob_path.write_bytes(bytes(raw))
+        with pytest.raises(StoreCorruptionError, match="checksum"):
+            read_blob(blob_path)
+
+    def test_verify_false_skips_checksum(self, blob_path):
+        write_blob(blob_path, "k", {}, {"v": list(range(64))})
+        raw = bytearray(blob_path.read_bytes())
+        raw[-1] ^= 0xFF
+        blob_path.write_bytes(bytes(raw))
+        blob = read_blob(blob_path, verify=False)
+        assert len(blob.sections["v"]) == 64
+
+    def test_verify_false_still_detects_truncation(self, blob_path):
+        write_blob(blob_path, "k", {}, {"v": list(range(64))})
+        raw = blob_path.read_bytes()
+        blob_path.write_bytes(raw[:-16])
+        with pytest.raises(StoreCorruptionError):
+            read_blob(blob_path, verify=False)
+
+    def test_magic_is_stable(self, blob_path):
+        # The on-disk magic is a compatibility promise; changing it
+        # breaks every existing store.
+        write_blob(blob_path, "k", {}, {})
+        assert blob_path.read_bytes()[:8] == MAGIC == b"RPROSTOR"
+
+    def test_no_temp_file_left_behind(self, blob_path, tmp_path):
+        write_blob(blob_path, "k", {}, {"v": [1]})
+        assert [p.name for p in tmp_path.iterdir()] == ["test.bin"]

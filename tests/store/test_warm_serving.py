@@ -1,0 +1,156 @@
+"""Registry warm-up and store fallthrough: the daemon cold-start path."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+import repro.core.index as index_module
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.index import CoreIndex, CoreIndexRegistry, get_core_index
+from repro.datasets.paper_example import paper_example_graph
+from repro.errors import InvalidParameterError
+from repro.store import IndexStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return IndexStore(tmp_path / "store")
+
+
+@pytest.fixture()
+def populated(store, paper_graph):
+    store.save_index(CoreIndex(paper_graph, 2), name="paper")
+    store.save_index(CoreIndex(paper_graph, 3), name="paper")
+    return store
+
+
+def _forbid_compute(monkeypatch, message):
+    """Make any Algorithm-2 run fail the test loudly."""
+    def explode(*args, **kwargs):
+        raise AssertionError(message)
+
+    monkeypatch.setattr(index_module, "compute_core_times", explode)
+
+
+class TestStoreFallthrough:
+    def test_get_with_store_computes_nothing(self, populated, monkeypatch):
+        """Acceptance: a populated store answers with zero compute_core_times."""
+        _forbid_compute(monkeypatch, "compute_core_times called on the warm path")
+        registry = CoreIndexRegistry(capacity=4)
+        fresh = paper_example_graph()  # equal content, different object
+        index = registry.get(fresh, 2, store=populated)
+        assert registry.stats()["store_hits"] == 1
+        expected = enumerate_temporal_kcores(paper_example_graph(), 2, 1, 4).edge_sets()
+        assert index.query(1, 4).edge_sets() == expected
+
+    def test_attached_store_used_by_default(self, populated, monkeypatch):
+        _forbid_compute(monkeypatch, "compute_core_times called on the warm path")
+        registry = CoreIndexRegistry(capacity=4, store=populated)
+        registry.get(paper_example_graph(), 3)
+        assert registry.stats()["store_hits"] == 1
+
+    def test_second_get_is_a_cache_hit(self, populated):
+        registry = CoreIndexRegistry(capacity=4, store=populated)
+        graph = paper_example_graph()
+        first = registry.get(graph, 2)
+        assert registry.get(graph, 2) is first
+        stats = registry.stats()
+        assert stats["hits"] == 1 and stats["store_hits"] == 1
+
+    def test_absent_entry_falls_back_to_build(self, populated):
+        registry = CoreIndexRegistry(capacity=4, store=populated)
+        index = registry.get(paper_example_graph(), 5)  # k=5 never stored
+        assert registry.stats()["store_hits"] == 0
+        assert index.k == 5
+
+    def test_helper_passes_store_through(self, populated, monkeypatch):
+        _forbid_compute(monkeypatch, "compute_core_times called on the warm path")
+        registry = CoreIndexRegistry(capacity=4)
+        index = get_core_index(
+            paper_example_graph(), 2, registry=registry, store=populated
+        )
+        assert index.k == 2
+
+
+class TestWarm:
+    def test_warm_preloads_every_entry(self, populated):
+        registry = CoreIndexRegistry(capacity=8)
+        assert registry.warm(populated) == 2
+        assert len(registry) == 2
+
+    def test_warm_requires_a_store(self):
+        with pytest.raises(InvalidParameterError):
+            CoreIndexRegistry().warm()
+
+    def test_warm_respects_capacity(self, populated):
+        registry = CoreIndexRegistry(capacity=1)
+        registry.warm(populated)
+        assert len(registry) == 1
+
+    def test_warm_skips_corrupt_entries(self, populated, paper_graph):
+        path = populated.root / "paper" / "k2.idx"
+        path.write_bytes(path.read_bytes()[:-32])
+        registry = CoreIndexRegistry(capacity=8)
+        assert registry.warm(populated) == 1  # only k=3 loads
+
+    def test_warmed_entries_serve_queries(self, populated, monkeypatch):
+        registry = CoreIndexRegistry(capacity=8, store=populated)
+        registry.warm()
+        _forbid_compute(monkeypatch, "compute after warm")
+        # A fresh equal graph (new identity) still resolves with zero
+        # compute: the store fingerprint match backs the cache miss.
+        index = registry.get(paper_example_graph(), 2)
+        assert index.query(2, 6).num_results > 0
+
+
+class TestThreadSafety:
+    def test_concurrent_gets_are_safe(self, paper_graph, triangle_graph):
+        """A warm-up thread plus serving threads is a supported pattern."""
+        registry = CoreIndexRegistry(capacity=4)
+        graphs = [paper_graph, triangle_graph]
+        errors: list[BaseException] = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(25):
+                    graph = graphs[(worker + i) % 2]
+                    index = registry.get(graph, 2)
+                    assert index.graph is graph
+            except BaseException as exc:  # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(w,)) for w in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        stats = registry.stats()
+        assert stats["hits"] + stats["misses"] == 8 * 25
+
+    def test_concurrent_warm_and_serve(self, populated):
+        registry = CoreIndexRegistry(capacity=8, store=populated)
+        errors: list[BaseException] = []
+
+        def warm() -> None:
+            try:
+                registry.warm()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        def serve() -> None:
+            try:
+                graph = paper_example_graph()
+                for _ in range(10):
+                    registry.get(graph, 2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=warm), threading.Thread(target=serve)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors

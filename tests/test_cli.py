@@ -90,6 +90,63 @@ class TestGenerateAndIndex:
         assert skyline.size() == 18  # Table II window count
 
 
+class TestIndexStoreCli:
+    def test_index_requires_some_sink(self, graph_file, capsys):
+        assert main(["index", "--input", graph_file, "-k", "2"]) == 2
+        assert "save-store" in capsys.readouterr().err
+
+    def test_index_save_store(self, graph_file, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2",
+                     "--save-store", str(store_dir), "--name", "paper"]) == 0
+        assert "binary store" in capsys.readouterr().out
+        from repro.store import IndexStore
+
+        store = IndexStore(store_dir)
+        assert store.keys() == ["paper"]
+        assert store.stored_ks("paper") == [2]
+
+    def test_warm_prebuilds_multiple_ks(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "-k", "2", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "k=3" in out
+        from repro.store import IndexStore
+
+        assert IndexStore(store_dir).stored_ks("FB") == [2, 3]
+
+    def test_query_from_store_without_input(self, graph_file, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2",
+                     "--save-store", str(store_dir)]) == 0
+        capsys.readouterr()
+        # No --input: the store's only graph is served straight from disk.
+        assert main(["query", "--store", str(store_dir), "-k", "2",
+                     "--range", "1", "4", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["engine"] == "store"
+        assert payload["num_results"] == 2
+        assert {tuple(c["tti"]) for c in payload["cores"]} == {(1, 4), (2, 3)}
+
+    def test_query_with_store_builds_and_persists_on_miss(
+        self, graph_file, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--store", str(store_dir)]) == 0
+        assert "13 temporal 2-core(s)" in capsys.readouterr().out
+        from repro.store import IndexStore
+
+        store = IndexStore(store_dir)
+        assert len(store.keys()) == 1
+        assert store.stored_ks(store.keys()[0]) == [2]
+
+    def test_query_empty_store_without_input_errors(self, tmp_path, capsys):
+        assert main(["query", "--store", str(tmp_path / "store"), "-k", "2"]) == 2
+        assert "store-graph" in capsys.readouterr().err
+
+
 class TestExperimentsPassthrough:
     def test_table1(self, capsys):
         assert main(["experiments", "table1"]) == 0
