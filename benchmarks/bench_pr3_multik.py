@@ -1,0 +1,162 @@
+"""PR 3 multi-k benchmark: one shared-scan build vs N independent builds.
+
+Measures what a mixed-``k`` serving deployment pays to index one graph
+for several ``k`` values on the 50k-edge bursty workload of
+``bench_pr1_kernel``:
+
+* **independent** — one full Algorithm-2 run per ``k`` (the pre-PR 3
+  reality: ``CoreIndex(graph, k)`` for each ``k``, compiled graph
+  shared);
+* **multik** — ``build_core_indexes(graph, ks)``: a single shared
+  decremental scan harvesting the VCT and ECS of every ``k`` at once
+  (``repro.core.multik``).
+
+Both sides index the same graph; the benchmark asserts the resulting
+VCT transition lists and ECS windows are identical entry-by-entry for
+every ``k`` and reports the speedup (target: >= 2x for the 4-k build).
+
+Standalone script (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_pr3_multik.py --smoke
+
+writes ``BENCH_PR3.json`` next to the repository root.  ``--smoke``
+runs one repetition per side (CI budget); the default runs three and
+keeps the best of each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.index import CoreIndex  # noqa: E402
+from repro.core.multik import build_core_indexes  # noqa: E402
+from repro.graph.generators import BurstyConfig, generate_bursty  # noqa: E402
+from repro.graph.temporal_graph import TemporalGraph  # noqa: E402
+
+#: Same shape as the PR 1 workload: >= 50k temporal edges, bursty.
+WORKLOAD = BurstyConfig(
+    num_vertices=3000,
+    background_edges=42000,
+    tmax=2000,
+    repeat_rate=0.25,
+    num_bursts=40,
+    burst_size=12,
+    burst_width=25,
+    edges_per_burst=220,
+    seed=1,
+    name="bench_pr3",
+)
+
+KS = (2, 3, 4, 5)
+SPEEDUP_TARGET = 2.0
+
+
+def identical(multi: dict[int, CoreIndex], singles: dict[int, CoreIndex], graph) -> bool:
+    """Entry-by-entry VCT and ECS equality for every k."""
+    for k in KS:
+        a, b = multi[k], singles[k]
+        if a.vct.size() != b.vct.size() or a.ecs.size() != b.ecs.size():
+            return False
+        for u in range(graph.num_vertices):
+            if a.vct.entries_of(u) != b.vct.entries_of(u):
+                return False
+        for eid in range(graph.num_edges):
+            if a.ecs.windows_of(eid) != b.ecs.windows_of(eid):
+                return False
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="single repetition per side (CI budget)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per side, best kept (default: 1 smoke, 3 full)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR3.json",
+        help="output JSON path (default: <repo>/BENCH_PR3.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+
+    source = generate_bursty(WORKLOAD)
+    triples = [
+        (source.label_of(u), source.label_of(v), t) for u, v, t in source.edges
+    ]
+    print(f"graph: n={source.num_vertices} m={source.num_edges} "
+          f"tmax={source.tmax} ks={list(KS)}")
+
+    # ---- independent: one Algorithm-2 run per k (shared compile) ----
+    independent_seconds = float("inf")
+    singles: dict[int, CoreIndex] = {}
+    graph_ind = TemporalGraph(triples)
+    graph_ind.compiled()  # both sides start from a compiled graph
+    for _ in range(repeats):
+        start = time.perf_counter()
+        singles = {k: CoreIndex(graph_ind, k) for k in KS}
+        independent_seconds = min(independent_seconds, time.perf_counter() - start)
+
+    # ---- multik: one shared decremental scan for all ks ----
+    multik_seconds = float("inf")
+    multi: dict[int, CoreIndex] = {}
+    graph_multi = TemporalGraph(triples)
+    graph_multi.compiled()
+    for _ in range(repeats):
+        start = time.perf_counter()
+        multi = build_core_indexes(graph_multi, KS)
+        multik_seconds = min(multik_seconds, time.perf_counter() - start)
+
+    same = identical(multi, singles, graph_multi)
+    speedup = independent_seconds / multik_seconds if multik_seconds else float("inf")
+
+    report = {
+        "benchmark": "bench_pr3_multik",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "graph": {
+            "name": WORKLOAD.name,
+            "num_vertices": source.num_vertices,
+            "num_edges": source.num_edges,
+            "tmax": source.tmax,
+        },
+        "ks": list(KS),
+        "independent_seconds": round(independent_seconds, 4),
+        "multik_seconds": round(multik_seconds, 4),
+        "speedup": round(speedup, 2),
+        "vct_sizes": {str(k): multi[k].vct.size() for k in KS},
+        "ecs_sizes": {str(k): multi[k].ecs.size() for k in KS},
+        "identical": same,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(
+        f"ks={list(KS)}: independent {independent_seconds:.2f}s  "
+        f"multik {multik_seconds:.2f}s  speedup {speedup:.2f}x  "
+        f"identical={same}"
+    )
+    print(f"[report written to {args.out}]")
+
+    if not same:
+        print("FAIL: multi-k indexes diverge from per-k builds", file=sys.stderr)
+        return 1
+    if speedup < SPEEDUP_TARGET:
+        print(
+            f"FAIL: speedup {speedup:.2f}x below the {SPEEDUP_TARGET:.0f}x target",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

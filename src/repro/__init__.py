@@ -29,7 +29,9 @@ from repro.core import (
     TemporalKCore,
     TimeRangeCoreQuery,
     VertexCoreTimeIndex,
+    build_core_indexes,
     compute_core_times,
+    compute_core_times_multi,
     compute_vertex_core_times,
     enumerate_temporal_kcores,
     enumerate_temporal_kcores_base,
@@ -73,7 +75,9 @@ __all__ = [
     "TemporalKCore",
     "TimeRangeCoreQuery",
     "VertexCoreTimeIndex",
+    "build_core_indexes",
     "compute_core_times",
+    "compute_core_times_multi",
     "compute_vertex_core_times",
     "enumerate_bruteforce",
     "enumerate_otcd",

@@ -1,6 +1,11 @@
 """Benchmark harness: workloads, timing/memory measurement, experiments."""
 
-from repro.bench.batch import BatchAnswer, run_engine_batch, run_query_batch
+from repro.bench.batch import (
+    BatchAnswer,
+    run_engine_batch,
+    run_mixed_batch,
+    run_query_batch,
+)
 from repro.bench.harness import (
     EngineSummary,
     FIG6_ENGINES,
@@ -31,6 +36,7 @@ __all__ = [
     "range_has_core",
     "run_dataset_point",
     "run_engine_batch",
+    "run_mixed_batch",
     "run_query_batch",
     "run_workload",
     "sample_query_ranges",

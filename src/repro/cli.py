@@ -6,8 +6,8 @@ Subcommands::
     python -m repro query     --store var/idx -k 3 --range 10 80
     python -m repro stats     --input edges.txt          (or --dataset CM)
     python -m repro generate  --dataset CM -o cm.txt
-    python -m repro index     --input edges.txt -k 3 --save-store var/idx
-    python -m repro warm      --store var/idx --dataset CM -k 3 5
+    python -m repro index     --input edges.txt -k 2,3,5 --save-store var/idx
+    python -m repro warm      --store var/idx --dataset CM --ks 2,3,5
     python -m repro experiments fig6 --profile quick
 
 ``query`` prints each temporal k-core's TTI, vertex count and edge count
@@ -15,6 +15,8 @@ Subcommands::
 without materialising, for huge result sets).  ``--store DIR`` answers
 from the on-disk index store — precomputed indexes are opened via mmap
 instead of recomputed; missing entries are built once and persisted.
+``index`` and ``warm`` accept several ``k`` values and build all the
+missing ones in a single shared decremental scan (``repro.core.multik``);
 ``warm`` prebuilds a store for a dataset so daemons cold-start warm.
 """
 
@@ -27,6 +29,7 @@ from collections.abc import Sequence
 
 from repro.bench.experiments import main as experiments_main
 from repro.core.index import CoreIndex
+from repro.core.multik import build_core_indexes
 from repro.core.query import ENGINES, TimeRangeCoreQuery
 from repro.datasets.registry import ALL_DATASETS, load_dataset
 from repro.datasets.stats import compute_stats
@@ -166,40 +169,67 @@ def cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_k_list(value: str) -> list[int]:
+    """``"3"`` or ``"2,3,5"`` -> list of ints (argparse type helper)."""
+    try:
+        ks = [int(part) for part in value.split(",") if part.strip() != ""]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected K or K,K,... (integers), got {value!r}"
+        ) from None
+    if not ks:
+        raise argparse.ArgumentTypeError("expected at least one k value")
+    return ks
+
+
 def cmd_index(args: argparse.Namespace) -> int:
     if not args.output and not args.save_store:
         raise ReproError("provide -o FILE (debug text dump) and/or --save-store DIR")
+    ks = sorted(set(args.k))
+    if args.output and len(ks) > 1:
+        raise ReproError("-o writes a single text dump; use it with exactly one -k")
     graph = _load_graph(args)
-    index = CoreIndex(graph, args.k)
-    sinks = []
-    if args.output:
-        index.dump_skyline(args.output)
-        sinks.append(f"{args.output} (debug text)")
     if args.save_store:
-        key = IndexStore(args.save_store).save_index(
-            index, name=args.name or args.dataset
+        # One shared scan for every missing k; existing entries reused.
+        indexes = IndexStore(args.save_store).build_all(
+            graph, ks, name=args.name or args.dataset
         )
-        sinks.append(f"{args.save_store}/{key} (binary store)")
-    print(f"|VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
-          f"-> {'; '.join(sinks)}")
+    else:
+        indexes = build_core_indexes(graph, ks)
+    for k in ks:
+        index = indexes[k]
+        sinks = []
+        if args.output:
+            index.dump_skyline(args.output)
+            sinks.append(f"{args.output} (debug text)")
+        if args.save_store:
+            sinks.append(f"{args.save_store} (binary store)")
+        print(f"k={k}: |VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
+              f"-> {'; '.join(sinks)}")
     return 0
 
 
 def cmd_warm(args: argparse.Namespace) -> int:
     """Prebuild a store so serving processes open indexes instead of computing."""
+    ks = sorted(
+        {k for group in (args.k or []) for k in group} | set(args.ks or [])
+    )
+    if not ks:
+        raise ReproError("provide -k K [K ...] and/or --ks K,K,...")
     store = IndexStore(args.store)
     graph = _load_graph(args)
-    name = args.name or args.dataset
-    for k in args.k:
-        index = store.load_index(graph, k)
-        if index is not None:  # already stored and fresh: warm is idempotent
-            print(f"k={k}: |VCT| = {index.vct.size()}, "
-                  f"|ECS| = {index.ecs.size()} (already stored, skipped)")
-            continue
-        index = CoreIndex(graph, k)
-        key = store.save_index(index, name=name)
-        print(f"k={k}: |VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()} "
-              f"-> {args.store}/{key}")
+    # Missing k values are built together in one shared decremental scan;
+    # `already` is filled with the ks that actually loaded from disk
+    # (fingerprint + checksum pass) — a manifest row whose blob rotted
+    # is rebuilt and reported as such, not as reused.
+    already: set[int] = set()
+    indexes = store.build_all(
+        graph, ks, name=args.name or args.dataset, reused=already
+    )
+    for k in ks:
+        index = indexes[k]
+        note = " (already stored, reused)" if k in already else f" -> {args.store}"
+        print(f"k={k}: |VCT| = {index.vct.size()}, |ECS| = {index.ecs.size()}{note}")
     return 0
 
 
@@ -246,9 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("-o", "--output", required=True)
     generate.set_defaults(func=cmd_generate)
 
-    index = sub.add_parser("index", help="build and save a core index")
+    index = sub.add_parser("index", help="build and save core indexes")
     _add_graph_source(index)
-    index.add_argument("-k", type=int, required=True)
+    index.add_argument(
+        "-k", type=_parse_k_list, required=True, metavar="K[,K...]",
+        help="one k, or several comma-separated (built in one shared scan)",
+    )
     index.add_argument(
         "-o", "--output",
         help="text skyline dump (debug format; the binary store is primary)",
@@ -269,8 +302,13 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_source(warm)
     warm.add_argument("--store", required=True, metavar="DIR")
     warm.add_argument(
-        "-k", type=int, nargs="+", required=True, metavar="K",
-        help="one or more k values to prebuild",
+        "-k", type=_parse_k_list, nargs="+", metavar="K[,K...]",
+        help="k values to prebuild (space- and/or comma-separated)",
+    )
+    warm.add_argument(
+        "--ks", type=_parse_k_list, metavar="K,K,...",
+        help="comma-separated k values (merged with -k); missing entries "
+             "are built together in one shared scan",
     )
     warm.add_argument(
         "--name", help="store key to save under (default: dataset name or "

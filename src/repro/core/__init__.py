@@ -19,6 +19,7 @@ from repro.core.index import (
 )
 from repro.core.linkedlist import WindowList
 from repro.core.maintenance import StreamingCoreService
+from repro.core.multik import build_core_indexes, compute_core_times_multi
 from repro.core.query import ENGINES, TimeRangeCoreQuery
 from repro.core.results import EnumerationResult, TemporalKCore
 from repro.core.vertex_sets import (
@@ -43,7 +44,9 @@ __all__ = [
     "VertexCoreTimeIndex",
     "WindowList",
     "build_active_windows",
+    "build_core_indexes",
     "compute_core_times",
+    "compute_core_times_multi",
     "compute_vertex_core_times",
     "core_time_by_rescan",
     "distinct_vertex_sets",

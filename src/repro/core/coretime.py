@@ -364,6 +364,45 @@ class _WindowState:
         time}`` for every vertex whose core time increased.
         """
         self.expire_start(ts)
+        return self.run_fixpoint(self.seeds_after_expire(ts))
+
+    def seeds_after_expire(self, ts: int) -> list[int]:
+        """Fixpoint seeds for the move to start ``ts`` (after expiry).
+
+        Seed filter, vectorised over the expiring batch: endpoint ``u``
+        of pair ``(u, v)`` needs re-evaluation only if the pair's
+        available time ``max(ett, CT(v))`` contributed to ``CT(u)``
+        before (``CT(v) <= CT(u)``, since the expiring time made the max
+        ``CT(v)``) and strictly grows now (next pair time ``> CT(v)``).
+        Must be called after :meth:`expire_start` has advanced the
+        pointers past the edges stamped ``ts - 1``.
+        """
+        cg = self.cg
+        ct = self.ct
+        ett = self.ett
+        ts_hi = self.ts_hi
+        time_offset = cg.time_offset
+        batch_lo = time_offset[ts - 1]
+        batch_hi = time_offset[ts]
+        if batch_lo >= batch_hi:
+            return []
+        batch = slice(batch_lo, batch_hi)
+        endpoint_u = cg.np_edge_u[batch]
+        endpoint_v = cg.np_edge_v[batch]
+        ct_u = ct[endpoint_u]
+        ct_v = ct[endpoint_v]
+        next_time = ett[cg.np_edge_slot_u[batch]]
+        seed_u = (ct_u <= ts_hi) & (ct_v <= ct_u) & (next_time > ct_v)
+        seed_v = (ct_v <= ts_hi) & (ct_u <= ct_v) & (next_time > ct_u)
+        return np.concatenate((endpoint_u[seed_u], endpoint_v[seed_v])).tolist()
+
+    def run_fixpoint(self, seeds: list[int]) -> dict[int, int]:
+        """Chaotic re-evaluation of the core-time operator from ``seeds``.
+
+        Returns ``{vertex: previous core time}`` for every vertex whose
+        core time increased.  Seeds are deduplicated on entry (repeats
+        are harmless); re-scheduling cascades through the CSR slices.
+        """
         cg = self.cg
         ct = self.ct
         ett = self.ett
@@ -372,33 +411,13 @@ class _WindowState:
         ts_hi = self.ts_hi
         adj_offsets = cg.adj_offsets
         np_adj_neighbour = cg.np_adj_neighbour
-        time_offset = cg.time_offset
         changed: dict[int, int] = {}
         queue: deque[int] = deque()
         inq = self._inq
-
-        batch_lo = time_offset[ts - 1]
-        batch_hi = time_offset[ts]
-        if batch_lo < batch_hi:
-            # Seed filter, vectorised over the expiring batch: endpoint u
-            # of pair (u, v) needs re-evaluation only if the pair's
-            # available time max(ett, CT(v)) contributed to CT(u) before
-            # (CT(v) <= CT(u), since the expiring time made the max CT(v))
-            # and strictly grows now (next pair time > CT(v)).
-            batch = slice(batch_lo, batch_hi)
-            endpoint_u = cg.np_edge_u[batch]
-            endpoint_v = cg.np_edge_v[batch]
-            ct_u = ct[endpoint_u]
-            ct_v = ct[endpoint_v]
-            next_time = ett[cg.np_edge_slot_u[batch]]
-            seed_u = (ct_u <= ts_hi) & (ct_v <= ct_u) & (next_time > ct_v)
-            seed_v = (ct_v <= ts_hi) & (ct_u <= ct_v) & (next_time > ct_u)
-            for w in np.concatenate(
-                (endpoint_u[seed_u], endpoint_v[seed_v])
-            ).tolist():
-                if not inq[w]:
-                    inq[w] = 1
-                    queue.append(w)
+        for w in seeds:
+            if not inq[w]:
+                inq[w] = 1
+                queue.append(w)
 
         km1 = k - 1
         while queue:
@@ -466,68 +485,59 @@ class _WindowState:
         return end
 
 
-def compute_core_times(
-    graph: TemporalGraph,
-    k: int,
-    ts: int | None = None,
-    te: int | None = None,
-    *,
-    with_skyline: bool = True,
-) -> CoreTimeResult:
-    """Compute the VCT index (and optionally the ECS) over ``[ts, te]``.
+class _Harvester:
+    """Per-``k`` accumulation of VCT entries and skyline windows.
 
-    This is the paper's Algorithm 2 (*CoreTime*): the historical
-    core-time maintenance of [13] for a fixed ``k``, with minimal core
-    windows of every edge emitted as a byproduct.
-
-    Parameters default to the graph's full span.  Complexity:
-    ``O(|VCT| * deg_avg)`` plus the ``O(n + m)`` initial scan.  The first
-    call on a graph compiles its flat-array representation (cached on the
-    graph); subsequent calls reuse it.
+    The output side of Algorithm 2, factored out of the driver loop so
+    the single-``k`` path here and the shared-scan multi-``k`` path of
+    :mod:`repro.core.multik` run the *same* emission code: seeded from
+    the initial-scan core times, then fed every ``(ts, changed)`` step of
+    the advancing phase via :meth:`harvest`.
     """
-    if k < 1:
-        raise InvalidParameterError(f"k must be >= 1, got {k}")
-    ts_lo = 1 if ts is None else ts
-    ts_hi = graph.tmax if te is None else te
-    graph.check_window(ts_lo, ts_hi)
 
-    state = _WindowState(graph, k, ts_lo, ts_hi)
-    cg = state.cg
-    inf = state.inf
-    ct = state.ct
-    state.initial_scan()
+    __slots__ = ("state", "vct_entries", "ecs", "ect")
 
-    num_vertices = cg.num_vertices
-    vct_entries: list[list[tuple[int, int | None]]] = [[] for _ in range(num_vertices)]
-    for u, c in enumerate(ct.tolist()):
-        if c < inf:
-            vct_entries[u].append((ts_lo, c))
+    def __init__(self, state: _WindowState, with_skyline: bool):
+        cg = state.cg
+        inf = state.inf
+        ct = state.ct
+        ts_lo, ts_hi = state.ts_lo, state.ts_hi
+        time_offset = cg.time_offset
+        self.state = state
+        self.vct_entries: list[list[tuple[int, int | None]]] = [
+            [] for _ in range(cg.num_vertices)
+        ]
+        for u, c in enumerate(ct.tolist()):
+            if c < inf:
+                self.vct_entries[u].append((ts_lo, c))
+        self.ecs: list[list[tuple[int, int]]] | None = None
+        self.ect: "np.ndarray | None" = None
+        if with_skyline:
+            self.ecs = [[] for _ in range(cg.num_edges)]
+            self.ect = np.full(cg.num_edges, inf, dtype=np.int64)
+            window = slice(time_offset[ts_lo], time_offset[ts_hi + 1])
+            self.ect[window] = np.maximum(
+                np.maximum(ct[cg.np_edge_u[window]], ct[cg.np_edge_v[window]]),
+                cg.np_edge_t[window],
+            )
+            # Edges stamped with the very first start time leave the
+            # window as soon as the start advances: their pending window
+            # finalises now.
+            base = time_offset[ts_lo]
+            first_batch = self.ect[base : time_offset[ts_lo + 1]]
+            for offset in np.nonzero(first_batch <= ts_hi)[0].tolist():
+                self.ecs[base + offset].append((ts_lo, int(first_batch[offset])))
 
-    time_offset = cg.time_offset
-    inc_offsets = cg.inc_offsets
-    inc_time = cg.np_inc_time
-    inc_other = cg.np_inc_other
-    inc_eid = cg.np_inc_eid
-
-    ecs: list[list[tuple[int, int]]] | None = None
-    ect: "np.ndarray | None" = None
-    if with_skyline:
-        ecs = [[] for _ in range(cg.num_edges)]
-        ect = np.full(cg.num_edges, inf, dtype=np.int64)
-        window = slice(time_offset[ts_lo], time_offset[ts_hi + 1])
-        ect[window] = np.maximum(
-            np.maximum(ct[cg.np_edge_u[window]], ct[cg.np_edge_v[window]]),
-            cg.np_edge_t[window],
-        )
-        # Edges stamped with the very first start time leave the window as
-        # soon as the start advances: their pending window finalises now.
-        base = time_offset[ts_lo]
-        first_batch = ect[base : time_offset[ts_lo + 1]]
-        for offset in np.nonzero(first_batch <= ts_hi)[0].tolist():
-            ecs[base + offset].append((ts_lo, int(first_batch[offset])))
-
-    for current_ts in range(ts_lo + 1, ts_hi + 1):
-        changed = state.advance_start(current_ts)
+    def harvest(self, current_ts: int, changed: dict[int, int]) -> None:
+        """Fold in one advancing step: VCT transitions + finalised windows."""
+        state = self.state
+        cg = state.cg
+        ct = state.ct
+        inf = state.inf
+        ts_hi = state.ts_hi
+        time_offset = cg.time_offset
+        ecs = self.ecs
+        ect = self.ect
         if changed:
             # Collect the incident-CSR suffixes (time >= current_ts) of
             # every changed vertex and re-derive the core times of those
@@ -536,6 +546,11 @@ def compute_core_times(
             # (Lemma 2).  An edge with both endpoints changed appears
             # twice with the same re-derived value (both gathers read the
             # final cts), so increases are deduplicated per edge id.
+            inc_offsets = cg.inc_offsets
+            inc_time = cg.np_inc_time
+            inc_other = cg.np_inc_other
+            inc_eid = cg.np_inc_eid
+            vct_entries = self.vct_entries
             pieces: list[np.ndarray] = []
             piece_ct: list[int] = []
             piece_len: list[int] = []
@@ -577,13 +592,52 @@ def compute_core_times(
             for offset in (batch <= ts_hi).nonzero()[0].tolist():
                 ecs[base + offset].append((current_ts, int(batch[offset])))
 
-    vct = VertexCoreTimeIndex(vct_entries, k, (ts_lo, ts_hi))
-    skyline = (
-        EdgeCoreSkyline([tuple(w) for w in ecs], k, (ts_lo, ts_hi))
-        if ecs is not None
-        else None
-    )
-    return CoreTimeResult(vct=vct, ecs=skyline)
+    def result(self) -> CoreTimeResult:
+        """Freeze the accumulated entries into a :class:`CoreTimeResult`."""
+        state = self.state
+        span = (state.ts_lo, state.ts_hi)
+        vct = VertexCoreTimeIndex(self.vct_entries, state.k, span)
+        skyline = (
+            EdgeCoreSkyline([tuple(w) for w in self.ecs], state.k, span)
+            if self.ecs is not None
+            else None
+        )
+        return CoreTimeResult(vct=vct, ecs=skyline)
+
+
+def compute_core_times(
+    graph: TemporalGraph,
+    k: int,
+    ts: int | None = None,
+    te: int | None = None,
+    *,
+    with_skyline: bool = True,
+) -> CoreTimeResult:
+    """Compute the VCT index (and optionally the ECS) over ``[ts, te]``.
+
+    This is the paper's Algorithm 2 (*CoreTime*): the historical
+    core-time maintenance of [13] for a fixed ``k``, with minimal core
+    windows of every edge emitted as a byproduct.
+
+    Parameters default to the graph's full span.  Complexity:
+    ``O(|VCT| * deg_avg)`` plus the ``O(n + m)`` initial scan.  The first
+    call on a graph compiles its flat-array representation (cached on the
+    graph); subsequent calls reuse it.  For several ``k`` values over the
+    same window, :func:`repro.core.multik.compute_core_times_multi`
+    shares the scan across them.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    ts_lo = 1 if ts is None else ts
+    ts_hi = graph.tmax if te is None else te
+    graph.check_window(ts_lo, ts_hi)
+
+    state = _WindowState(graph, k, ts_lo, ts_hi)
+    state.initial_scan()
+    harvester = _Harvester(state, with_skyline)
+    for current_ts in range(ts_lo + 1, ts_hi + 1):
+        harvester.harvest(current_ts, state.advance_start(current_ts))
+    return harvester.result()
 
 
 def compute_vertex_core_times(

@@ -22,6 +22,7 @@ import io
 import os
 import threading
 from collections import OrderedDict
+from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
@@ -48,6 +49,28 @@ class CoreIndex:
         assert result.ecs is not None
         self.vct: VertexCoreTimeIndex = result.vct
         self.ecs: EdgeCoreSkyline = result.ecs
+
+    @classmethod
+    def from_core_times(
+        cls, graph: TemporalGraph, k: int, result: CoreTimeResult
+    ) -> "CoreIndex":
+        """Wrap an already-computed full-span result as an index.
+
+        Used by the shared-scan multi-``k`` builder
+        (:func:`repro.core.multik.build_core_indexes`) and the store
+        codec, which produce VCT/ECS without going through this class's
+        constructor.  The result must carry a skyline.
+        """
+        if result.ecs is None:
+            raise InvalidParameterError(
+                "a CoreIndex needs the skyline; compute with with_skyline=True"
+            )
+        index = cls.__new__(cls)
+        index.graph = graph
+        index.k = k
+        index.vct = result.vct
+        index.ecs = result.ecs
+        return index
 
     def query(
         self,
@@ -142,7 +165,19 @@ class CoreIndexRegistry:
     miss falls through to disk before computing: the store is probed by
     content fingerprint, and a hit opens the persisted flat arrays
     instead of running Algorithm 2.  :meth:`warm` preloads every stored
-    entry, the daemon-boot pattern.
+    entry (and, with ``ks=``, fills the gaps), the daemon-boot pattern.
+
+    Mixed-``k`` traffic goes through :meth:`get_many`, which resolves a
+    whole set of ``k`` values at once and computes everything still
+    missing in **one** shared decremental scan rather than one
+    Algorithm-2 run per ``k``.  :meth:`stats` exposes per-``k``
+    ``store_hits_by_k`` / ``multik_builds_by_k`` counters so a warm
+    deployment can assert it never recomputes.
+
+    Invalidation: graphs are immutable, so cached indexes never go
+    stale in-process — entries only leave by LRU eviction or
+    :meth:`clear`.  Store entries are fingerprint-checked on load, so a
+    store rebuilt against different data simply stops matching.
 
     Thread-safe: all cache operations hold an internal lock, so a
     warm-up thread plus serving threads is a supported pattern.  The
@@ -159,6 +194,9 @@ class CoreIndexRegistry:
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
+        self.multik_builds = 0
+        self._store_hits_by_k: dict[int, int] = {}
+        self._multik_builds_by_k: dict[int, int] = {}
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[int, int], CoreIndex] = OrderedDict()
 
@@ -201,28 +239,127 @@ class CoreIndexRegistry:
                 index = store.load_index(graph, k)
                 if index is not None:
                     self.store_hits += 1
+                    self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
                     self._insert(key, index)
                     return index
             index = CoreIndex(graph, k)
             self._insert(key, index)
             return index
 
-    def warm(self, store: "IndexStore | None" = None) -> int:
+    def get_many(
+        self,
+        graph: TemporalGraph,
+        ks: "Iterable[int]",
+        *,
+        store: "IndexStore | None" = None,
+    ) -> dict[int, CoreIndex]:
+        """Indexes for every ``k`` in ``ks``, shared-building the misses.
+
+        Per ``k``, resolution order matches :meth:`get` — cache, then
+        store (fingerprint match), then compute — but every ``k`` that
+        reaches the compute stage is built in **one** shared decremental
+        scan (:func:`repro.core.multik.build_core_indexes`) instead of
+        one Algorithm-2 run each.  Counters: each ``k`` contributes one
+        hit or miss; store hits and shared-build products are also
+        tallied per ``k`` (see :meth:`stats`).
+
+        Entries are inserted in the order the ``k`` values were
+        requested (deduplicated), so under ``capacity`` pressure the
+        LRU deterministically keeps the *last* ``capacity`` of them —
+        a single shared build never thrashes into repeated rebuilding.
+
+        Thread-safe; holds the registry lock across the whole
+        resolution, like :meth:`get`.
+        """
+        ordered: list[int] = []
+        seen: set[int] = set()
+        for k in ks:
+            if k < 1:
+                raise InvalidParameterError(f"k must be >= 1, got {k}")
+            if k not in seen:
+                seen.add(k)
+                ordered.append(k)
+        if not ordered:
+            raise InvalidParameterError("ks must contain at least one k value")
+        if store is None:
+            store = self.store
+        out: dict[int, CoreIndex] = {}
+        with self._lock:
+            missing: list[int] = []
+            for k in ordered:
+                key = (id(graph), k)
+                index = self._entries.get(key)
+                if index is not None and index.graph is graph:
+                    self._entries.move_to_end(key)
+                    self.hits += 1
+                    out[k] = index
+                else:
+                    self.misses += 1
+                    missing.append(k)
+            to_build: list[int] = []
+            for k in missing:
+                index = store.load_index(graph, k) if store is not None else None
+                if index is not None:
+                    self.store_hits += 1
+                    self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
+                    self._insert((id(graph), k), index)
+                    out[k] = index
+                else:
+                    to_build.append(k)
+            if to_build:
+                from repro.core.multik import build_core_indexes
+
+                built = build_core_indexes(graph, to_build)
+                self.multik_builds += 1
+                for k in to_build:
+                    self._multik_builds_by_k[k] = (
+                        self._multik_builds_by_k.get(k, 0) + 1
+                    )
+                    self._insert((id(graph), k), built[k])
+                    out[k] = built[k]
+        return out
+
+    def warm(
+        self,
+        store: "IndexStore | None" = None,
+        *,
+        ks: "Iterable[int] | None" = None,
+    ) -> int:
         """Preload every loadable stored index; returns how many.
 
-        Uses the attached store when none is passed.  Loaded graphs are
-        pinned by their cache entries; entries beyond ``capacity`` evict
-        in insertion order, so warm a registry sized for the store.
+        Uses the attached store when none is passed.  With ``ks``, every
+        stored graph is additionally guaranteed an index for each listed
+        ``k``: the ones missing from (or unreadable in) the store being
+        warmed are resolved through :meth:`get_many` against that same
+        store — one shared scan per graph for everything it cannot serve
+        — and the return value counts only freshly resolved entries
+        (stored loads plus gap-fills; registry cache hits are not
+        re-counted).  Unreadable graphs or indexes are skipped silently
+        — warm-up must never fail because one entry rotted on disk.
+
+        Loaded graphs are pinned by their cache entries; entries beyond
+        ``capacity`` evict in insertion order, so warm a registry sized
+        for the store.
         """
         if store is None:
             store = self.store
         if store is None:
             raise InvalidParameterError("no store attached and none passed to warm()")
+        ks = list(ks) if ks is not None else None
         loaded = 0
-        for _key, graph, index in store.iter_indexes():
-            with self._lock:
-                self._insert((id(graph), index.k), index)
-            loaded += 1
+        for _key, graph, indexes in store.iter_graphs():
+            for k in sorted(indexes):
+                with self._lock:
+                    self._insert((id(graph), k), indexes[k])
+                loaded += 1
+            if ks:
+                extra = [k for k in ks if k not in indexes]
+                if extra:
+                    misses_before = self.misses
+                    self.get_many(graph, extra, store=store)
+                    # Only freshly resolved ks count as warmed; a k the
+                    # registry already held is not new work.
+                    loaded += self.misses - misses_before
         return loaded
 
     def clear(self) -> None:
@@ -230,13 +367,23 @@ class CoreIndexRegistry:
         with self._lock:
             self._entries.clear()
 
-    def stats(self) -> dict[str, int]:
-        """Hit/miss/size counters for observability."""
+    def stats(self) -> dict:
+        """Hit/miss/size counters for observability.
+
+        Beyond the aggregate counters, ``store_hits_by_k`` and
+        ``multik_builds_by_k`` break down, per ``k``, how many misses
+        were served from disk versus computed by the shared multi-``k``
+        build — a warm-serving deployment asserts the latter stays at
+        zero.  ``multik_builds`` counts shared-build invocations.
+        """
         with self._lock:
             return {
                 "hits": self.hits,
                 "misses": self.misses,
                 "store_hits": self.store_hits,
+                "multik_builds": self.multik_builds,
+                "store_hits_by_k": dict(self._store_hits_by_k),
+                "multik_builds_by_k": dict(self._multik_builds_by_k),
                 "size": len(self._entries),
                 "capacity": self.capacity,
             }

@@ -1,4 +1,4 @@
-"""A small serving layer: append-only edge streams over a core index.
+"""A small serving layer: append-only edge streams over core indexes.
 
 The paper's pipeline is offline: given a graph, build the skyline,
 answer queries.  Deployments (fraud monitoring, trace analysis) instead
@@ -8,20 +8,29 @@ that pattern:
 
 * edges are appended in raw-timestamp order (out-of-order appends are
   rejected — matching how interaction logs are produced);
-* the VCT/ECS index is rebuilt lazily, governed by a staleness budget
+* one service serves one or many registered ``k`` values; the VCT/ECS
+  indexes are rebuilt lazily, governed by a staleness budget
   (``max_pending``): a query first folds in pending edges when the
-  budget is exceeded or when ``strict`` freshness is requested;
+  budget is exceeded or when ``strict`` freshness is requested, and a
+  rebuild refreshes **all** registered ``k`` values in a single shared
+  decremental scan (:func:`repro.core.multik.build_core_indexes`);
 * queries can be asked in raw timestamps, translated through the
   current normalisation;
 * the service can :meth:`~StreamingCoreService.snapshot` its graph and
-  index into an :class:`~repro.store.index_store.IndexStore` and a
+  every index into an :class:`~repro.store.index_store.IndexStore` and a
   restarted process can :meth:`~StreamingCoreService.restore` from it —
-  resuming from the last persisted index (fingerprint-checked) so only
+  resuming from the last persisted indexes (fingerprint-checked) so only
   the edges appended after the snapshot need folding in.
 
 Incrementally *maintaining* the skyline under insertions is an open
 problem the paper leaves to future work; this layer deliberately
-rebuilds (costs one Algorithm-2 run) rather than pretend otherwise.
+rebuilds (costs one shared multi-``k`` pass) rather than pretend
+otherwise.
+
+Thread-safety: the service is **not** internally locked — it is a
+single-writer object.  Interleave appends and queries from one thread
+(or protect it externally); concurrent readers of a *fresh* service are
+safe because queries on a fresh index do not mutate state.
 """
 
 from __future__ import annotations
@@ -38,27 +47,52 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.store.index_store import IndexStore
 
 
+def _normalise_ks(k: int | Iterable[int]) -> tuple[int, ...]:
+    """``k`` (or several) as a validated ascending tuple."""
+    ks = (k,) if isinstance(k, int) else tuple(sorted(set(k)))
+    if not ks:
+        raise InvalidParameterError("at least one k value is required")
+    for value in ks:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise InvalidParameterError(f"k must be an integer >= 1, got {value!r}")
+    return ks
+
+
 class StreamingCoreService:
-    """Append edges, query temporal k-cores, rebuild the index lazily."""
+    """Append edges, query temporal k-cores, rebuild indexes lazily.
+
+    Parameters
+    ----------
+    k:
+        The ``k`` value to serve — or an iterable of them.  All
+        registered values are rebuilt together in one shared pass;
+        :meth:`query` defaults to the smallest and selects others via
+        its ``k=`` argument.
+    initial_edges:
+        Optional backlog ingested at construction (still counts as
+        pending until the first build).
+    max_pending:
+        Staleness budget: a non-``strict`` query tolerates up to this
+        many pending appends before forcing a rebuild.
+    """
 
     def __init__(
         self,
-        k: int,
+        k: int | Iterable[int],
         initial_edges: Iterable[tuple[Hashable, Hashable, int]] = (),
         *,
         max_pending: int = 1_000,
     ):
-        if k < 1:
-            raise InvalidParameterError(f"k must be >= 1, got {k}")
+        self.ks = _normalise_ks(k)
+        self.k = self.ks[0]
         if max_pending < 0:
             raise InvalidParameterError("max_pending must be non-negative")
-        self.k = k
         self.max_pending = max_pending
         self._edges: list[tuple[Hashable, Hashable, int]] = list(initial_edges)
         self._pending = len(self._edges)
         self._last_raw_time = max((t for _, _, t in self._edges), default=None)
         self._graph: TemporalGraph | None = None
-        self._index: CoreIndex | None = None
+        self._indexes: dict[int, CoreIndex] = {}
         self.num_rebuilds = 0
 
     # ------------------------------------------------------------------
@@ -66,7 +100,13 @@ class StreamingCoreService:
     # ------------------------------------------------------------------
 
     def append(self, u: Hashable, v: Hashable, raw_t: int) -> None:
-        """Append one interaction; timestamps must be non-decreasing."""
+        """Append one interaction; timestamps must be non-decreasing.
+
+        Appending never rebuilds anything — it only grows the pending
+        backlog, which invalidates the current indexes lazily (they keep
+        serving until a query decides freshness matters; see
+        :meth:`query`).
+        """
         if self._last_raw_time is not None and raw_t < self._last_raw_time:
             raise InvalidParameterError(
                 f"out-of-order append: {raw_t} < last seen {self._last_raw_time}"
@@ -76,6 +116,7 @@ class StreamingCoreService:
         self._pending += 1
 
     def extend(self, edges: Iterable[tuple[Hashable, Hashable, int]]) -> None:
+        """Append many interactions (same ordering rule as :meth:`append`)."""
         for u, v, t in edges:
             self.append(u, v, t)
 
@@ -85,35 +126,49 @@ class StreamingCoreService:
 
     @property
     def num_pending(self) -> int:
-        """Edges appended since the index was last built."""
+        """Edges appended since the indexes were last built."""
         return self._pending
 
     @property
     def is_stale(self) -> bool:
-        return self._index is None or self._pending > 0
+        """Whether a strict query would trigger a rebuild right now."""
+        return (
+            self._pending > 0
+            or any(k not in self._indexes for k in self.ks)
+        )
 
     # ------------------------------------------------------------------
     # Index lifecycle
     # ------------------------------------------------------------------
 
     def refresh(self) -> None:
-        """Rebuild the graph and index over everything ingested so far."""
+        """Rebuild the graph and every registered index over all edges.
+
+        One call folds the whole backlog in: the graph is re-normalised
+        and all registered ``k`` values are rebuilt in a single shared
+        decremental scan.  Counts as one rebuild regardless of how many
+        ``k`` values are registered.
+        """
         if not self._edges:
             raise InvalidParameterError("no edges ingested yet")
+        from repro.core.multik import build_core_indexes
+
         self._graph = TemporalGraph(self._edges)
-        self._index = CoreIndex(self._graph, self.k)
+        self._indexes = build_core_indexes(self._graph, self.ks)
         self._pending = 0
         self.num_rebuilds += 1
 
     def _ensure_fresh(self, strict: bool) -> None:
-        if self._index is None or (strict and self._pending > 0):
-            self.refresh()
-        elif self._pending > self.max_pending:
+        if self.is_stale and (
+            strict
+            or any(k not in self._indexes for k in self.ks)
+            or self._pending > self.max_pending
+        ):
             self.refresh()
 
     @property
     def graph(self) -> TemporalGraph:
-        """The graph snapshot behind the current index (builds if needed)."""
+        """The graph snapshot behind the current indexes (builds if needed)."""
         self._ensure_fresh(strict=False)
         assert self._graph is not None
         return self._graph
@@ -122,30 +177,48 @@ class StreamingCoreService:
     # Queries
     # ------------------------------------------------------------------
 
+    def _index_for(self, k: int | None) -> CoreIndex:
+        chosen = self.k if k is None else k
+        if chosen not in self.ks:
+            raise InvalidParameterError(
+                f"k={chosen} is not served by this service (registered: {self.ks})"
+            )
+        return self._indexes[chosen]
+
     def query(
-        self, ts: int, te: int, *, strict: bool = False, collect: bool = True
+        self,
+        ts: int,
+        te: int,
+        *,
+        k: int | None = None,
+        strict: bool = False,
+        collect: bool = True,
     ) -> EnumerationResult:
         """Temporal k-cores of normalised range ``[ts, te]``.
 
-        ``strict=True`` forces pending edges to be folded in first;
-        otherwise the answer may lag by up to ``max_pending`` edges.
+        ``k`` selects among the registered values (default: the
+        smallest).  ``strict=True`` forces pending edges to be folded in
+        first; otherwise the answer may lag by up to ``max_pending``
+        edges — the staleness contract callers opt into for throughput.
         """
         self._ensure_fresh(strict)
-        assert self._index is not None
-        return self._index.query(ts, te, collect=collect)
+        return self._index_for(k).query(ts, te, collect=collect)
 
     def query_raw(
         self,
         raw_ts: int,
         raw_te: int,
         *,
+        k: int | None = None,
         strict: bool = False,
         collect: bool = True,
     ) -> EnumerationResult:
         """Temporal k-cores between two *raw* timestamps (inclusive).
 
-        Raw bounds are snapped inward to the nearest ingested timestamps;
-        an empty snap (no data in the interval) raises.
+        Raw bounds are snapped inward to the nearest ingested timestamps
+        (with ``strict=True`` pending edges are folded in *before*
+        snapping, so the range can cover them); an empty snap (no data
+        in the interval) raises.
         """
         if raw_ts > raw_te:
             raise InvalidParameterError(f"empty raw range [{raw_ts}, {raw_te}]")
@@ -155,30 +228,34 @@ class StreamingCoreService:
             raise InvalidParameterError(
                 f"no ingested timestamps inside raw range [{raw_ts}, {raw_te}]"
             )
-        return self.query(window[0], window[1], strict=False, collect=collect)
+        return self.query(window[0], window[1], k=k, strict=False, collect=collect)
 
     # ------------------------------------------------------------------
     # Persistence: streaming snapshots
     # ------------------------------------------------------------------
 
     def snapshot(self, store: "IndexStore", *, name: str | None = None) -> str:
-        """Persist the current graph + index into ``store``; returns the key.
+        """Persist the current graph + every index into ``store``.
 
-        Pending edges are folded in first (one rebuild if stale), so the
-        snapshot always captures everything ingested so far.  Blob and
-        manifest writes are atomic — a crash mid-snapshot leaves the
-        previous snapshot intact.
+        Pending edges are folded in first (one shared rebuild if stale),
+        so the snapshot always captures everything ingested so far — for
+        *all* registered ``k`` values.  Blob and manifest writes are
+        atomic — a crash mid-snapshot leaves the previous snapshot
+        intact.  Returns the store key.
         """
-        if self._index is None or self._pending:
+        if self.is_stale:
             self.refresh()
-        assert self._index is not None
-        return store.save_index(self._index, name=name)
+        key = name
+        for k in self.ks:
+            key = store.save_index(self._indexes[k], name=name)
+        assert key is not None
+        return key
 
     @classmethod
     def restore(
         cls,
         store: "IndexStore",
-        k: int,
+        k: int | Iterable[int],
         *,
         name: str | None = None,
         max_pending: int = 1_000,
@@ -188,11 +265,12 @@ class StreamingCoreService:
         ``name`` selects the stored graph; when omitted the store must
         hold exactly one.  The ingested edge log is reconstructed from
         the persisted graph (labels and raw timestamps round-trip), and
-        the persisted index for ``k`` is attached when its fingerprint
-        still matches — in that case the first query runs with **zero**
-        core-time computation.  A missing, stale or corrupt index simply
-        leaves the restored service stale: the next query folds
-        everything in with one rebuild, never serving bad data.
+        the persisted indexes are attached when their fingerprints still
+        match — when **every** requested ``k`` loads, the first query
+        runs with **zero** core-time computation.  Any missing, stale or
+        corrupt index leaves the restored service stale: the next query
+        folds everything in with one shared rebuild, never serving bad
+        data.
         """
         keys = store.keys()
         if name is None:
@@ -209,9 +287,13 @@ class StreamingCoreService:
             for u, v, t in graph.edges
         ]
         service = cls(k, edges, max_pending=max_pending)
-        index = store.load_index(graph, k, key=name)
-        if index is not None:
+        loaded: dict[int, CoreIndex] = {}
+        for wanted in service.ks:
+            index = store.load_index(graph, wanted, key=name)
+            if index is not None:
+                loaded[wanted] = index
+        if len(loaded) == len(service.ks):
             service._graph = graph
-            service._index = index
+            service._indexes = loaded
             service._pending = 0
         return service

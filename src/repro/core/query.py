@@ -40,13 +40,20 @@ class TimeRangeCoreQuery:
     ----------
     graph:
         The temporal graph (timestamps normalised to ``1..tmax``).
+        Graphs are immutable once constructed, so a query object never
+        observes its graph changing underneath it.
     k:
-        Minimum distinct-neighbour degree of the cores.
+        Minimum distinct-neighbour degree of the cores (``>= 1``).
     time_range:
         Query range ``(Ts, Te)`` in normalised timestamps; defaults to
-        the graph's full span.
+        the graph's full span.  Validated on construction
+        (:class:`~repro.errors.InvalidParameterError` on a window
+        outside ``1..tmax`` or with ``Ts > Te``).
     engine:
-        One of :data:`ENGINES`.
+        One of :data:`ENGINES`.  ``enum`` recomputes per query (the
+        paper's pipeline); ``index`` serves from a shared full-span
+        :class:`~repro.core.index.CoreIndex` and is the right choice for
+        repeated queries against one graph.
     collect:
         Materialise cores (default) or stream counters only.
     timeout:
@@ -59,7 +66,15 @@ class TimeRangeCoreQuery:
     registry:
         Index registry consulted by ``engine="index"``; defaults to the
         process-wide :data:`repro.core.index.DEFAULT_REGISTRY`.  Ignored
-        by the other engines.
+        by the other engines.  Attach an
+        :class:`~repro.store.index_store.IndexStore` to the registry to
+        make cold queries open persisted indexes instead of computing.
+
+    Thread-safety: instances are cheap value objects — build one per
+    query rather than sharing one across threads.  Concurrent ``run()``
+    calls are safe when they go through ``engine="index"`` (the registry
+    locks internally) or operate on distinct graphs; the direct engines
+    share nothing but the immutable graph.
     """
 
     graph: TemporalGraph
@@ -84,7 +99,12 @@ class TimeRangeCoreQuery:
     # ------------------------------------------------------------------
 
     def run(self) -> EnumerationResult:
-        """Execute the query and return the enumeration result."""
+        """Execute the query and return the enumeration result.
+
+        Safe to call repeatedly; each call answers with the configured
+        engine (``engine="index"`` reuses the registry-cached index, so
+        only the first call on a cold ``(graph, k)`` pays a build).
+        """
         ts, te = self.time_range
         deadline = Deadline(self.timeout) if self.timeout is not None else None
         if self.engine == "enum":
@@ -117,6 +137,10 @@ class TimeRangeCoreQuery:
         )
 
     def core_times(self) -> CoreTimeResult:
-        """The VCT index and edge skyline for this query's range."""
+        """The VCT index and edge skyline for this query's range.
+
+        Always computed fresh over ``time_range`` (no registry/index
+        involvement) — the inspection hook for the paper's Tables I/II.
+        """
         ts, te = self.time_range
         return compute_core_times(self.graph, self.k, ts, te)

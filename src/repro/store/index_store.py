@@ -35,7 +35,7 @@ import json
 import os
 import pathlib
 import zlib
-from collections.abc import Iterator
+from collections.abc import Iterable, Iterator
 
 try:  # POSIX advisory locking; absent on some platforms
     import fcntl
@@ -43,6 +43,7 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
     fcntl = None  # type: ignore[assignment]
 
 from repro.core.index import CoreIndex
+from repro.core.multik import _validated_ks, build_core_indexes
 from repro.errors import StoreError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.store import codec
@@ -63,6 +64,18 @@ class IndexStore:
         Check blob payload checksums on every open (default).  Disabling
         skips the sequential crc pass for trusted local stores;
         truncation is still detected from the declared payload length.
+
+    Staleness and invalidation: entries are matched by content
+    *fingerprint*, so an index saved for one graph can never be served
+    for a different (or since-changed) one — it simply stops matching
+    and reads as absent, and the caller rebuilds.  Nothing in the store
+    is ever updated in place; writes are whole-file (temp + rename).
+
+    Thread/process-safety: instances hold no mutable state beyond the
+    root path — share them freely across threads.  Writers serialise
+    per graph directory via an advisory ``flock``; readers never lock
+    and see a consistent before-or-after state (see
+    ``docs/STORE_FORMAT.md`` for the full on-disk contract).
     """
 
     def __init__(self, root: str | os.PathLike[str], *, verify: bool = True):
@@ -207,6 +220,56 @@ class IndexStore:
             self._write_manifest(key, manifest)
         return key
 
+    def build_all(
+        self,
+        graph: TemporalGraph,
+        ks: "Iterable[int]",
+        *,
+        name: str | None = None,
+        reused: set[int] | None = None,
+    ) -> dict[int, CoreIndex]:
+        """Ensure a stored index exists for every ``k``; returns them all.
+
+        The offline prebuild primitive: all ``k`` values live in **one**
+        graph directory — ``name`` when given, else the fingerprint
+        match, else the fingerprint-derived default key.  Entries
+        already persisted there are opened as-is; the missing ones are
+        computed in one shared decremental scan
+        (:func:`repro.core.multik.build_core_indexes`) and persisted —
+        graph blob included — under that same key, so repeated calls
+        with and without ``name`` never split a graph's indexes across
+        directories.  Corrupt or stale entries read as absent and are
+        rebuilt and overwritten.  Returns ``{k: index}`` for the
+        deduplicated ``ks``, ascending.
+
+        ``reused``, when passed, is filled with the ``k`` values that
+        were served from disk rather than computed — callers report
+        reuse without probing the store a second time.
+
+        Concurrent writers are serialised per graph directory by the
+        advisory lock of :meth:`save_index`; the method itself is
+        stateless and safe to call from several processes.
+        """
+        key = name if name is not None else self.find(graph)
+        out: dict[int, CoreIndex] = {}
+        missing: list[int] = []
+        for k in _validated_ks(ks):
+            index = (
+                self.load_index(graph, k, key=key) if key is not None else None
+            )
+            if index is not None:
+                out[k] = index
+                if reused is not None:
+                    reused.add(k)
+            else:
+                missing.append(k)
+        if missing:
+            built = build_core_indexes(graph, missing)
+            for k in missing:
+                self.save_index(built[k], name=key)
+                out[k] = built[k]
+        return out
+
     # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
@@ -251,19 +314,35 @@ class IndexStore:
         except (StoreError, OSError):
             return None
 
-    def iter_indexes(self) -> Iterator[tuple[str, TemporalGraph, CoreIndex]]:
-        """Yield ``(key, graph, index)`` for every loadable stored index.
+    def iter_graphs(
+        self,
+    ) -> Iterator[tuple[str, TemporalGraph, dict[int, CoreIndex]]]:
+        """Yield ``(key, graph, {k: index})`` for every readable graph.
 
         Each key's graph blob is opened once and shared by its indexes;
-        unreadable graphs or indexes are skipped silently (warm-up must
-        never fail because one entry rotted on disk).
+        unreadable graphs are skipped and unreadable indexes are left
+        out of the dict, both silently (warm-up must never fail because
+        one entry rotted on disk).  This is the grouped primitive behind
+        :meth:`iter_indexes` and registry warm-up.
         """
         for key in self.keys():
             try:
                 graph = self.load_graph(key)
             except (StoreError, OSError):
                 continue
+            indexes: dict[int, CoreIndex] = {}
             for k in self.stored_ks(key):
                 index = self.load_index(graph, k, key=key)
                 if index is not None:
-                    yield key, graph, index
+                    indexes[k] = index
+            yield key, graph, indexes
+
+    def iter_indexes(self) -> Iterator[tuple[str, TemporalGraph, CoreIndex]]:
+        """Yield ``(key, graph, index)`` for every loadable stored index.
+
+        Flat view over :meth:`iter_graphs` (same silent-skip
+        semantics), ascending ``k`` within each key.
+        """
+        for key, graph, indexes in self.iter_graphs():
+            for k in sorted(indexes):
+                yield key, graph, indexes[k]

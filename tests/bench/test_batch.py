@@ -81,3 +81,119 @@ class TestEngineBatch:
         run_query_batch(paper_graph, 2, [(1, 7)], registry=registry)
         assert registry.misses == 1
         assert registry.hits == 1
+
+    def test_batch_store_fallthrough_computes_nothing(
+        self, paper_graph, tmp_path, monkeypatch
+    ):
+        """Satellite: store-backed run_query_batch warm-starts from disk."""
+        import repro.core.index as index_module
+        from repro.core.index import CoreIndex, CoreIndexRegistry
+        from repro.store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        store.save_index(CoreIndex(paper_graph, 2), name="paper")
+
+        def explode(*args, **kwargs):
+            raise AssertionError("store-backed batch recomputed the index")
+
+        monkeypatch.setattr(index_module, "compute_core_times", explode)
+        registry = CoreIndexRegistry(capacity=2)
+        answers = run_query_batch(
+            paper_graph, 2, [(1, 4), (2, 3)], registry=registry, store=store
+        )
+        assert [a.num_results for a in answers] == [2, 1]
+        assert registry.stats()["store_hits"] == 1
+
+
+class TestMixedBatch:
+    def test_matches_fixed_k_batches(self, paper_graph):
+        from repro.bench.batch import run_mixed_batch
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=8)
+        queries = [
+            (paper_graph, 2, (1, 4)),
+            (paper_graph, 3, (1, 7)),
+            (paper_graph, 2, (2, 3)),
+            (paper_graph, 3, (2, 6)),
+        ]
+        answers = run_mixed_batch(queries, registry=registry)
+        assert [a.k for a in answers] == [2, 3, 2, 3]
+        for answer, (graph, k, time_range) in zip(answers, queries):
+            expected = run_query_batch(graph, k, [time_range])[0]
+            assert answer.time_range == expected.time_range
+            assert answer.num_results == expected.num_results
+            assert answer.total_edges == expected.total_edges
+
+    def test_one_shared_build_per_graph(self, paper_graph):
+        from repro.bench.batch import run_mixed_batch
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=8)
+        run_mixed_batch(
+            [
+                (paper_graph, 2, (1, 4)),
+                (paper_graph, 3, (1, 4)),
+                (paper_graph, 4, (1, 4)),
+                (paper_graph, 2, (2, 6)),
+            ],
+            registry=registry,
+        )
+        stats = registry.stats()
+        assert stats["multik_builds"] == 1
+        assert stats["multik_builds_by_k"] == {2: 1, 3: 1, 4: 1}
+
+    def test_groups_by_graph_identity(self, paper_graph, triangle_graph):
+        from repro.bench.batch import run_mixed_batch
+        from repro.core.index import CoreIndexRegistry
+
+        registry = CoreIndexRegistry(capacity=8)
+        answers = run_mixed_batch(
+            [
+                (paper_graph, 2, (1, 7)),
+                (triangle_graph, 2, (1, 3)),
+                (paper_graph, 3, (1, 7)),
+            ],
+            registry=registry,
+        )
+        assert len(answers) == 3
+        assert answers[1].num_results == 1  # the triangle
+        assert registry.stats()["size"] == 3
+
+    def test_store_fallthrough_warm_starts(self, paper_graph, tmp_path, monkeypatch):
+        """Acceptance: a prebuilt store serves a mixed batch, zero compute."""
+        import repro.core.index as index_module
+        import repro.core.multik as multik_module
+        from repro.bench.batch import run_mixed_batch
+        from repro.core.index import CoreIndex, CoreIndexRegistry
+        from repro.store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        store.build_all(paper_graph, [2, 3], name="paper")
+
+        def explode(*args, **kwargs):
+            raise AssertionError("mixed batch recomputed despite a warm store")
+
+        monkeypatch.setattr(index_module, "compute_core_times", explode)
+        monkeypatch.setattr(multik_module, "compute_core_times_multi", explode)
+        registry = CoreIndexRegistry(capacity=8)
+        answers = run_mixed_batch(
+            [(paper_graph, 2, (1, 4)), (paper_graph, 3, (1, 7))],
+            registry=registry,
+            store=store,
+        )
+        assert [a.k for a in answers] == [2, 3]
+        stats = registry.stats()
+        assert stats["store_hits_by_k"] == {2: 1, 3: 1}
+        assert stats["multik_builds"] == 0
+
+    def test_empty_and_validation(self, paper_graph):
+        import pytest as _pytest
+
+        from repro.bench.batch import run_mixed_batch
+
+        assert run_mixed_batch([]) == []
+        with _pytest.raises(InvalidParameterError):
+            run_mixed_batch([(paper_graph, 0, (1, 2))])
+        with _pytest.raises(InvalidParameterError):
+            run_mixed_batch([(paper_graph, 2, (0, 3))])

@@ -205,7 +205,9 @@ class TestCoreIndexRegistry:
         second = registry.get(paper_graph, 2)
         assert first is second
         assert registry.stats() == {
-            "hits": 1, "misses": 1, "store_hits": 0, "size": 1, "capacity": 4,
+            "hits": 1, "misses": 1, "store_hits": 0, "multik_builds": 0,
+            "store_hits_by_k": {}, "multik_builds_by_k": {},
+            "size": 1, "capacity": 4,
         }
 
     def test_distinct_k_are_distinct_entries(self, paper_graph):

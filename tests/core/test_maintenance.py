@@ -216,6 +216,87 @@ class TestSnapshotRestore:
         ) == self._canonical(scratch.query_raw(50, 450), scratch.graph)
 
 
+class TestMultiKService:
+    """Several registered k values rebuild together in one shared pass."""
+
+    def test_registered_ks_normalised(self):
+        svc = StreamingCoreService([3, 2, 3], PAPER_EXAMPLE_EDGES)
+        assert svc.ks == (2, 3)
+        assert svc.k == 2  # queries default to the smallest
+
+    def test_one_rebuild_covers_every_k(self):
+        svc = StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES)
+        assert svc.query(1, 4).num_results == 2            # k=2 default
+        assert svc.query(1, 7, k=3).num_results == 0       # no 3-core exists
+        assert svc.num_rebuilds == 1                       # but same build
+
+    def test_answers_match_single_k_services(self):
+        multi = StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES)
+        for k in (2, 3):
+            single = StreamingCoreService(k, PAPER_EXAMPLE_EDGES)
+            assert multi.query(1, 7, k=k).edge_sets() == single.query(
+                1, 7
+            ).edge_sets()
+        assert multi.num_rebuilds == 1
+
+    def test_unregistered_k_rejected(self):
+        svc = StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES)
+        with pytest.raises(InvalidParameterError, match="not served"):
+            svc.query(1, 4, k=5)
+
+    def test_appends_invalidate_all_ks(self):
+        svc = StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES, max_pending=0)
+        svc.query(1, 4)
+        svc.append("v1", "v9", 8)
+        svc.query(1, 4, k=3)  # over budget: one rebuild refreshes both
+        assert svc.num_rebuilds == 2
+        assert not svc.is_stale
+
+    def test_snapshot_persists_every_k(self, tmp_path):
+        from repro.store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        svc = StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES)
+        key = svc.snapshot(store, name="svc")
+        assert store.stored_ks(key) == [2, 3]
+        assert svc.num_rebuilds == 1
+
+    def test_restore_multi_k_without_compute(self, tmp_path, monkeypatch):
+        import repro.core.index as index_module
+        import repro.core.multik as multik_module
+        from repro.store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        StreamingCoreService([2, 3], PAPER_EXAMPLE_EDGES).snapshot(store, name="svc")
+
+        def explode(*args, **kwargs):
+            raise AssertionError("restore path recomputed an index")
+
+        monkeypatch.setattr(index_module, "compute_core_times", explode)
+        monkeypatch.setattr(multik_module, "compute_core_times_multi", explode)
+        restored = StreamingCoreService.restore(store, [2, 3], name="svc")
+        assert not restored.is_stale
+        assert restored.query(1, 4).num_results == 2
+        assert restored.query(1, 7, k=3).completed         # served, no compute
+        assert restored.num_rebuilds == 0
+
+    def test_restore_with_missing_k_is_stale(self, tmp_path):
+        from repro.store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        StreamingCoreService(2, PAPER_EXAMPLE_EDGES).snapshot(store, name="svc")
+        restored = StreamingCoreService.restore(store, [2, 3], name="svc")
+        assert restored.is_stale  # k=3 never snapshotted
+        assert restored.query(1, 7, k=3).completed
+        assert restored.num_rebuilds == 1  # one shared rebuild, both ks
+
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService([])
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService([2, 0])
+
+
 class TestRawTimeQueries:
     def test_raw_range_snaps_inward(self):
         svc = StreamingCoreService(

@@ -1,0 +1,90 @@
+"""IndexStore.build_all: one shared scan persists every missing k."""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.core.index as index_module
+import repro.core.multik as multik_module
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.index import CoreIndex
+from repro.errors import InvalidParameterError
+from repro.store import IndexStore
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return IndexStore(tmp_path / "store")
+
+
+class TestBuildAll:
+    def test_builds_and_persists_every_k(self, store, paper_graph):
+        indexes = store.build_all(paper_graph, [2, 3, 5], name="paper")
+        assert sorted(indexes) == [2, 3, 5]
+        assert store.stored_ks("paper") == [2, 3, 5]
+
+    def test_persisted_blobs_reload_and_answer(self, store, paper_graph):
+        store.build_all(paper_graph, [2, 3], name="paper")
+        reloaded = store.load_index(paper_graph, 3)
+        assert reloaded is not None
+        expected = enumerate_temporal_kcores(paper_graph, 3, 1, 7).edge_sets()
+        assert reloaded.query(1, 7).edge_sets() == expected
+
+    def test_idempotent_second_call_computes_nothing(
+        self, store, paper_graph, monkeypatch
+    ):
+        store.build_all(paper_graph, [2, 3], name="paper")
+
+        def explode(*args, **kwargs):
+            raise AssertionError("build_all recomputed a stored index")
+
+        monkeypatch.setattr(index_module, "compute_core_times", explode)
+        monkeypatch.setattr(multik_module, "compute_core_times_multi", explode)
+        indexes = store.build_all(paper_graph, [2, 3], name="paper")
+        assert sorted(indexes) == [2, 3]
+
+    def test_extends_existing_directory(self, store, paper_graph):
+        store.save_index(CoreIndex(paper_graph, 2), name="paper")
+        store.build_all(paper_graph, [2, 3, 4], name="paper")
+        assert store.stored_ks("paper") == [2, 3, 4]
+
+    def test_corrupt_entry_is_rebuilt(self, store, paper_graph):
+        store.build_all(paper_graph, [2, 3], name="paper")
+        path = store.root / "paper" / "k2.idx"
+        path.write_bytes(path.read_bytes()[:-32])
+        indexes = store.build_all(paper_graph, [2, 3], name="paper")
+        assert indexes[2].query(1, 4).num_results == 2
+        assert store.load_index(paper_graph, 2) is not None  # overwritten
+
+    def test_multik_equals_per_k_saved_blobs(self, tmp_path, paper_graph):
+        """The persisted multi-k blobs byte-match per-k saved ones."""
+        one = IndexStore(tmp_path / "one")
+        for k in (2, 3):
+            one.save_index(CoreIndex(paper_graph, k), name="paper")
+        many = IndexStore(tmp_path / "many")
+        many.build_all(paper_graph, [2, 3], name="paper")
+        for k in (2, 3):
+            a = (one.root / "paper" / f"k{k}.idx").read_bytes()
+            b = (many.root / "paper" / f"k{k}.idx").read_bytes()
+            assert a == b, f"k={k} blob differs"
+
+    def test_validation(self, store, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            store.build_all(paper_graph, [])
+        with pytest.raises(InvalidParameterError):
+            store.build_all(paper_graph, [0, 2])
+
+    def test_named_build_never_splits_directories(self, store, paper_graph):
+        """All ks land under `name` even if a fingerprint key exists."""
+        store.save_index(CoreIndex(paper_graph, 2))  # fingerprint-derived key
+        derived = store.find(paper_graph)
+        assert derived != "paper"
+        store.build_all(paper_graph, [2, 3], name="paper")
+        assert store.stored_ks("paper") == [2, 3]  # both, not just k=3
+        assert store.stored_ks(derived) == [2]  # untouched
+
+    def test_unnamed_build_reuses_existing_directory(self, store, paper_graph):
+        store.save_index(CoreIndex(paper_graph, 2), name="paper")
+        store.build_all(paper_graph, [2, 3])  # no name: same directory
+        assert store.keys() == ["paper"]
+        assert store.stored_ks("paper") == [2, 3]

@@ -116,6 +116,69 @@ class TestIndexStoreCli:
 
         assert IndexStore(store_dir).stored_ks("FB") == [2, 3]
 
+    def test_index_comma_separated_ks(self, graph_file, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2,3,5",
+                     "--save-store", str(store_dir), "--name", "paper"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "k=3" in out and "k=5" in out
+        from repro.store import IndexStore
+
+        assert IndexStore(store_dir).stored_ks("paper") == [2, 3, 5]
+
+    def test_index_text_dump_rejects_multiple_ks(self, graph_file, tmp_path, capsys):
+        assert main(["index", "--input", graph_file, "-k", "2,3",
+                     "-o", str(tmp_path / "dump.ecs")]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_warm_k_accepts_comma_lists_like_index(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "-k", "2,3"]) == 0
+        from repro.store import IndexStore
+
+        assert IndexStore(store_dir).stored_ks("FB") == [2, 3]
+
+    def test_warm_ks_flag(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "--ks", "2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "k=2" in out and "k=3" in out
+        from repro.store import IndexStore
+
+        assert IndexStore(store_dir).stored_ks("FB") == [2, 3]
+
+    def test_warm_is_idempotent_and_reports_reuse(self, tmp_path, capsys):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "--ks", "2"]) == 0
+        capsys.readouterr()
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "--ks", "2,3"]) == 0
+        out = capsys.readouterr().out
+        assert "already stored" in out and "k=3" in out
+
+    def test_warm_reports_rebuild_not_reuse_for_corrupt_entry(
+        self, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "--ks", "2"]) == 0
+        capsys.readouterr()
+        path = store_dir / "FB" / "k2.idx"
+        path.write_bytes(path.read_bytes()[:-32])  # truncate: crc fails
+        assert main(["warm", "--store", str(store_dir), "--dataset", "FB",
+                     "--ks", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "already stored" not in out  # it was rebuilt, say so
+        assert "k=2" in out
+
+    def test_warm_requires_some_k(self, tmp_path, capsys):
+        assert main(["warm", "--store", str(tmp_path / "s"),
+                     "--dataset", "FB"]) == 2
+        assert "-k" in capsys.readouterr().err
+
     def test_query_from_store_without_input(self, graph_file, tmp_path, capsys):
         store_dir = tmp_path / "store"
         assert main(["index", "--input", graph_file, "-k", "2",

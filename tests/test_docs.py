@@ -1,0 +1,47 @@
+"""The docs tree stays healthy: links resolve, markdown doctests pass.
+
+Runs the same checks as ``tools/check_docs.py`` (the CI docs job) so a
+broken internal link or a stale ``>>>`` example in README/docs fails
+the tier-1 suite locally too.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import sys
+
+import pytest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "tools"))
+
+import check_docs  # noqa: E402
+
+
+@pytest.fixture(params=check_docs.doc_files(), ids=lambda p: p.name)
+def doc_file(request) -> pathlib.Path:
+    return request.param
+
+
+def test_doc_file_exists(doc_file):
+    assert doc_file.exists(), f"missing documentation file: {doc_file}"
+
+
+def test_internal_links_resolve(doc_file):
+    assert check_docs.check_links(doc_file) == []
+
+
+def test_markdown_doctests_pass(doc_file):
+    attempted, failed, logs = check_docs.run_doctests(doc_file)
+    assert failed == 0, "\n".join(logs)
+
+
+def test_readme_has_doctest_examples():
+    """The quickstart examples are executable, not decorative."""
+    attempted, failed, _ = check_docs.run_doctests(
+        check_docs.ROOT / "README.md"
+    )
+    assert attempted >= 2 and failed == 0
+
+
+def test_cli_entry_point():
+    assert check_docs.main() == 0

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Documentation checks: internal links resolve, markdown doctests pass.
+
+Covers ``README.md``, every ``docs/*.md`` and ``examples/README.md``:
+
+* every relative markdown link ``[text](target)`` must point at an
+  existing file or directory (external ``http(s)``/``mailto`` links and
+  in-page ``#anchors`` are skipped; a ``path#anchor`` target is checked
+  for the path part only);
+* every ``>>>`` example in the markdown is executed with ``doctest``
+  (files without examples pass trivially).
+
+Run from anywhere::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 when everything passes; 1 with a line per problem
+otherwise.  ``tests/test_docs.py`` runs the same checks in the tier-1
+suite, and CI runs this script as the docs job.
+"""
+
+from __future__ import annotations
+
+import doctest
+import pathlib
+import re
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for our docs; code spans excluded below.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"^```")
+
+
+def doc_files() -> list[pathlib.Path]:
+    return [
+        ROOT / "README.md",
+        *sorted((ROOT / "docs").glob("*.md")),
+        ROOT / "examples" / "README.md",
+    ]
+
+
+def _linkable_text(text: str) -> str:
+    """Markdown with fenced code blocks blanked (links there aren't links)."""
+    out_lines = []
+    in_fence = False
+    for line in text.splitlines():
+        if _FENCE.match(line):
+            in_fence = not in_fence
+            out_lines.append("")
+        else:
+            out_lines.append("" if in_fence else line)
+    return "\n".join(out_lines)
+
+
+def check_links(path: pathlib.Path) -> list[str]:
+    """Broken relative links in ``path``, one message each."""
+    problems = []
+    for target in _LINK.findall(_linkable_text(path.read_text(encoding="utf-8"))):
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            problems.append(
+                f"{path.relative_to(ROOT)}: broken link -> {target}"
+            )
+    return problems
+
+
+def run_doctests(path: pathlib.Path) -> tuple[int, int, list[str]]:
+    """Run the ``>>>`` examples of ``path``; returns (attempted, failed, logs)."""
+    parser = doctest.DocTestParser()
+    test = parser.get_doctest(
+        path.read_text(encoding="utf-8"), {}, path.name, str(path), 0
+    )
+    if not test.examples:
+        return 0, 0, []
+    logs: list[str] = []
+    runner = doctest.DocTestRunner(verbose=False)
+    runner.run(test, out=logs.append)
+    results = runner.summarize(verbose=False)
+    return results.attempted, results.failed, logs
+
+
+def main() -> int:
+    problems: list[str] = []
+    attempted_total = 0
+    for path in doc_files():
+        if not path.exists():
+            problems.append(f"missing documentation file: {path.relative_to(ROOT)}")
+            continue
+        problems.extend(check_links(path))
+        attempted, failed, logs = run_doctests(path)
+        attempted_total += attempted
+        if failed:
+            problems.append(
+                f"{path.relative_to(ROOT)}: {failed} doctest failure(s)"
+            )
+            problems.extend(log.rstrip() for log in logs)
+    if problems:
+        print("\n".join(problems), file=sys.stderr)
+        return 1
+    print(
+        f"docs ok: {len(doc_files())} files, links resolve, "
+        f"{attempted_total} doctest example(s) pass"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
