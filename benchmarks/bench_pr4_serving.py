@@ -1,0 +1,337 @@
+"""PR 4 serving benchmark: columnar vectorised serving vs the seed path.
+
+Measures what a warm deployment pays *per query* once the index build is
+amortised away, on the 50k-edge bursty workload of ``bench_pr1_kernel``:
+
+* **old** — the seed (pre-PR 4) serving path, reproduced verbatim from
+  the list-of-tuples representation: ``restricted_to`` as a per-edge
+  Python scan over every edge's windows, activation times via a
+  per-edge loop, a counting sort into buckets, and a per-vertex bisect
+  loop for historical-core membership;
+* **new** — the columnar path: two ``searchsorted`` cuts over the
+  index's cached start-sorted skyline permutation, vectorised
+  activation, and one ``searchsorted`` sweep for historical membership
+  (``CoreIndex.query`` / ``query_batch`` / ``historical_core``).
+
+Both sides answer from the same prebuilt :class:`CoreIndex`; the
+benchmark asserts identical answers per range (and spot-checks the
+``enum`` engine, which recomputes from scratch) and reports per-query
+latency for small/medium/full-range windows plus batch throughput.
+Targets: >= 2x single-query latency on sub-range windows and >= 3x
+batch throughput.
+
+Standalone script (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_pr4_serving.py --smoke
+
+writes ``BENCH_PR4.json`` next to the repository root.  ``--smoke``
+runs fewer queries and one repetition (CI budget); the default runs
+three repetitions and keeps the best of each.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import random
+import sys
+import time
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
+
+from repro.core.enumerate import _as_output  # noqa: E402
+from repro.core.index import CoreIndex  # noqa: E402
+from repro.core.linkedlist import WindowList  # noqa: E402
+from repro.core.query import TimeRangeCoreQuery  # noqa: E402
+from repro.core.results import EnumerationResult  # noqa: E402
+from repro.core.windows import ActiveWindow  # noqa: E402
+from repro.graph.generators import BurstyConfig, generate_bursty  # noqa: E402
+from repro.utils.order import counting_sort_by  # noqa: E402
+
+#: Same shape as the PR 1/PR 3 workload: >= 50k temporal edges, bursty.
+WORKLOAD = BurstyConfig(
+    num_vertices=3000,
+    background_edges=42000,
+    tmax=2000,
+    repeat_rate=0.25,
+    num_bursts=40,
+    burst_size=12,
+    burst_width=25,
+    edges_per_burst=220,
+    seed=1,
+    name="bench_pr4",
+)
+
+K = 3
+SINGLE_TARGET = 2.0
+BATCH_TARGET = 3.0
+
+
+# ----------------------------------------------------------------------
+# The seed (pre-columnar) serving path, reproduced verbatim
+# ----------------------------------------------------------------------
+
+def old_restricted(windows_by_edge, ts, te):
+    """Seed ``EdgeCoreSkyline.restricted_to``: O(|ECS|) Python scan."""
+    return [
+        tuple(w for w in windows if ts <= w[0] and w[1] <= te)
+        for windows in windows_by_edge
+    ]
+
+
+def old_build_active_windows(restricted, ts_lo):
+    """Seed ``build_active_windows``: per-edge activation chaining."""
+    windows = []
+    for eid, edge_windows in enumerate(restricted):
+        previous_start = None
+        for t1, t2 in edge_windows:
+            active = ts_lo if previous_start is None else previous_start + 1
+            windows.append(ActiveWindow(t1, t2, eid, active))
+            previous_start = t1
+    return windows
+
+
+def old_query(windows_by_edge, k, ts_lo, ts_hi, collect=False):
+    """Seed ``CoreIndex.query``: list-based prep + Algorithm 5."""
+    result = EnumerationResult("enum", k, (ts_lo, ts_hi))
+    if collect:
+        result.cores = []
+    windows = old_build_active_windows(
+        old_restricted(windows_by_edge, ts_lo, ts_hi), ts_lo
+    )
+    if not windows:
+        return result
+    ordered = counting_sort_by(windows, key=lambda w: w.end, lo=ts_lo, hi=ts_hi)
+    span = ts_hi - ts_lo + 1
+    activation = [[] for _ in range(span)]
+    start = [[] for _ in range(span)]
+    for window in ordered:
+        activation[window.active - ts_lo].append(window)
+        start[window.start - ts_lo].append(window)
+    window_list = WindowList()
+    for current_ts in range(ts_lo, ts_hi + 1):
+        offset = current_ts - ts_lo
+        if current_ts > ts_lo:
+            for window in start[offset - 1]:
+                window_list.delete(window)
+        window_list.insert_sorted_batch(activation[offset])
+        if start[offset]:
+            _as_output(window_list, current_ts, result, collect, None)
+    return result
+
+
+def old_historical(vct, num_vertices, ts, te):
+    """Seed ``historical_core``: per-vertex membership loop."""
+    return {u for u in range(num_vertices) if vct.in_core(u, ts, te)}
+
+
+# ----------------------------------------------------------------------
+
+
+def sample_ranges(rng, tmax, length, count):
+    """``count`` ranges of the given window length, uniform starts."""
+    ranges = []
+    for _ in range(count):
+        ts = rng.randint(1, max(1, tmax - length))
+        ranges.append((ts, min(tmax, ts + length - 1)))
+    return ranges
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer queries and a single repetition (CI budget)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per side, best kept (default: 1 smoke, 3 full)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent / "BENCH_PR4.json",
+        help="output JSON path (default: <repo>/BENCH_PR4.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+    per_class = 10 if args.smoke else 25
+    batch_size = 80 if args.smoke else 200
+
+    graph = generate_bursty(WORKLOAD)
+    tmax = graph.tmax
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges} tmax={tmax} k={K}")
+
+    index = CoreIndex(graph, K)  # build once; serving cost is what we measure
+    index.ecs.window_eids()  # touch the lazy per-index caches up front
+    index.ecs.start_cuts([1], [tmax])
+    windows_by_edge = [
+        index.ecs.windows_of(eid) for eid in range(index.ecs.num_edges)
+    ]  # the old in-memory representation (conversion not timed)
+    print(f"index: |VCT|={index.vct.size()} |ECS|={index.ecs.size()}")
+
+    rng = random.Random(42)
+    # small/medium are the serving-bound sub-range classes the targets
+    # gate on; large/full are reported ungated — there the enumeration
+    # itself (output-optimal Algorithm 5, identical code on both sides)
+    # dominates, and no serving-layer change can shrink O(|R|).
+    classes = {
+        "small": sample_ranges(rng, tmax, max(2, tmax // 50), per_class),
+        "medium": sample_ranges(rng, tmax, tmax // 16, per_class),
+        "large": sample_ranges(rng, tmax, tmax // 8, max(2, per_class // 3)),
+        "full": [(1, tmax)] * 2,
+    }
+
+    report = {
+        "benchmark": "bench_pr4_serving",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "graph": {
+            "name": WORKLOAD.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "tmax": tmax,
+        },
+        "k": K,
+        "index_sizes": {"vct": index.vct.size(), "ecs": index.ecs.size()},
+        "single_query": {},
+        "historical": {},
+        "batch": {},
+        "identical": True,
+    }
+    failures = []
+
+    # ---- answer identity: every timed range, old vs new; plus the enum
+    # engine (fresh Algorithm 2 + 5 per range) on a spot-check subset ----
+    for name, ranges in classes.items():
+        for ts, te in ranges:
+            new = index.query(ts, te, collect=False)
+            old = old_query(windows_by_edge, K, ts, te, collect=False)
+            if (new.num_results, new.total_edges) != (
+                old.num_results, old.total_edges
+            ):
+                report["identical"] = False
+                failures.append(f"old/new diverge on {name} range ({ts}, {te})")
+    for ts, te in [classes["small"][0], classes["medium"][0], (1, tmax)]:
+        new = index.query(ts, te, collect=False)
+        fresh = TimeRangeCoreQuery(
+            graph, K, time_range=(ts, te), engine="enum", collect=False
+        ).run()
+        if (new.num_results, new.total_edges) != (
+            fresh.num_results, fresh.total_edges
+        ):
+            report["identical"] = False
+            failures.append(f"index/enum diverge on range ({ts}, {te})")
+
+    # ---- single-query latency per window class ----
+    for name, ranges in classes.items():
+        old_s = best_of(
+            repeats,
+            lambda r=ranges: [
+                old_query(windows_by_edge, K, ts, te) for ts, te in r
+            ],
+        )
+        new_s = best_of(
+            repeats, lambda r=ranges: [index.query(ts, te, collect=False) for ts, te in r]
+        )
+        speedup = old_s / new_s if new_s else float("inf")
+        report["single_query"][name] = {
+            "queries": len(ranges),
+            "old_seconds": round(old_s, 4),
+            "new_seconds": round(new_s, 4),
+            "old_ms_per_query": round(1000 * old_s / len(ranges), 3),
+            "new_ms_per_query": round(1000 * new_s / len(ranges), 3),
+            "speedup": round(speedup, 2),
+        }
+        print(
+            f"single[{name:6s}]: old {1000 * old_s / len(ranges):8.3f} ms/q  "
+            f"new {1000 * new_s / len(ranges):8.3f} ms/q  {speedup:6.2f}x"
+        )
+        if name in ("small", "medium") and speedup < SINGLE_TARGET:
+            failures.append(
+                f"single-query speedup on {name} windows {speedup:.2f}x "
+                f"below the {SINGLE_TARGET:.0f}x target"
+            )
+
+    # ---- historical-core membership ----
+    historical_ranges = classes["small"] + classes["medium"]
+    for ts, te in historical_ranges:
+        if old_historical(index.vct, graph.num_vertices, ts, te) != (
+            index.historical_core(ts, te)
+        ):
+            report["identical"] = False
+            failures.append(f"historical answers diverge on ({ts}, {te})")
+    old_s = best_of(
+        repeats,
+        lambda: [
+            old_historical(index.vct, graph.num_vertices, ts, te)
+            for ts, te in historical_ranges
+        ],
+    )
+    new_s = best_of(
+        repeats, lambda: [index.historical_core(ts, te) for ts, te in historical_ranges]
+    )
+    report["historical"] = {
+        "queries": len(historical_ranges),
+        "old_seconds": round(old_s, 4),
+        "new_seconds": round(new_s, 4),
+        "speedup": round(old_s / new_s if new_s else float("inf"), 2),
+    }
+    print(
+        f"historical    : old {1000 * old_s / len(historical_ranges):8.3f} ms/q  "
+        f"new {1000 * new_s / len(historical_ranges):8.3f} ms/q  "
+        f"{report['historical']['speedup']:6.2f}x"
+    )
+
+    # ---- batch throughput (sub-range mix, one shared index) ----
+    batch_ranges = sample_ranges(rng, tmax, max(2, tmax // 50), batch_size // 2)
+    batch_ranges += sample_ranges(
+        rng, tmax, tmax // 16, batch_size - len(batch_ranges)
+    )
+    old_s = best_of(
+        repeats,
+        lambda: [old_query(windows_by_edge, K, ts, te) for ts, te in batch_ranges],
+    )
+    new_s = best_of(repeats, lambda: index.query_batch(batch_ranges))
+    batch_speedup = old_s / new_s if new_s else float("inf")
+    report["batch"] = {
+        "queries": len(batch_ranges),
+        "old_seconds": round(old_s, 4),
+        "new_seconds": round(new_s, 4),
+        "old_qps": round(len(batch_ranges) / old_s, 1) if old_s else float("inf"),
+        "new_qps": round(len(batch_ranges) / new_s, 1) if new_s else float("inf"),
+        "speedup": round(batch_speedup, 2),
+    }
+    print(
+        f"batch ({len(batch_ranges):4d} q): old {report['batch']['old_qps']:8.1f} q/s  "
+        f"new {report['batch']['new_qps']:8.1f} q/s  {batch_speedup:6.2f}x"
+    )
+    if batch_speedup < BATCH_TARGET:
+        failures.append(
+            f"batch throughput speedup {batch_speedup:.2f}x below the "
+            f"{BATCH_TARGET:.0f}x target"
+        )
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n", encoding="utf-8")
+    print(f"[report written to {args.out}]")
+
+    if not report["identical"]:
+        failures.insert(0, "answers diverge between serving paths")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

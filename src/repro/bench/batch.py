@@ -11,8 +11,13 @@ The sequential path fetches its index through a
 :class:`~repro.core.index.CoreIndexRegistry` (the process-wide default
 unless one is passed), so consecutive batches against the same graph and
 ``k`` reuse the same index — the "build once, serve many ranges"
-deployment shape.  An :class:`~repro.store.index_store.IndexStore` may
-be supplied so cache misses warm-start from disk before computing.
+deployment shape — and answers every range of a ``(graph, k)`` group
+through :meth:`CoreIndex.query_batch
+<repro.core.index.CoreIndex.query_batch>`: one vectorised
+``searchsorted`` sweep locates all ranges' windows in the shared
+start-sorted skyline view before each range enumerates its slice.  An
+:class:`~repro.store.index_store.IndexStore` may be supplied so cache
+misses warm-start from disk before computing.
 :func:`run_engine_batch` routes every range through the
 :class:`~repro.core.query.TimeRangeCoreQuery` façade instead, which
 exercises any engine (``engine="index"`` by default).
@@ -114,11 +119,10 @@ def run_query_batch(
 
     if processes is None:
         index = get_core_index(graph, k, registry=registry, store=store)
-        answers = []
-        for ts, te in ranges:
-            result = index.query(ts, te, collect=False)
-            answers.append(BatchAnswer((ts, te), result.num_results, result.total_edges))
-        return answers
+        return [
+            BatchAnswer((ts, te), result.num_results, result.total_edges)
+            for (ts, te), result in zip(ranges, index.query_batch(ranges))
+        ]
 
     if processes < 1:
         raise InvalidParameterError(f"processes must be >= 1, got {processes}")
@@ -145,8 +149,11 @@ def run_mixed_batch(
     (identity), each graph's distinct ``k`` values are resolved in one
     :meth:`CoreIndexRegistry.get_many` call — registry cache, then
     ``store`` fallthrough, then **one** shared decremental scan for all
-    still-missing ``k`` — and every query is answered from its shared
-    index.  Answers come back in input order, each carrying its ``k``.
+    still-missing ``k`` — and every ``(graph, k)`` group's ranges are
+    answered together through :meth:`CoreIndex.query_batch
+    <repro.core.index.CoreIndex.query_batch>` (one vectorised cut sweep
+    over the group's shared sorted skyline view).  Answers come back in
+    input order, each carrying its ``k``.
 
     A batch mixing four ``k`` values against a cold graph therefore
     costs one multi-``k`` build, not four Algorithm-2 runs; with a
@@ -162,24 +169,29 @@ def run_mixed_batch(
     target = registry if registry is not None else DEFAULT_REGISTRY
     graphs: dict[int, TemporalGraph] = {}
     ks_by_graph: dict[int, list[int]] = {}
-    for graph, k, _range in queries:
+    positions: dict[tuple[int, int], list[int]] = {}
+    for position, (graph, k, _range) in enumerate(queries):
         gid = id(graph)
         graphs[gid] = graph
         ks = ks_by_graph.setdefault(gid, [])
         if k not in ks:
             ks.append(k)
+        positions.setdefault((gid, k), []).append(position)
     indexes: dict[tuple[int, int], CoreIndex] = {}
     for gid, ks in ks_by_graph.items():
         resolved = target.get_many(graphs[gid], ks, store=store)
         for k, index in resolved.items():
             indexes[(gid, k)] = index
 
-    answers = []
-    for graph, k, (ts, te) in queries:
-        result = indexes[(id(graph), k)].query(ts, te, collect=False)
-        answers.append(
-            BatchAnswer((ts, te), result.num_results, result.total_edges, k)
-        )
+    answers: list[BatchAnswer | None] = [None] * len(queries)
+    for group_key, group_positions in positions.items():
+        index = indexes[group_key]
+        ranges = [queries[i][2] for i in group_positions]
+        for i, result in zip(group_positions, index.query_batch(ranges)):
+            ts, te = queries[i][2]
+            answers[i] = BatchAnswer(
+                (ts, te), result.num_results, result.total_edges, queries[i][1]
+            )
     return answers
 
 

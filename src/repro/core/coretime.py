@@ -63,6 +63,15 @@ Three further devices cut the fixpoint cost:
   the slot earliest-times and a k-th-smallest partition, all on int64
   arrays; neighbour re-scheduling reuses the same slices.
 
+The output side is *columnar*: :class:`_Harvester` accumulates VCT
+transitions and finalised skyline windows as flat ``(id, value)`` array
+chunks and assembles them with one stable sort into the offset-indexed
+flat arrays that :class:`VertexCoreTimeIndex` and
+:class:`~repro.core.windows.EdgeCoreSkyline` serve natively — the same
+layout the on-disk store persists and the shared-scan multi-``k`` builder
+of :mod:`repro.core.multik` produces, so every index in the system is one
+representation.
+
 The original dict-based kernel is preserved verbatim in
 :mod:`repro.core.coretime_ref` as the equivalence oracle and benchmark
 baseline; the property suite asserts bit-identical VCT and ECS output.
@@ -72,6 +81,7 @@ from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import deque
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -79,9 +89,13 @@ import numpy as np
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.core.windows import EdgeCoreSkyline
+from repro.utils.arrays import as_int64_array, flatten_pairs, offsets_from_keys
 
 #: Sentinel for "no remaining edge time" — larger than any timestamp.
 _NO_TIME = 1 << 62
+
+#: Flat-array encoding of an infinite core time (timestamps are >= 1).
+INF_CT = -1
 
 
 class VertexCoreTimeIndex:
@@ -91,60 +105,140 @@ class VertexCoreTimeIndex:
     core time equals ``c`` for every start time from ``s`` until the next
     entry's start (exclusive); vertices never in any k-core over the span
     have no entries at all.
+
+    Stored columnar: ``offsets`` (``num_vertices + 1`` entries) indexes
+    flat ``starts``/``cts`` arrays, with :data:`INF_CT` encoding infinity
+    — the same layout the on-disk store serves zero-copy.  Scalar lookups
+    bisect one vertex's segment; :meth:`core_members` answers a whole
+    historical query in one vectorised ``searchsorted`` sweep.  The
+    list-of-entries constructor converts eagerly and is kept for the
+    reference oracle and the text loader.
     """
 
-    __slots__ = ("k", "span", "_entries", "_starts")
+    __slots__ = ("k", "span", "_offsets", "_starts", "_cts", "_key")
 
     def __init__(
         self,
-        entries: list[list[tuple[int, int | None]]],
+        entries: Sequence[Sequence[tuple[int, int | None]]],
         k: int,
         span: tuple[int, int],
     ):
         self.k = k
         self.span = span
-        self._entries = entries
-        # Parallel start-time lists so lookups bisect a plain int list
-        # (no per-call ``key=`` lambda in the hot path).
-        self._starts: list[list[int]] = [
-            [start for start, _ in vertex_entries] for vertex_entries in entries
-        ]
+        self._offsets, self._starts, self._cts = flatten_pairs(
+            [
+                [(start, INF_CT if ct is None else ct) for start, ct in vertex]
+                for vertex in entries
+            ]
+        )
+        self._key = None
+
+    @classmethod
+    def from_flat(cls, offsets, starts, cts, k: int, span: tuple[int, int]):
+        """Wrap existing offset-indexed flat arrays (zero-copy).
+
+        ``cts`` uses :data:`INF_CT` for infinite core times.  Accepts
+        ndarrays, ``array('q')`` buffers and ``memoryview`` store
+        sections alike.
+        """
+        index = cls.__new__(cls)
+        index.k = k
+        index.span = span
+        index._offsets = as_int64_array(offsets)
+        index._starts = as_int64_array(starts)
+        index._cts = as_int64_array(cts)
+        index._key = None
+        return index
 
     @property
     def num_vertices(self) -> int:
-        return len(self._entries)
+        return len(self._offsets) - 1
+
+    def flat_parts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The native ``(offsets, starts, cts)`` arrays (shared, do not mutate)."""
+        return self._offsets, self._starts, self._cts
 
     def entries_of(self, u: int) -> list[tuple[int, int | None]]:
-        """Raw transition list of vertex ``u`` (ordered by start time)."""
-        return self._entries[u]
+        """Transition list of vertex ``u`` (ordered by start time)."""
+        lo, hi = int(self._offsets[u]), int(self._offsets[u + 1])
+        starts, cts = self._starts, self._cts
+        return [
+            (int(starts[i]), None if cts[i] == INF_CT else int(cts[i]))
+            for i in range(lo, hi)
+        ]
 
     def size(self) -> int:
-        """``|VCT|`` — the total number of index entries."""
-        return sum(len(e) for e in self._entries)
+        """``|VCT|`` — the total number of index entries.  O(1)."""
+        return len(self._starts)
 
     def core_time(self, u: int, ts: int) -> int | None:
         """``CT_ts(u)`` — None when infinite (never in a k-core from ts).
 
-        Binary-searches the transition list; ``O(log |entries(u)|)``.
+        Binary-searches the vertex's segment; ``O(log |entries(u)|)``.
         """
         lo, hi = self.span
         if ts < lo or ts > hi:
             raise InvalidParameterError(f"start {ts} outside computed span {self.span}")
-        starts = self._starts[u]
-        if not starts:
+        left, right = int(self._offsets[u]), int(self._offsets[u + 1])
+        if left == right:
             return None
-        pos = bisect_right(starts, ts) - 1
-        if pos < 0:
+        pos = bisect_right(self._starts, ts, left, right) - 1
+        if pos < left:
             # Before the first recorded start; the first entry starts at
             # the span start, so this only happens for ts < span start,
             # which the guard above already excluded.
             return None
-        return self._entries[u][pos][1]
+        ct = int(self._cts[pos])
+        return None if ct == INF_CT else ct
 
     def in_core(self, u: int, ts: int, te: int) -> bool:
         """Is ``u`` in the k-core of ``G[ts, te]``?  (Historical query.)"""
         ct = self.core_time(u, ts)
         return ct is not None and ct <= te
+
+    def _composite_key(self) -> np.ndarray:
+        """Globally sorted ``vertex * stride + start`` keys; cached.
+
+        Segments are per-vertex ascending starts, so with ``stride >
+        span end`` the composite is globally ascending — one vectorised
+        ``searchsorted`` then locates every vertex's active entry at
+        once.
+        """
+        if self._key is None:
+            counts = self._offsets[1:] - self._offsets[:-1]
+            stride = self.span[1] + 2
+            self._key = (
+                np.repeat(np.arange(self.num_vertices, dtype=np.int64), counts)
+                * stride
+                + self._starts
+            )
+        return self._key
+
+    def core_members(self, ts: int, te: int) -> np.ndarray:
+        """Vertex ids in the k-core of ``G[ts, te]``, one vectorised sweep.
+
+        The whole-graph historical query: for every vertex, the entry
+        active at start ``ts`` is found by one ``searchsorted`` over the
+        cached composite key, and membership is ``ct <= te`` — no
+        per-vertex Python loop.
+        """
+        lo, hi = self.span
+        if ts < lo or ts > hi:
+            raise InvalidParameterError(f"start {ts} outside computed span {self.span}")
+        n = self.num_vertices
+        if not len(self._starts):
+            return np.empty(0, dtype=np.int64)
+        stride = self.span[1] + 2
+        key = self._composite_key()
+        pos = (
+            np.searchsorted(
+                key, np.arange(n, dtype=np.int64) * stride + ts, side="right"
+            )
+            - 1
+        )
+        valid = pos >= self._offsets[:-1]
+        cts = self._cts[np.maximum(pos, 0)]
+        return (valid & (cts != INF_CT) & (cts <= te)).nonzero()[0]
 
 
 @dataclass(frozen=True)
@@ -486,16 +580,28 @@ class _WindowState:
 
 
 class _Harvester:
-    """Per-``k`` accumulation of VCT entries and skyline windows.
+    """Per-``k`` columnar accumulation of VCT entries and skyline windows.
 
     The output side of Algorithm 2, factored out of the driver loop so
     the single-``k`` path here and the shared-scan multi-``k`` path of
-    :mod:`repro.core.multik` run the *same* emission code: seeded from
+    :mod:`repro.core.multik` run the *same* emission scheme: seeded from
     the initial-scan core times, then fed every ``(ts, changed)`` step of
-    the advancing phase via :meth:`harvest`.
+    the advancing phase via :meth:`harvest`.  Entries are appended as
+    flat ``(id, value)`` array chunks in ascending step order and frozen
+    into the native offset-indexed arrays by one stable sort per side —
+    no per-entry Python tuples anywhere on the build path.
     """
 
-    __slots__ = ("state", "vct_entries", "ecs", "ect")
+    __slots__ = (
+        "state",
+        "ect",
+        "_vct_verts",
+        "_vct_cts",
+        "_vct_ts",
+        "_ecs_eids",
+        "_ecs_t1",
+        "_ecs_t2",
+    )
 
     def __init__(self, state: _WindowState, with_skyline: bool):
         cg = state.cg
@@ -504,16 +610,15 @@ class _Harvester:
         ts_lo, ts_hi = state.ts_lo, state.ts_hi
         time_offset = cg.time_offset
         self.state = state
-        self.vct_entries: list[list[tuple[int, int | None]]] = [
-            [] for _ in range(cg.num_vertices)
-        ]
-        for u, c in enumerate(ct.tolist()):
-            if c < inf:
-                self.vct_entries[u].append((ts_lo, c))
-        self.ecs: list[list[tuple[int, int]]] | None = None
+        initial = (ct < inf).nonzero()[0]
+        self._vct_verts: list[np.ndarray] = [initial]
+        self._vct_cts: list[np.ndarray] = [ct[initial]]
+        self._vct_ts: list[int] = [ts_lo]
+        self._ecs_eids: list[np.ndarray] = []
+        self._ecs_t1: list[np.ndarray] = []
+        self._ecs_t2: list[np.ndarray] = []
         self.ect: "np.ndarray | None" = None
         if with_skyline:
-            self.ecs = [[] for _ in range(cg.num_edges)]
             self.ect = np.full(cg.num_edges, inf, dtype=np.int64)
             window = slice(time_offset[ts_lo], time_offset[ts_hi + 1])
             self.ect[window] = np.maximum(
@@ -523,85 +628,127 @@ class _Harvester:
             # Edges stamped with the very first start time leave the
             # window as soon as the start advances: their pending window
             # finalises now.
-            base = time_offset[ts_lo]
-            first_batch = self.ect[base : time_offset[ts_lo + 1]]
-            for offset in np.nonzero(first_batch <= ts_hi)[0].tolist():
-                self.ecs[base + offset].append((ts_lo, int(first_batch[offset])))
+            self._emit_batch(ts_lo)
+
+    def _emit_batch(self, stamp_ts: int) -> None:
+        """Emit ``(stamp_ts, ect)`` for the edge batch stamped ``stamp_ts``."""
+        time_offset = self.state.cg.time_offset
+        base = time_offset[stamp_ts]
+        batch = self.ect[base : time_offset[stamp_ts + 1]]
+        emit = (batch <= self.state.ts_hi).nonzero()[0]
+        if emit.size:
+            self._ecs_eids.append(emit + base)
+            self._ecs_t1.append(np.full(len(emit), stamp_ts, dtype=np.int64))
+            self._ecs_t2.append(batch[emit])
 
     def harvest(self, current_ts: int, changed: dict[int, int]) -> None:
         """Fold in one advancing step: VCT transitions + finalised windows."""
         state = self.state
         cg = state.cg
         ct = state.ct
-        inf = state.inf
         ts_hi = state.ts_hi
-        time_offset = cg.time_offset
-        ecs = self.ecs
         ect = self.ect
         if changed:
-            # Collect the incident-CSR suffixes (time >= current_ts) of
-            # every changed vertex and re-derive the core times of those
-            # edges in one vectorised pass: any strict increase finalises
-            # the previously pending minimal window at current_ts - 1
-            # (Lemma 2).  An edge with both endpoints changed appears
-            # twice with the same re-derived value (both gathers read the
-            # final cts), so increases are deduplicated per edge id.
-            inc_offsets = cg.inc_offsets
-            inc_time = cg.np_inc_time
-            inc_other = cg.np_inc_other
-            inc_eid = cg.np_inc_eid
-            vct_entries = self.vct_entries
-            pieces: list[np.ndarray] = []
-            piece_ct: list[int] = []
-            piece_len: list[int] = []
-            for u in changed:
-                new_ct = int(ct[u])
-                vct_entries[u].append((current_ts, new_ct if new_ct < inf else None))
-                if ecs is None:
-                    continue
-                lo = inc_offsets[u]
-                hi = state.incident_end(u)
-                lo += inc_time[lo:hi].searchsorted(current_ts)
-                if lo < hi:
-                    pieces.append(np.arange(lo, hi))
-                    piece_ct.append(new_ct)
-                    piece_len.append(hi - lo)
-            if pieces:
-                index = np.concatenate(pieces)
-                changed_ct = np.repeat(
-                    np.asarray(piece_ct, dtype=np.int64),
-                    np.asarray(piece_len),
-                )
-                new_ect = np.maximum(ct[inc_other[index]], inc_time[index])
-                np.maximum(new_ect, changed_ct, out=new_ect)
-                edge_ids = inc_eid[index]
-                old_ect = ect[edge_ids]
-                grew = (new_ect > old_ect).nonzero()[0]
-                if grew.size:
-                    grew_ids = edge_ids[grew]
-                    grew_old = old_ect[grew]
-                    _, first = np.unique(grew_ids, return_index=True)
-                    for j in first.tolist():
-                        finalised = int(grew_old[j])
-                        if finalised <= ts_hi:
-                            ecs[int(grew_ids[j])].append((current_ts - 1, finalised))
-                    ect[grew_ids] = new_ect[grew]
-        if ecs is not None and ect is not None:
-            base = time_offset[current_ts]
-            batch = ect[base : time_offset[current_ts + 1]]
-            for offset in (batch <= ts_hi).nonzero()[0].tolist():
-                ecs[base + offset].append((current_ts, int(batch[offset])))
+            verts = np.fromiter(changed, np.int64, len(changed))
+            self._vct_verts.append(verts)
+            self._vct_cts.append(ct[verts])
+            self._vct_ts.append(current_ts)
+            if ect is not None:
+                # Collect the incident-CSR suffixes (time >= current_ts) of
+                # every changed vertex and re-derive the core times of those
+                # edges in one vectorised pass: any strict increase finalises
+                # the previously pending minimal window at current_ts - 1
+                # (Lemma 2).  An edge with both endpoints changed appears
+                # twice with the same re-derived value (both gathers read the
+                # final cts), so increases are deduplicated per edge id.
+                inc_offsets = cg.inc_offsets
+                inc_time = cg.np_inc_time
+                inc_other = cg.np_inc_other
+                inc_eid = cg.np_inc_eid
+                pieces: list[np.ndarray] = []
+                piece_ct: list[int] = []
+                piece_len: list[int] = []
+                for u in changed:
+                    lo = inc_offsets[u]
+                    hi = state.incident_end(u)
+                    lo += inc_time[lo:hi].searchsorted(current_ts)
+                    if lo < hi:
+                        pieces.append(np.arange(lo, hi))
+                        piece_ct.append(int(ct[u]))
+                        piece_len.append(hi - lo)
+                if pieces:
+                    index = np.concatenate(pieces)
+                    changed_ct = np.repeat(
+                        np.asarray(piece_ct, dtype=np.int64),
+                        np.asarray(piece_len),
+                    )
+                    new_ect = np.maximum(ct[inc_other[index]], inc_time[index])
+                    np.maximum(new_ect, changed_ct, out=new_ect)
+                    edge_ids = inc_eid[index]
+                    old_ect = ect[edge_ids]
+                    grew = (new_ect > old_ect).nonzero()[0]
+                    if grew.size:
+                        grew_ids = edge_ids[grew]
+                        grew_old = old_ect[grew]
+                        unique_ids, first = np.unique(grew_ids, return_index=True)
+                        finalised = grew_old[first]
+                        emit = (finalised <= ts_hi).nonzero()[0]
+                        if emit.size:
+                            self._ecs_eids.append(unique_ids[emit])
+                            self._ecs_t1.append(
+                                np.full(len(emit), current_ts - 1, dtype=np.int64)
+                            )
+                            self._ecs_t2.append(finalised[emit])
+                        ect[grew_ids] = new_ect[grew]
+        if ect is not None:
+            self._emit_batch(current_ts)
 
     def result(self) -> CoreTimeResult:
-        """Freeze the accumulated entries into a :class:`CoreTimeResult`."""
+        """Assemble the columnar chunks into the native flat-array result.
+
+        Chunks were appended in ascending step order, so one stable sort
+        by id groups every vertex's transitions (and every edge's
+        windows) contiguously in ascending time — exactly the
+        offset-indexed layout the index classes serve queries from.
+        """
         state = self.state
+        inf = state.inf
         span = (state.ts_lo, state.ts_hi)
-        vct = VertexCoreTimeIndex(self.vct_entries, state.k, span)
-        skyline = (
-            EdgeCoreSkyline([tuple(w) for w in self.ecs], state.k, span)
-            if self.ecs is not None
-            else None
+        n = state.cg.num_vertices
+
+        verts = np.concatenate(self._vct_verts)
+        starts = np.repeat(
+            np.asarray(self._vct_ts, dtype=np.int64),
+            np.asarray([len(c) for c in self._vct_verts], dtype=np.int64),
         )
+        cts = np.concatenate(self._vct_cts)
+        order = np.argsort(verts, kind="stable")
+        verts = verts[order]
+        cts = cts[order]
+        vct = VertexCoreTimeIndex.from_flat(
+            offsets_from_keys(verts, n),
+            starts[order],
+            np.where(cts >= inf, INF_CT, cts),
+            state.k,
+            span,
+        )
+
+        skyline = None
+        if self.ect is not None:
+            m = state.cg.num_edges
+            if self._ecs_eids:
+                eids = np.concatenate(self._ecs_eids)
+                t1 = np.concatenate(self._ecs_t1)
+                t2 = np.concatenate(self._ecs_t2)
+            else:
+                eids = np.empty(0, dtype=np.int64)
+                t1 = np.empty(0, dtype=np.int64)
+                t2 = np.empty(0, dtype=np.int64)
+            order = np.argsort(eids, kind="stable")
+            eids = eids[order]
+            skyline = EdgeCoreSkyline.from_flat(
+                offsets_from_keys(eids, m), t1[order], t2[order], state.k, span
+            )
         return CoreTimeResult(vct=vct, ecs=skyline)
 
 
@@ -622,9 +769,12 @@ def compute_core_times(
     Parameters default to the graph's full span.  Complexity:
     ``O(|VCT| * deg_avg)`` plus the ``O(n + m)`` initial scan.  The first
     call on a graph compiles its flat-array representation (cached on the
-    graph); subsequent calls reuse it.  For several ``k`` values over the
-    same window, :func:`repro.core.multik.compute_core_times_multi`
-    shares the scan across them.
+    graph); subsequent calls reuse it.  The returned VCT/ECS are served
+    from offset-indexed flat int64 arrays — the same representation the
+    on-disk store persists and :mod:`repro.core.multik` builds.  For
+    several ``k`` values over the same window,
+    :func:`repro.core.multik.compute_core_times_multi` shares the scan
+    across them.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")

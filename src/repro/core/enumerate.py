@@ -11,36 +11,60 @@ in time bounded by the total result size ``O(|R|)`` (Theorem 3):
   proves each reported window is a genuine TTI — hence no duplicates.
 * Between start times, ``L_ts`` is updated in place: windows whose start
   expired are unlinked, windows whose activation time arrived are spliced
-  in, pre-sorted by end time with one linear-time counting sort up front
-  (**Enum**, Algorithm 5).
+  in, pre-sorted by end time with one stable argsort over the columnar
+  window arrays up front (**Enum**, Algorithm 5).
+
+Window prep is columnar end-to-end: the skyline hands over flat
+``(eid, start, end, active)`` arrays for the query range (a vectorised
+cut of the prebuilt index — see
+:meth:`EdgeCoreSkyline.active_window_arrays`), and the only per-window
+Python objects are the linked-list cells the enumeration itself needs,
+``O(windows in range)``, never ``O(num_edges)``.
 """
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.core.coretime import compute_core_times
 from repro.core.linkedlist import WindowList
 from repro.core.results import EnumerationResult, ResultCallback
-from repro.core.windows import ActiveWindow, EdgeCoreSkyline, build_active_windows
+from repro.core.windows import ActiveWindow, EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.order import counting_sort_by
 from repro.utils.timer import Deadline
 
 
-def _bucket_windows(
-    windows: list[ActiveWindow], ts_lo: int, ts_hi: int
+def _bucket_window_arrays(
+    eids: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    actives: np.ndarray,
+    ts_lo: int,
+    ts_hi: int,
 ) -> tuple[list[list[ActiveWindow]], list[list[ActiveWindow]]]:
     """Build the activation (``Ba``) and start (``Bs``) buckets.
 
-    Windows are first counting-sorted by end time (Algorithm 5 line 8) so
-    each bucket's contents are already in ascending end-time order — the
-    precondition of the roving-cursor insertion.
+    Consumes the columnar ``(eid, start, end, active)`` slice of
+    :meth:`EdgeCoreSkyline.active_window_arrays` directly: one stable
+    end-time argsort (Algorithm 5 line 8) orders the windows, and the
+    :class:`ActiveWindow` cells — the only per-window objects the
+    enumeration ever materialises, O(windows in range), never
+    O(num_edges) — are created straight into their buckets in ascending
+    end-time order, the precondition of the roving-cursor insertion.
     """
-    ordered = counting_sort_by(windows, key=lambda w: w.end, lo=ts_lo, hi=ts_hi)
+    order = np.argsort(ends, kind="stable").tolist()
+    eids_list = eids.tolist()
+    starts_list = starts.tolist()
+    ends_list = ends.tolist()
+    actives_list = actives.tolist()
     span = ts_hi - ts_lo + 1
     activation: list[list[ActiveWindow]] = [[] for _ in range(span)]
     start: list[list[ActiveWindow]] = [[] for _ in range(span)]
-    for window in ordered:
+    for i in order:
+        window = ActiveWindow(
+            starts_list[i], ends_list[i], eids_list[i], actives_list[i]
+        )
         activation[window.active - ts_lo].append(window)
         start[window.start - ts_lo].append(window)
     return activation, start
@@ -90,9 +114,13 @@ def enumerate_temporal_kcores(
     Parameters
     ----------
     skyline:
-        A precomputed edge core window skyline whose span equals the
-        query range (for example from :class:`repro.core.index.CoreIndex`).
-        When omitted, Algorithm 2 is run first over the query range.
+        A precomputed edge core window skyline whose span *contains* the
+        query range (for example the full-span skyline of a
+        :class:`repro.core.index.CoreIndex`).  A wider skyline is
+        restricted to the range in one vectorised cut over its cached
+        start-sorted permutation — minimal core windows are intrinsic to
+        the graph, so the sub-range skyline is exactly the subset inside
+        it.  When omitted, Algorithm 2 is run first over the query range.
     collect:
         When true (default), materialise every core; when false, only the
         counters of the returned :class:`EnumerationResult` are filled —
@@ -112,20 +140,57 @@ def enumerate_temporal_kcores(
     if skyline is None:
         skyline = compute_core_times(graph, k, ts_lo, ts_hi).ecs
         assert skyline is not None
-    elif skyline.span != (ts_lo, ts_hi) or skyline.k != k:
+    elif (
+        skyline.k != k
+        or skyline.span[0] > ts_lo
+        or skyline.span[1] < ts_hi
+    ):
         raise InvalidParameterError(
             f"skyline computed for k={skyline.k}, span={skyline.span}; "
-            f"query wants k={k}, span=({ts_lo}, {ts_hi}) — use "
-            "EdgeCoreSkyline.restricted_to or CoreIndex"
+            f"query wants k={k}, span=({ts_lo}, {ts_hi}) — the skyline "
+            "span must contain the query range"
         )
 
+    arrays = skyline.active_window_arrays(ts_lo, ts_hi)
+    return enumerate_active_window_arrays(
+        k,
+        ts_lo,
+        ts_hi,
+        arrays,
+        collect=collect,
+        on_result=on_result,
+        deadline=deadline,
+    )
+
+
+def enumerate_active_window_arrays(
+    k: int,
+    ts_lo: int,
+    ts_hi: int,
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    *,
+    collect: bool = True,
+    on_result: ResultCallback | None = None,
+    deadline: Deadline | None = None,
+) -> EnumerationResult:
+    """Run Enum over a prepared columnar ``(eid, start, end, active)`` slice.
+
+    The inner half of :func:`enumerate_temporal_kcores`, exposed so the
+    batch serving path (:meth:`repro.core.index.CoreIndex.query_batch`)
+    can feed slices it cut for a whole group of ranges in one vectorised
+    sweep.  ``arrays`` must describe exactly the minimal core windows
+    inside ``[ts_lo, ts_hi]`` with their activation times
+    (:meth:`EdgeCoreSkyline.active_window_arrays`).
+    """
     result = EnumerationResult("enum", k, (ts_lo, ts_hi))
     if collect:
         result.cores = []
-    windows = build_active_windows(skyline, ts_lo)
-    if not windows:
+    eids, starts, ends, actives = arrays
+    if not len(eids):
         return result
-    activation, start = _bucket_windows(windows, ts_lo, ts_hi)
+    activation, start = _bucket_window_arrays(
+        eids, starts, ends, actives, ts_lo, ts_hi
+    )
 
     window_list = WindowList()
     for current_ts in range(ts_lo, ts_hi + 1):

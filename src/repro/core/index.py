@@ -26,7 +26,10 @@ from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
-from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.enumerate import (
+    enumerate_active_window_arrays,
+    enumerate_temporal_kcores,
+)
 from repro.core.results import EnumerationResult
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
@@ -83,26 +86,81 @@ class CoreIndex:
         """All distinct temporal k-cores of ``[ts, te]`` from the index.
 
         Equivalent to a fresh per-range run (validated by the test
-        suite), but skips the core-time computation entirely.
+        suite), but skips the core-time computation entirely: the
+        full-span skyline is cut down to the range inside the enumerator
+        by two ``searchsorted`` calls over a start-sorted permutation
+        cached on the skyline — no restricted skyline is materialised
+        and no per-edge scan runs.
         """
         self.graph.check_window(ts, te)
-        restricted = self.ecs.restricted_to(ts, te)
         return enumerate_temporal_kcores(
             self.graph,
             self.k,
             ts,
             te,
-            skyline=restricted,
+            skyline=self.ecs,
             collect=collect,
             deadline=deadline,
         )
 
+    def query_batch(
+        self,
+        ranges: "Iterable[tuple[int, int]]",
+        *,
+        collect: bool = False,
+        deadline: Deadline | None = None,
+    ) -> list[EnumerationResult]:
+        """Answer many ranges from the shared index in one vectorised prep.
+
+        The batch serving primitive behind
+        :func:`repro.bench.batch.run_query_batch` /
+        :func:`~repro.bench.batch.run_mixed_batch`: the start-sorted cut
+        positions of *all* ranges are located with a single
+        ``searchsorted`` pair over the cached sorted skyline view
+        (:meth:`EdgeCoreSkyline.start_cuts
+        <repro.core.windows.EdgeCoreSkyline.start_cuts>`), then each
+        range enumerates from its pre-cut columnar slice.  Results come
+        back in input order; ``collect`` defaults to ``False`` (count
+        only), matching batch traffic.
+        """
+        ranges = list(ranges)
+        span_lo, span_hi = self.ecs.span
+        for ts, te in ranges:
+            self.graph.check_window(ts, te)
+            if ts < span_lo or te > span_hi:
+                raise InvalidParameterError(
+                    f"[{ts}, {te}] is not inside the computed span "
+                    f"[{span_lo}, {span_hi}]"
+                )
+        if not ranges:
+            return []
+        los, his = self.ecs.start_cuts(
+            [ts for ts, _ in ranges], [te for _, te in ranges]
+        )
+        results: list[EnumerationResult] = []
+        for (ts, te), lo, hi in zip(ranges, los.tolist(), his.tolist()):
+            selected = self.ecs.selection_from_cut(lo, hi, ts, te)
+            arrays = self.ecs.active_arrays_from_selection(selected, ts)
+            results.append(
+                enumerate_active_window_arrays(
+                    self.k,
+                    ts,
+                    te,
+                    arrays,
+                    collect=collect,
+                    deadline=deadline,
+                )
+            )
+        return results
+
     def historical_core(self, ts: int, te: int) -> set[int]:
-        """Single-window (historical) k-core members, index-only."""
+        """Single-window (historical) k-core members, index-only.
+
+        One vectorised ``searchsorted`` sweep over the flat VCT arrays
+        (:meth:`VertexCoreTimeIndex.core_members`) — no per-vertex loop.
+        """
         self.graph.check_window(ts, te)
-        return {
-            u for u in range(self.graph.num_vertices) if self.vct.in_core(u, ts, te)
-        }
+        return set(self.vct.core_members(ts, te).tolist())
 
     # ------------------------------------------------------------------
     # Persistence
@@ -179,6 +237,13 @@ class CoreIndexRegistry:
     :meth:`clear`.  Store entries are fingerprint-checked on load, so a
     store rebuilt against different data simply stops matching.
 
+    Eviction spills: with a store attached, an LRU-evicted index whose
+    ``(graph, k)`` is not yet persisted is saved to disk before being
+    dropped (best effort — unpersistable graphs and I/O failures are
+    swallowed), so capacity pressure downgrades an index from RAM to
+    disk instead of discarding the build.  ``evict_spills`` in
+    :meth:`stats` counts successful spills.
+
     Thread-safe: all cache operations hold an internal lock, so a
     warm-up thread plus serving threads is a supported pattern.  The
     lock is coarse — it is held across an index build — which keeps
@@ -195,21 +260,58 @@ class CoreIndexRegistry:
         self.misses = 0
         self.store_hits = 0
         self.multik_builds = 0
+        self.evict_spills = 0
         self._store_hits_by_k: dict[int, int] = {}
         self._multik_builds_by_k: dict[int, int] = {}
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[int, int], CoreIndex] = OrderedDict()
+        # Keys known to be persisted in the *attached* store (loaded from
+        # it or spilled to it) — lets eviction skip the O(n + m)
+        # fingerprint probe in the steady state.
+        self._persisted: set[tuple[int, int]] = set()
 
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
 
     def _insert(self, key: tuple[int, int], index: CoreIndex) -> None:
-        """Insert under the lock, evicting beyond capacity (LRU order)."""
+        """Insert under the lock, evicting beyond capacity (LRU order).
+
+        Evicted entries are offered to the attached store first (see
+        :meth:`_spill`) so capacity pressure never discards an index the
+        store does not already hold.
+        """
         self._entries[key] = index
         self._entries.move_to_end(key)
         while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+            _evicted_key, evicted = self._entries.popitem(last=False)
+            self._spill(evicted)
+
+    def _spill(self, index: CoreIndex) -> None:
+        """Persist an evicted index to the attached store, best effort.
+
+        Skips silently when no store is attached or the store already
+        holds a fingerprint-matching entry for the ``(graph, k)`` —
+        keys known persisted (loaded from or previously spilled to the
+        attached store) skip even the manifest probe; swallows store
+        failures (unpersistable labels, I/O errors) — eviction must
+        never raise.  Successful writes are counted in ``evict_spills``.
+        """
+        store = self.store
+        if store is None:
+            return
+        key = (id(index.graph), index.k)
+        if key in self._persisted:
+            return
+        from repro.errors import StoreError
+
+        try:
+            if not store.has_index(index.graph, index.k):
+                store.save_index(index)
+                self.evict_spills += 1
+            self._persisted.add(key)
+        except (StoreError, OSError):
+            pass
 
     def get(
         self,
@@ -240,6 +342,8 @@ class CoreIndexRegistry:
                 if index is not None:
                     self.store_hits += 1
                     self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
+                    if store is self.store:
+                        self._persisted.add(key)
                     self._insert(key, index)
                     return index
             index = CoreIndex(graph, k)
@@ -302,6 +406,8 @@ class CoreIndexRegistry:
                 if index is not None:
                     self.store_hits += 1
                     self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
+                    if store is self.store:
+                        self._persisted.add((id(graph), k))
                     self._insert((id(graph), k), index)
                     out[k] = index
                 else:
@@ -374,7 +480,9 @@ class CoreIndexRegistry:
         ``multik_builds_by_k`` break down, per ``k``, how many misses
         were served from disk versus computed by the shared multi-``k``
         build — a warm-serving deployment asserts the latter stays at
-        zero.  ``multik_builds`` counts shared-build invocations.
+        zero.  ``multik_builds`` counts shared-build invocations;
+        ``evict_spills`` counts LRU evictions persisted to the attached
+        store before dropping.
         """
         with self._lock:
             return {
@@ -382,6 +490,7 @@ class CoreIndexRegistry:
                 "misses": self.misses,
                 "store_hits": self.store_hits,
                 "multik_builds": self.multik_builds,
+                "evict_spills": self.evict_spills,
                 "store_hits_by_k": dict(self._store_hits_by_k),
                 "multik_builds_by_k": dict(self._multik_builds_by_k),
                 "size": len(self._entries),

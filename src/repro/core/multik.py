@@ -36,10 +36,10 @@ one-``k``-at-a-time kernel cannot use:
   incident-edge re-derivations of *all* levels batch into one
   composite-key ``searchsorted`` + gather sweep per step — and the
   result is assembled at the end with one stable sort per level into
-  the same offset-indexed flat form the on-disk store serves
-  (:class:`~repro.store.views.FlatVertexCoreTimes` /
-  :class:`~repro.store.views.FlatEdgeSkyline`), skipping the
-  per-entry Python tuple materialisation of the list-based builders.
+  the offset-indexed flat arrays that
+  :class:`~repro.core.coretime.VertexCoreTimeIndex` and
+  :class:`~repro.core.windows.EdgeCoreSkyline` serve natively (and the
+  on-disk store persists), with no per-entry Python tuples anywhere.
 
 :func:`build_core_indexes` is the index-layer entry point: it resolves a
 set of ``k`` values against an optional on-disk store first and builds
@@ -53,17 +53,24 @@ it.
 
 from __future__ import annotations
 
-from array import array
 from collections import deque
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
 
 import numpy as np
 
-from repro.core.coretime import CoreTimeResult, _WindowState, compute_core_times
+from repro.core.coretime import (
+    INF_CT,
+    CoreTimeResult,
+    VertexCoreTimeIndex,
+    _WindowState,
+    compute_core_times,
+)
 from repro.core.index import CoreIndex
+from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.arrays import offsets_from_keys
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.store.index_store import IndexStore
@@ -222,13 +229,6 @@ def _shared_initial_scan(
         for u in range(n):
             if alive[u]:
                 ct[u] = ts_lo
-
-
-def _int64_array(values: np.ndarray) -> array:
-    """``array('q')`` copy of an int64 ndarray (plain-int element access)."""
-    out = array("q")
-    out.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
-    return out
 
 
 class _FusedMultiK:
@@ -641,11 +641,9 @@ class _FusedMultiK:
         Chunks were appended in ascending step order, so one stable sort
         by ``(level, id)`` key groups every vertex's transitions (and
         every edge's windows) contiguously in ascending time — the exact
-        offset-indexed layout :class:`FlatVertexCoreTimes` and
-        :class:`FlatEdgeSkyline` serve queries from.
+        offset-indexed layout :class:`VertexCoreTimeIndex` and
+        :class:`EdgeCoreSkyline` serve queries from natively.
         """
-        from repro.store.views import INF_CT, FlatEdgeSkyline, FlatVertexCoreTimes
-
         n = self.num_vertices
         m = self.num_edges
         span = (self.ts_lo, self.ts_hi)
@@ -678,30 +676,20 @@ class _FusedMultiK:
         out: dict[int, CoreTimeResult] = {}
         for level, k in enumerate(self.ks):
             lo, hi = np.searchsorted(vct_keys, [level * n, (level + 1) * n])
-            offsets = np.zeros(n + 1, dtype=np.int64)
-            np.cumsum(
-                np.bincount(vct_keys[lo:hi] - level * n, minlength=n),
-                out=offsets[1:],
-            )
-            vct = FlatVertexCoreTimes(
-                _int64_array(offsets),
-                _int64_array(vct_starts[lo:hi]),
-                _int64_array(vct_cts[lo:hi]),
+            vct = VertexCoreTimeIndex.from_flat(
+                offsets_from_keys(vct_keys[lo:hi] - level * n, n),
+                vct_starts[lo:hi],
+                vct_cts[lo:hi],
                 k,
                 span,
             )
             skyline = None
             if self.with_skyline:
                 lo, hi = np.searchsorted(ecs_keys, [level * m, (level + 1) * m])
-                offsets = np.zeros(m + 1, dtype=np.int64)
-                np.cumsum(
-                    np.bincount(ecs_keys[lo:hi] - level * m, minlength=m),
-                    out=offsets[1:],
-                )
-                skyline = FlatEdgeSkyline(
-                    _int64_array(offsets),
-                    _int64_array(ecs_t1[lo:hi]),
-                    _int64_array(ecs_t2[lo:hi]),
+                skyline = EdgeCoreSkyline.from_flat(
+                    offsets_from_keys(ecs_keys[lo:hi] - level * m, m),
+                    ecs_t1[lo:hi],
+                    ecs_t2[lo:hi],
                     k,
                     span,
                 )

@@ -9,13 +9,38 @@ coordinates (a window dominated in both coordinates would not be minimal).
 :class:`EdgeCoreSkyline` stores the skyline of every edge for a fixed k
 and a computation range, and knows how to re-target itself onto a narrower
 query range (used when one prebuilt index serves many queries).
+
+Representation
+--------------
+
+The skyline is held *columnar*: three flat int64 arrays — ``offsets``
+(``num_edges + 1`` entries), ``t1`` and ``t2`` — where edge ``eid``'s
+windows are ``zip(t1, t2)`` over ``offsets[eid]:offsets[eid+1]``,
+ascending in both coordinates.  This is the same offset-indexed layout
+the on-disk store persists, so in-memory, store-loaded and multi-``k``
+built skylines are one representation and a store load is zero-copy.
+
+Per-query work is vectorised on top of it.  Restricting to a sub-range
+``[ts, te]`` cuts a once-per-skyline *start-sorted permutation* of the
+windows with two ``searchsorted`` calls (``ts <= t1 <= te``) and masks
+``t2 <= te`` — no per-edge Python loop.  Because each edge's skyline is
+bi-monotone, the surviving windows of an edge are one contiguous run of
+flat indices, which also yields every window's activation time
+(Definition 6) from its flat predecessor in one vectorised step.
+
+The list-of-tuples constructor is kept as the conversion surface for the
+reference oracle, the text loaders and hand-written tests; it converts
+eagerly, so every live skyline is columnar.
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterator
+from collections.abc import Iterator, Sequence
+
+import numpy as np
 
 from repro.errors import InvalidParameterError
+from repro.utils.arrays import as_int64_array, flatten_pairs, offsets_from_keys
 
 
 class EdgeCoreSkyline:
@@ -24,84 +49,231 @@ class EdgeCoreSkyline:
     Parameters
     ----------
     windows_by_edge:
-        ``windows_by_edge[eid]`` is the tuple of ``(t1, t2)`` minimal core
-        windows of temporal edge ``eid``, ordered by (strictly increasing)
-        start time.  Edges that are never in any k-core have an empty
-        tuple.
+        ``windows_by_edge[eid]`` is the sequence of ``(t1, t2)`` minimal
+        core windows of temporal edge ``eid``, ordered by (strictly
+        increasing) start time.  Edges that are never in any k-core have
+        an empty sequence.  Converted to the columnar representation on
+        construction; computed skylines use :meth:`from_flat` instead.
     k, span:
         The query integer and the computation range the skyline refers to.
     """
 
-    __slots__ = ("k", "span", "_windows")
+    __slots__ = (
+        "k",
+        "span",
+        "_offsets",
+        "_t1",
+        "_t2",
+        "_start_order",
+        "_t1_by_start",
+        "_eids",
+    )
 
     def __init__(
         self,
-        windows_by_edge: list[tuple[tuple[int, int], ...]],
+        windows_by_edge: Sequence[Sequence[tuple[int, int]]],
         k: int,
         span: tuple[int, int],
     ):
         self.k = k
         self.span = span
-        self._windows = windows_by_edge
+        self._offsets, self._t1, self._t2 = flatten_pairs(windows_by_edge)
+        self._start_order = None
+        self._t1_by_start = None
+        self._eids = None
+
+    @classmethod
+    def from_flat(cls, offsets, t1, t2, k: int, span: tuple[int, int]):
+        """Wrap existing offset-indexed flat arrays (zero-copy).
+
+        ``offsets`` has ``num_edges + 1`` entries; ``t1``/``t2`` hold the
+        window coordinates grouped by edge, ascending within each edge.
+        Accepts ndarrays, ``array('q')`` buffers and ``memoryview`` store
+        sections alike.
+        """
+        skyline = cls.__new__(cls)
+        skyline.k = k
+        skyline.span = span
+        skyline._offsets = as_int64_array(offsets)
+        skyline._t1 = as_int64_array(t1)
+        skyline._t2 = as_int64_array(t2)
+        skyline._start_order = None
+        skyline._t1_by_start = None
+        skyline._eids = None
+        return skyline
 
     # ------------------------------------------------------------------
 
     @property
     def num_edges(self) -> int:
-        return len(self._windows)
+        return len(self._offsets) - 1
+
+    def flat_parts(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """The native ``(offsets, t1, t2)`` arrays (shared, do not mutate)."""
+        return self._offsets, self._t1, self._t2
 
     def windows_of(self, eid: int) -> tuple[tuple[int, int], ...]:
         """Minimal core windows of edge ``eid`` (possibly empty)."""
-        return self._windows[eid]
+        lo, hi = int(self._offsets[eid]), int(self._offsets[eid + 1])
+        t1, t2 = self._t1, self._t2
+        return tuple((int(t1[i]), int(t2[i])) for i in range(lo, hi))
 
     def size(self) -> int:
-        """``|ECS|`` — total number of minimal core windows."""
-        return sum(len(self.windows_of(eid)) for eid in range(self.num_edges))
+        """``|ECS|`` — total number of minimal core windows.  O(1)."""
+        return len(self._t1)
+
+    def window_eids(self) -> np.ndarray:
+        """Per-window edge ids (flat, parallel to ``t1``/``t2``); cached."""
+        if self._eids is None:
+            counts = self._offsets[1:] - self._offsets[:-1]
+            self._eids = np.repeat(
+                np.arange(self.num_edges, dtype=np.int64), counts
+            )
+        return self._eids
 
     def __iter__(self) -> Iterator[tuple[int, tuple[int, int]]]:
         """Yield ``(eid, (t1, t2))`` for every window of every edge."""
-        for eid in range(self.num_edges):
-            for window in self.windows_of(eid):
-                yield eid, window
+        eids = self.window_eids()
+        t1, t2 = self._t1, self._t2
+        for i in range(len(t1)):
+            yield int(eids[i]), (int(t1[i]), int(t2[i]))
 
     def check_skyline_invariant(self) -> None:
         """Assert the strict bi-monotonicity of every per-edge skyline."""
         ts, te = self.span
-        for eid in range(self.num_edges):
-            windows = self.windows_of(eid)
-            previous: tuple[int, int] | None = None
-            for t1, t2 in windows:
-                if t1 < ts or t2 > te or t1 > t2:
-                    raise AssertionError(
-                        f"edge {eid}: window ({t1}, {t2}) outside span {self.span}"
-                    )
-                if previous is not None and (t1 <= previous[0] or t2 <= previous[1]):
-                    raise AssertionError(
-                        f"edge {eid}: skyline not strictly increasing at ({t1}, {t2})"
-                    )
-                previous = (t1, t2)
+        t1, t2 = self._t1, self._t2
+        eids = self.window_eids()
+        bad = ((t1 < ts) | (t2 > te) | (t1 > t2)).nonzero()[0]
+        if bad.size:
+            i = int(bad[0])
+            raise AssertionError(
+                f"edge {int(eids[i])}: window ({int(t1[i])}, {int(t2[i])}) "
+                f"outside span {self.span}"
+            )
+        same_edge = eids[1:] == eids[:-1]
+        bad = (same_edge & ((t1[1:] <= t1[:-1]) | (t2[1:] <= t2[:-1]))).nonzero()[0]
+        if bad.size:
+            i = int(bad[0]) + 1
+            raise AssertionError(
+                f"edge {int(eids[i])}: skyline not strictly increasing at "
+                f"({int(t1[i])}, {int(t2[i])})"
+            )
 
     # ------------------------------------------------------------------
+    # Vectorised sub-range machinery
+    # ------------------------------------------------------------------
+
+    def _by_start(self) -> tuple[np.ndarray, np.ndarray]:
+        """The start-sorted permutation ``(order, t1[order])``; cached.
+
+        Built once per skyline (O(|ECS| log |ECS|)) and reused by every
+        query against it — the per-query cost of a restriction drops to
+        two binary searches plus work proportional to the windows that
+        start inside the query range.
+        """
+        order = self._start_order
+        if order is None:
+            order = np.argsort(self._t1, kind="stable")
+            # Sorted values are published before the order array: a
+            # concurrent reader that observes _start_order non-None is
+            # then guaranteed to see _t1_by_start as well (serving
+            # threads share indexes; see CoreIndexRegistry).
+            self._t1_by_start = self._t1[order]
+            self._start_order = order
+        return order, self._t1_by_start
+
+    def _check_range(self, ts: int, te: int) -> None:
+        span_ts, span_te = self.span
+        if ts < span_ts or te > span_te:
+            raise InvalidParameterError(
+                f"[{ts}, {te}] is not inside the computed span [{span_ts}, {span_te}]"
+            )
+
+    def start_cuts(self, ts_values, te_values) -> tuple[np.ndarray, np.ndarray]:
+        """Start-sorted cut positions for a whole batch of ranges at once.
+
+        ``(lo, hi)`` arrays such that the windows with start time inside
+        ``[ts_values[i], te_values[i]]`` are ``order[lo[i]:hi[i]]`` of
+        the cached start-sorted permutation — one vectorised
+        ``searchsorted`` pair for the entire batch, shared by
+        :meth:`repro.core.index.CoreIndex.query_batch`.
+        """
+        _order, t1_sorted = self._by_start()
+        lo = np.searchsorted(t1_sorted, np.asarray(ts_values, dtype=np.int64), "left")
+        hi = np.searchsorted(t1_sorted, np.asarray(te_values, dtype=np.int64), "right")
+        return lo, hi
+
+    def selection_from_cut(self, lo: int, hi: int, ts: int, te: int) -> np.ndarray:
+        """Flat indices of the windows inside ``[ts, te]``, ascending.
+
+        ``lo``/``hi`` are the start-sorted cut positions for the range
+        (see :meth:`start_cuts`).  Ascending flat order groups the
+        selection by edge with per-edge ascending start times — the
+        layout every consumer expects.
+        """
+        span_ts, span_te = self.span
+        if ts == span_ts and te == span_te:
+            return np.arange(len(self._t1), dtype=np.int64)
+        order, _t1_sorted = self._by_start()
+        candidates = order[lo:hi]
+        selected = candidates[self._t2[candidates] <= te]
+        selected.sort()
+        return selected
+
+    def _selection(self, ts: int, te: int) -> np.ndarray:
+        self._check_range(ts, te)
+        (lo,), (hi,) = self.start_cuts([ts], [te])
+        return self.selection_from_cut(int(lo), int(hi), ts, te)
 
     def restricted_to(self, ts: int, te: int) -> "EdgeCoreSkyline":
         """Skyline filtered to windows contained in ``[ts, te]``.
 
         Minimal core windows are intrinsic to the graph (Definition 5 does
         not depend on the query range), so the skyline of a sub-range is
-        exactly the subset of windows inside it.  Used by
-        :class:`~repro.core.index.CoreIndex` to reuse one whole-span
-        computation across many query ranges.
+        exactly the subset of windows inside it.  Fully vectorised: two
+        ``searchsorted`` cuts over the cached start-sorted permutation
+        plus an end-time mask — no per-edge scan.
         """
-        span_ts, span_te = self.span
-        if ts < span_ts or te > span_te:
-            raise InvalidParameterError(
-                f"[{ts}, {te}] is not inside the computed span [{span_ts}, {span_te}]"
-            )
-        filtered = [
-            tuple(w for w in self.windows_of(eid) if ts <= w[0] and w[1] <= te)
-            for eid in range(self.num_edges)
-        ]
-        return EdgeCoreSkyline(filtered, self.k, (ts, te))
+        selected = self._selection(ts, te)
+        offsets = offsets_from_keys(self.window_eids()[selected], self.num_edges)
+        return EdgeCoreSkyline.from_flat(
+            offsets, self._t1[selected], self._t2[selected], self.k, (ts, te)
+        )
+
+    def active_window_arrays(
+        self, ts: int, te: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Columnar ``(eid, start, end, active)`` of the windows in ``[ts, te]``.
+
+        The vectorised form of restriction followed by
+        :func:`build_active_windows` — the enumeration driver's window
+        prep, without materialising a restricted skyline or any per-edge
+        tuples.  ``active`` is the activation time of Definition 6: the
+        first surviving window of an edge activates at ``ts``, each later
+        one at its predecessor's start time plus one.  Bi-monotonicity
+        makes each edge's surviving windows a contiguous flat run, so the
+        predecessor test is one shifted comparison.
+        """
+        return self.active_arrays_from_selection(self._selection(ts, te), ts)
+
+    def active_arrays_from_selection(
+        self, selected: np.ndarray, ts: int
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """``(eid, start, end, active)`` for an already-cut selection.
+
+        ``selected`` are ascending flat window indices as produced by the
+        selection machinery; ``ts`` is the query start the first window
+        of each edge activates at.  Split out so the batch path can cut
+        all its ranges first and activate each slice independently.
+        """
+        eids = self.window_eids()[selected]
+        starts = self._t1[selected]
+        ends = self._t2[selected]
+        active = np.full(len(selected), ts, dtype=np.int64)
+        if len(selected) > 1:
+            follows = (selected[1:] == selected[:-1] + 1) & (eids[1:] == eids[:-1])
+            active[1:][follows] = starts[:-1][follows] + 1
+        return eids, starts, ends, active
 
 
 class ActiveWindow:
@@ -137,13 +309,17 @@ def build_active_windows(
     Implements lines 1–4 of Algorithm 5: per edge, the first window
     activates at the start of the range and each later window activates
     one past the previous window's start time.  The result preserves the
-    skyline's per-edge order; no global order is imposed here.
+    skyline's per-edge order; no global order is imposed here.  Derived
+    from the columnar arrays — the enumeration driver consumes
+    :meth:`EdgeCoreSkyline.active_window_arrays` directly and never
+    materialises these objects ahead of the end-time sort.
     """
-    windows: list[ActiveWindow] = []
-    for eid in range(skyline.num_edges):
-        previous_start: int | None = None
-        for t1, t2 in skyline.windows_of(eid):
-            active = ts_lo if previous_start is None else previous_start + 1
-            windows.append(ActiveWindow(t1, t2, eid, active))
-            previous_start = t1
-    return windows
+    eids, starts, ends, active = skyline.active_window_arrays(
+        ts_lo, skyline.span[1]
+    )
+    return [
+        ActiveWindow(int(t1), int(t2), int(eid), int(act))
+        for eid, t1, t2, act in zip(
+            eids.tolist(), starts.tolist(), ends.tolist(), active.tolist()
+        )
+    ]

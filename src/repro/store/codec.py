@@ -8,10 +8,12 @@ Two blob kinds exist:
   re-compiling; the compiled arrays are zero-copy views of the file
   mapping.  Vertex labels ride in the blob meta (JSON), which restricts
   persistable graphs to ``str``/``int`` labels.
-* ``"core-index"`` — a :class:`~repro.core.index.CoreIndex` (VCT + ECS)
-  flattened to offset-indexed arrays.  Loading wraps the arrays in the
-  lazy views of :mod:`repro.store.views`; nothing is materialised until
-  queried.
+* ``"core-index"`` — a :class:`~repro.core.index.CoreIndex` (VCT + ECS).
+  The offset-indexed flat arrays written here are the index classes'
+  *native* representation, so dumping copies the arrays out verbatim and
+  loading hands the blob's sections straight to their ``from_flat``
+  constructors — the in-memory and on-disk layouts coincide and a load
+  is zero-copy.
 
 Both blob kinds carry the graph *fingerprint* (edge count, span, raw
 span and an edge-array crc32) in their meta, so staleness is detectable
@@ -26,12 +28,13 @@ import zlib
 
 import numpy as np
 
+from repro.core.coretime import VertexCoreTimeIndex
 from repro.core.index import CoreIndex
+from repro.core.windows import EdgeCoreSkyline
 from repro.errors import StoreError
 from repro.graph.csr import CompiledGraph
 from repro.graph.temporal_graph import TemporalEdge, TemporalGraph
 from repro.store.format import read_blob, write_blob
-from repro.store.views import INF_CT, FlatEdgeSkyline, FlatVertexCoreTimes
 
 GRAPH_KIND = "compiled-graph"
 INDEX_KIND = "core-index"
@@ -175,37 +178,24 @@ def load_graph(path: str | os.PathLike[str], *, verify: bool = True) -> Temporal
 # ----------------------------------------------------------------------
 
 def dump_index(path: str | os.PathLike[str], index: CoreIndex) -> int:
-    """Write a CoreIndex (VCT + ECS) as one flat-array blob."""
+    """Write a CoreIndex (VCT + ECS) as one flat-array blob.
+
+    The flat arrays *are* the index classes' native representation, so
+    this is a straight copy-out — no per-entry conversion loop.
+    """
     vct, ecs = index.vct, index.ecs
-    n, m = vct.num_vertices, ecs.num_edges
-
-    vct_offsets = [0] * (n + 1)
-    vct_starts: list[int] = []
-    vct_cts: list[int] = []
-    for u in range(n):
-        for start, ct in vct.entries_of(u):
-            vct_starts.append(start)
-            vct_cts.append(INF_CT if ct is None else ct)
-        vct_offsets[u + 1] = len(vct_starts)
-
-    ecs_offsets = [0] * (m + 1)
-    ecs_t1: list[int] = []
-    ecs_t2: list[int] = []
-    for eid in range(m):
-        for t1, t2 in ecs.windows_of(eid):
-            ecs_t1.append(t1)
-            ecs_t2.append(t2)
-        ecs_offsets[eid + 1] = len(ecs_t1)
+    vct_offsets, vct_starts, vct_cts = vct.flat_parts()
+    ecs_offsets, ecs_t1, ecs_t2 = ecs.flat_parts()
 
     if vct.span != ecs.span:
         raise StoreError(f"index spans disagree: vct {vct.span} vs ecs {ecs.span}")
     meta = {
         "k": index.k,
         "span": list(vct.span),
-        "num_vertices": n,
-        "num_edges": m,
-        "vct_size": len(vct_starts),
-        "ecs_size": len(ecs_t1),
+        "num_vertices": vct.num_vertices,
+        "num_edges": ecs.num_edges,
+        "vct_size": vct.size(),
+        "ecs_size": ecs.size(),
         "fingerprint": graph_fingerprint(index.graph),
     }
     sections = {
@@ -222,8 +212,10 @@ def dump_index(path: str | os.PathLike[str], index: CoreIndex) -> int:
 def load_index(
     path: str | os.PathLike[str], graph: TemporalGraph, *, verify: bool = True
 ) -> CoreIndex:
-    """Open an index blob against ``graph`` (lazy flat-array views).
+    """Open an index blob against ``graph`` (zero-copy flat arrays).
 
+    The blob's sections feed the index classes' native ``from_flat``
+    constructors directly — nothing is materialised at load time.
     Raises :class:`StoreError` when the blob's fingerprint does not
     match ``graph`` — serving an index for a different or stale graph
     would silently return wrong answers.
@@ -242,10 +234,10 @@ def load_index(
     index = CoreIndex.__new__(CoreIndex)
     index.graph = graph
     index.k = meta["k"]
-    index.vct = FlatVertexCoreTimes(
+    index.vct = VertexCoreTimeIndex.from_flat(
         parts["vct_offsets"], parts["vct_starts"], parts["vct_cts"], meta["k"], span
     )
-    index.ecs = FlatEdgeSkyline(
+    index.ecs = EdgeCoreSkyline.from_flat(
         parts["ecs_offsets"], parts["ecs_t1"], parts["ecs_t2"], meta["k"], span
     )
     return index

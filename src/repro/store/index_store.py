@@ -286,6 +286,24 @@ class IndexStore:
         """The ``k`` values with a persisted index under ``key``."""
         return sorted(int(k) for k in self.manifest(key).get("indexes", {}))
 
+    def has_index(
+        self, graph: TemporalGraph, k: int, *, key: str | None = None
+    ) -> bool:
+        """Does a manifest entry exist for ``(graph, k)``?  Manifest-only.
+
+        A cheap existence probe (no blob is opened or checksummed) used
+        by the registry's eviction spill to skip re-persisting.  A
+        ``True`` answer can still read as absent later if the blob rots
+        on disk — callers that must *serve* the entry use
+        :meth:`load_index`.
+        """
+        if key is None:
+            key = self.find(graph)
+            if key is None:
+                return False
+        manifest = self._read_manifest(key)
+        return manifest is not None and str(k) in manifest.get("indexes", {})
+
     def load_index(
         self, graph: TemporalGraph, k: int, *, key: str | None = None
     ) -> CoreIndex | None:

@@ -1,123 +1,26 @@
-"""Flat-array views of the VCT and ECS backed by store sections.
+"""Compatibility aliases for the flat-array index views.
 
-A persisted index holds the per-vertex core-time transitions and the
-per-edge skyline windows as offset-indexed flat int64 arrays (usually
-``memoryview`` slices of an ``mmap``).  These classes serve queries
-straight off those arrays — nothing is materialised at load time, so
-opening an index is O(1) in the index size — while remaining drop-in
-substitutes for the in-memory classes: lookups bisect the flat arrays,
-and the list/tuple forms the rest of the library expects are built
-lazily per call.
-
-Infinite core times are encoded as ``-1`` in the flat ``ct`` array
-(timestamps are always >= 1).
+Historically this module held ``FlatVertexCoreTimes`` / ``FlatEdgeSkyline``
+— lazy subclasses that served queries off persisted flat arrays while the
+in-memory classes were list-of-tuples.  The offset-indexed flat int64
+layout is now the *native* representation of
+:class:`~repro.core.coretime.VertexCoreTimeIndex` and
+:class:`~repro.core.windows.EdgeCoreSkyline` themselves (their
+``from_flat`` constructors wrap store sections zero-copy), so the old
+names are kept only as aliases for existing imports.
 """
 
 from __future__ import annotations
 
-from bisect import bisect_left, bisect_right
-
-from repro.core.coretime import VertexCoreTimeIndex
+from repro.core.coretime import INF_CT, VertexCoreTimeIndex
 from repro.core.windows import EdgeCoreSkyline
-from repro.errors import InvalidParameterError
 
-#: Flat-array encoding of an infinite core time.
-INF_CT = -1
+#: Flat-array encoding of an infinite core time (re-exported).
+INF_CT = INF_CT
 
+#: The native classes serve flat arrays directly; the historic view
+#: names now point straight at them.
+FlatVertexCoreTimes = VertexCoreTimeIndex
+FlatEdgeSkyline = EdgeCoreSkyline
 
-class FlatVertexCoreTimes(VertexCoreTimeIndex):
-    """VCT served from offset-indexed flat arrays (zero-copy load).
-
-    ``offsets`` has ``num_vertices + 1`` entries; vertex ``u``'s
-    transitions are ``starts[offsets[u]:offsets[u+1]]`` paired with
-    ``cts`` (``-1`` meaning infinity).
-    """
-
-    __slots__ = ("_offsets", "_flat_starts", "_flat_cts")
-
-    def __init__(self, offsets, starts, cts, k: int, span: tuple[int, int]):
-        # The base-class storage (_entries/_starts) is deliberately left
-        # unset; every accessor that would touch it is overridden below.
-        self.k = k
-        self.span = span
-        self._offsets = offsets
-        self._flat_starts = starts
-        self._flat_cts = cts
-
-    @property
-    def num_vertices(self) -> int:
-        return len(self._offsets) - 1
-
-    def entries_of(self, u: int) -> list[tuple[int, int | None]]:
-        lo, hi = self._offsets[u], self._offsets[u + 1]
-        starts, cts = self._flat_starts, self._flat_cts
-        return [
-            (starts[i], None if cts[i] == INF_CT else cts[i]) for i in range(lo, hi)
-        ]
-
-    def size(self) -> int:
-        return len(self._flat_starts)
-
-    def core_time(self, u: int, ts: int) -> int | None:
-        lo, hi = self.span
-        if ts < lo or ts > hi:
-            raise InvalidParameterError(f"start {ts} outside computed span {self.span}")
-        left, right = self._offsets[u], self._offsets[u + 1]
-        if left == right:
-            return None
-        pos = bisect_right(self._flat_starts, ts, left, right) - 1
-        if pos < left:
-            return None
-        ct = self._flat_cts[pos]
-        return None if ct == INF_CT else ct
-
-
-class FlatEdgeSkyline(EdgeCoreSkyline):
-    """ECS served from offset-indexed flat arrays (zero-copy load).
-
-    ``offsets`` has ``num_edges + 1`` entries; edge ``eid``'s minimal
-    core windows are ``zip(t1, t2)`` over ``offsets[eid]:offsets[eid+1]``.
-    Within an edge both coordinates are strictly increasing (the skyline
-    invariant), which :meth:`restricted_to` exploits: the windows inside
-    ``[ts, te]`` are one contiguous run found by two bisections.
-    """
-
-    __slots__ = ("_offsets", "_t1", "_t2")
-
-    def __init__(self, offsets, t1, t2, k: int, span: tuple[int, int]):
-        # Base-class storage (_windows) left unset, as in the VCT view.
-        self.k = k
-        self.span = span
-        self._offsets = offsets
-        self._t1 = t1
-        self._t2 = t2
-
-    @property
-    def num_edges(self) -> int:
-        return len(self._offsets) - 1
-
-    def windows_of(self, eid: int) -> tuple[tuple[int, int], ...]:
-        lo, hi = self._offsets[eid], self._offsets[eid + 1]
-        t1, t2 = self._t1, self._t2
-        return tuple((t1[i], t2[i]) for i in range(lo, hi))
-
-    def size(self) -> int:
-        return len(self._t1)
-
-    def restricted_to(self, ts: int, te: int) -> EdgeCoreSkyline:
-        span_ts, span_te = self.span
-        if ts < span_ts or te > span_te:
-            raise InvalidParameterError(
-                f"[{ts}, {te}] is not inside the computed span [{span_ts}, {span_te}]"
-            )
-        t1, t2 = self._t1, self._t2
-        offsets = self._offsets
-        filtered: list[tuple[tuple[int, int], ...]] = []
-        for eid in range(len(offsets) - 1):
-            lo, hi = offsets[eid], offsets[eid + 1]
-            first = bisect_left(t1, ts, lo, hi)
-            last = bisect_right(t2, te, lo, hi)
-            filtered.append(
-                tuple((t1[i], t2[i]) for i in range(first, last))
-            )
-        return EdgeCoreSkyline(filtered, self.k, (ts, te))
+__all__ = ["INF_CT", "FlatVertexCoreTimes", "FlatEdgeSkyline"]
