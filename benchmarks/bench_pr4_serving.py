@@ -40,7 +40,7 @@ import time
 
 sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent / "src"))
 
-from repro.core.enumerate import _as_output  # noqa: E402
+from repro.core.enumerate_ref import _as_output  # noqa: E402
 from repro.core.index import CoreIndex  # noqa: E402
 from repro.core.linkedlist import WindowList  # noqa: E402
 from repro.core.query import TimeRangeCoreQuery  # noqa: E402

@@ -13,9 +13,11 @@ unless one is passed), so consecutive batches against the same graph and
 ``k`` reuse the same index — the "build once, serve many ranges"
 deployment shape — and answers every range of a ``(graph, k)`` group
 through :meth:`CoreIndex.query_batch
-<repro.core.index.CoreIndex.query_batch>`: one vectorised
-``searchsorted`` sweep locates all ranges' windows in the shared
-start-sorted skyline view before each range enumerates its slice.  An
+<repro.core.index.CoreIndex.query_batch>`, i.e. through the serving
+planner (:mod:`repro.serve`): identical ranges are deduped, overlapping
+ranges merge into covering windows enumerated once and sliced per
+query, and one vectorised ``searchsorted`` sweep locates all covering
+windows in the shared start-sorted skyline view.  An
 :class:`~repro.store.index_store.IndexStore` may be supplied so cache
 misses warm-start from disk before computing.
 :func:`run_engine_batch` routes every range through the
@@ -45,6 +47,8 @@ from repro.core.index import CoreIndex, CoreIndexRegistry, DEFAULT_REGISTRY, get
 from repro.core.query import TimeRangeCoreQuery
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.serve.executor import execute_plan
+from repro.serve.planner import QueryRequest, plan_queries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.store.index_store import IndexStore
@@ -169,30 +173,27 @@ def run_mixed_batch(
     target = registry if registry is not None else DEFAULT_REGISTRY
     graphs: dict[int, TemporalGraph] = {}
     ks_by_graph: dict[int, list[int]] = {}
-    positions: dict[tuple[int, int], list[int]] = {}
-    for position, (graph, k, _range) in enumerate(queries):
+    for graph, k, _range in queries:
         gid = id(graph)
         graphs[gid] = graph
         ks = ks_by_graph.setdefault(gid, [])
         if k not in ks:
             ks.append(k)
-        positions.setdefault((gid, k), []).append(position)
-    indexes: dict[tuple[int, int], CoreIndex] = {}
+    # Prefetch: one get_many per graph keeps the shared multi-k build
+    # (and the store fallthrough); the executor below then resolves
+    # every plan group straight from the registry cache.
     for gid, ks in ks_by_graph.items():
-        resolved = target.get_many(graphs[gid], ks, store=store)
-        for k, index in resolved.items():
-            indexes[(gid, k)] = index
+        target.get_many(graphs[gid], ks, store=store)
 
-    answers: list[BatchAnswer | None] = [None] * len(queries)
-    for group_key, group_positions in positions.items():
-        index = indexes[group_key]
-        ranges = [queries[i][2] for i in group_positions]
-        for i, result in zip(group_positions, index.query_batch(ranges)):
-            ts, te = queries[i][2]
-            answers[i] = BatchAnswer(
-                (ts, te), result.num_results, result.total_edges, queries[i][1]
-            )
-    return answers
+    plan = plan_queries(
+        [QueryRequest(graph, k, ts, te) for graph, k, (ts, te) in queries],
+        engine="index",
+    )
+    results = execute_plan(plan, registry=target, store=store)
+    return [
+        BatchAnswer(query[2], result.num_results, result.total_edges, query[1])
+        for query, result in zip(queries, results)
+    ]
 
 
 def run_engine_batch(

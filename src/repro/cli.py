@@ -4,6 +4,8 @@ Subcommands::
 
     python -m repro query     --input edges.txt -k 3 --range 10 80
     python -m repro query     --store var/idx -k 3 --range 10 80
+    python -m repro query     --input edges.txt -k 3 --output ndjson
+    python -m repro batch     --input edges.txt --queries q.txt
     python -m repro stats     --input edges.txt          (or --dataset CM)
     python -m repro generate  --dataset CM -o cm.txt
     python -m repro index     --input edges.txt -k 2,3,5 --save-store var/idx
@@ -12,9 +14,20 @@ Subcommands::
 
 ``query`` prints each temporal k-core's TTI, vertex count and edge count
 (``--format json`` emits machine-readable output; ``--streaming`` counts
-without materialising, for huge result sets).  ``--store DIR`` answers
-from the on-disk index store — precomputed indexes are opened via mmap
-instead of recomputed; missing entries are built once and persisted.
+without materialising, for huge result sets).  ``--output ndjson``
+streams one JSON line per core to stdout as it is enumerated —
+nothing is buffered, so wide windows cost O(1) memory; ``--output
+count`` reports the counters only.  Both are delivered through the
+serving layer's result sinks (``repro.serve.sinks``).  ``--store DIR``
+answers from the on-disk index store — precomputed indexes are opened
+via mmap instead of recomputed; missing entries are built once and
+persisted.
+
+``batch`` answers a whole query file (one ``k ts te`` triple per line)
+through the query planner (``repro.serve.planner``): identical ranges
+are answered once, overlapping ranges share one enumeration, and all
+``k`` values missing from the registry are built in one shared scan.
+
 ``index`` and ``warm`` accept several ``k`` values and build all the
 missing ones in a single shared decremental scan (``repro.core.multik``);
 ``warm`` prebuilds a store for a dataset so daemons cold-start warm.
@@ -28,7 +41,7 @@ import sys
 from collections.abc import Sequence
 
 from repro.bench.experiments import main as experiments_main
-from repro.core.index import CoreIndex
+from repro.core.index import CoreIndex, CoreIndexRegistry
 from repro.core.multik import build_core_indexes
 from repro.core.query import ENGINES, TimeRangeCoreQuery
 from repro.datasets.registry import ALL_DATASETS, load_dataset
@@ -36,6 +49,7 @@ from repro.datasets.stats import compute_stats
 from repro.errors import ReproError
 from repro.graph.io import dump_edge_list, load_edge_list
 from repro.graph.temporal_graph import TemporalGraph
+from repro.serve import CountSink, NDJSONSink, QueryRequest, execute_plan, plan_queries
 from repro.store import IndexStore
 from repro.utils.timer import Deadline
 
@@ -60,7 +74,7 @@ def _add_graph_source(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _query_via_store(args: argparse.Namespace):
+def _query_via_store(args: argparse.Namespace, sink):
     """Resolve (graph, result) for ``query --store``: disk before compute."""
     store = IndexStore(args.store)
     key = None
@@ -86,13 +100,25 @@ def _query_via_store(args: argparse.Namespace):
         store.save_index(index, name=args.store_graph)
     ts, te = tuple(args.range) if args.range else (1, graph.tmax)
     deadline = Deadline(args.timeout) if args.timeout is not None else None
-    result = index.query(ts, te, collect=not args.streaming, deadline=deadline)
+    result = index.query(
+        ts, te, collect=not args.streaming, sink=sink, deadline=deadline
+    )
     return graph, (ts, te), result
 
 
+def _query_sink(args: argparse.Namespace):
+    """The delivery sink for ``query --output``, or ``None`` (materialise)."""
+    if args.output == "ndjson":
+        return NDJSONSink(sys.stdout)
+    if args.output == "count":
+        return CountSink()
+    return None
+
+
 def cmd_query(args: argparse.Namespace) -> int:
+    sink = _query_sink(args)
     if args.store:
-        graph, time_range, result = _query_via_store(args)
+        graph, time_range, result = _query_via_store(args, sink)
         engine = "store"
     else:
         graph = _load_graph(args)
@@ -104,9 +130,20 @@ def cmd_query(args: argparse.Namespace) -> int:
             collect=not args.streaming,
             timeout=args.timeout,
         )
-        result = query.run()
+        result = query.run(sink=sink)
         time_range = query.time_range
         engine = args.engine
+    if args.output == "ndjson":
+        # Cores already streamed line by line; nothing is buffered to print.
+        return 0 if result.completed else 1
+    if args.output == "count":
+        # Always exactly two fields on stdout (scripts field-split this);
+        # a timeout goes to stderr and the exit code, like ndjson.
+        print(f"{result.num_results} {result.total_edges}")
+        if not result.completed:
+            print("warning: timed out - counts are partial", file=sys.stderr)
+            return 1
+        return 0
     if args.format == "json":
         payload: dict = {
             "k": args.k,
@@ -140,6 +177,87 @@ def cmd_query(args: argparse.Namespace) -> int:
                   f"{len(vertices)} vertices, {core.num_edges} edges: "
                   f"{', '.join(vertices[:8])}"
                   f"{', ...' if len(vertices) > 8 else ''}")
+    return 0
+
+
+def _parse_query_file(path: str) -> list[tuple[int, int, int]]:
+    """Parse a batch query file: one ``k ts te`` triple per line.
+
+    Blank lines and ``#`` comments are skipped; malformed lines raise
+    :class:`ReproError` naming the line number.
+    """
+    queries: list[tuple[int, int, int]] = []
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.readlines()
+    except OSError as exc:
+        raise ReproError(f"cannot read query file {path!r}: {exc}") from exc
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise ReproError(
+                f"{path}:{lineno}: expected 'k ts te', got {line!r}"
+            )
+        try:
+            k, ts, te = (int(part) for part in parts)
+        except ValueError:
+            raise ReproError(
+                f"{path}:{lineno}: expected integers, got {line!r}"
+            ) from None
+        queries.append((k, ts, te))
+    if not queries:
+        raise ReproError(f"query file {path!r} holds no queries")
+    return queries
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    """Answer a query file through the planner (one plan, shared windows)."""
+    graph = _load_graph(args)
+    queries = _parse_query_file(args.queries)
+    store = IndexStore(args.store) if args.store else None
+    distinct_ks = sorted({k for k, _, _ in queries})
+    # A dedicated registry sized for the file: every distinct k stays
+    # resident from the prefetch through execution (the process-wide
+    # default holds 8 and would evict — and then rebuild — beyond that).
+    registry = CoreIndexRegistry(
+        capacity=max(len(distinct_ks), 1), store=store
+    )
+    # Resolve every distinct k first: store fallthrough, then one shared
+    # scan for whatever is missing — never one Algorithm-2 run per k.
+    registry.get_many(graph, distinct_ks)
+    try:
+        requests = [QueryRequest(graph, k, ts, te) for k, ts, te in queries]
+    except ReproError as exc:
+        raise ReproError(f"invalid query: {exc}") from exc
+    plan = plan_queries(
+        requests, engine="index", merge_overlaps=not args.no_merge
+    )
+    results = execute_plan(plan, registry=registry, store=store)
+    stats = plan.stats
+    if args.format == "json":
+        print(json.dumps({
+            "plan": stats,
+            "answers": [
+                {
+                    "k": k,
+                    "time_range": [ts, te],
+                    "num_results": result.num_results,
+                    "total_edges": result.total_edges,
+                    "completed": result.completed,
+                }
+                for (k, ts, te), result in zip(queries, results)
+            ],
+        }, indent=2))
+        return 0
+    for (k, ts, te), result in zip(queries, results):
+        print(f"k={k} [{ts}, {te}]: {result.num_results} core(s), "
+              f"|R| = {result.total_edges}")
+    print(f"plan: {stats['requests']} queries -> {stats['windows']} window(s) "
+          f"in {stats['groups']} group(s); {stats['deduped']} identical "
+          f"deduped, {stats['merged']} merged into shared windows")
     return 0
 
 
@@ -264,7 +382,33 @@ def build_parser() -> argparse.ArgumentParser:
         help="store key to serve when no --input/--dataset is given "
              "(defaults to the store's only graph)",
     )
+    query.add_argument(
+        "--output", choices=("ndjson", "count"),
+        help="stream results through a serving sink: 'ndjson' writes one "
+             "JSON line per core to stdout as enumerated (O(1) memory), "
+             "'count' prints 'num_results total_edges' only",
+    )
     query.set_defaults(func=cmd_query)
+
+    batch = sub.add_parser(
+        "batch", help="answer a query file through the query planner"
+    )
+    _add_graph_source(batch)
+    batch.add_argument(
+        "--queries", required=True, metavar="FILE",
+        help="query file: one 'k ts te' triple per line (# comments ok)",
+    )
+    batch.add_argument(
+        "--store", metavar="DIR",
+        help="index store consulted before computing missing (graph, k) "
+             "indexes",
+    )
+    batch.add_argument(
+        "--no-merge", action="store_true",
+        help="disable overlap merging (only identical ranges share work)",
+    )
+    batch.add_argument("--format", choices=("text", "json"), default="text")
+    batch.set_defaults(func=cmd_batch)
 
     stats = sub.add_parser("stats", help="Table III statistics of a graph")
     _add_graph_source(stats)

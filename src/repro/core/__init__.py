@@ -9,10 +9,12 @@ from repro.core.coretime import (
 )
 from repro.core.enumbase import enumerate_temporal_kcores_base
 from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
 from repro.core.index import (
     CoreIndex,
     CoreIndexRegistry,
     DEFAULT_REGISTRY,
+    SpillPolicy,
     get_core_index,
     load_skyline,
     load_vct,
@@ -38,6 +40,7 @@ __all__ = [
     "EdgeCoreSkyline",
     "ENGINES",
     "EnumerationResult",
+    "SpillPolicy",
     "StreamingCoreService",
     "TemporalKCore",
     "TimeRangeCoreQuery",
@@ -52,6 +55,7 @@ __all__ = [
     "distinct_vertex_sets",
     "enumerate_temporal_kcores",
     "enumerate_temporal_kcores_base",
+    "enumerate_temporal_kcores_ref",
     "enumerate_vertex_sets",
     "get_core_index",
     "load_skyline",

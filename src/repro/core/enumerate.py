@@ -10,16 +10,17 @@ in time bounded by the total result size ``O(|R|)`` (Theorem 3):
   Lemma 6 (the ``valid`` flag) characterise the end times, and Theorem 2
   proves each reported window is a genuine TTI — hence no duplicates.
 * Between start times, ``L_ts`` is updated in place: windows whose start
-  expired are unlinked, windows whose activation time arrived are spliced
-  in, pre-sorted by end time with one stable argsort over the columnar
-  window arrays up front (**Enum**, Algorithm 5).
+  expired are cut, windows whose activation time arrived are spliced in
+  (**Enum**, Algorithm 5).
 
-Window prep is columnar end-to-end: the skyline hands over flat
-``(eid, start, end, active)`` arrays for the query range (a vectorised
-cut of the prebuilt index — see
-:meth:`EdgeCoreSkyline.active_window_arrays`), and the only per-window
-Python objects are the linked-list cells the enumeration itself needs,
-``O(windows in range)``, never ``O(num_edges)``.
+The walk itself is the *columnar* core of the serving layer
+(:mod:`repro.serve.columnar`): ``L_ts`` is an end-sorted int64 matrix
+updated by array cuts and ``searchsorted`` merges, and each start
+time's cores are emitted as ``(end, prefix-length)`` pairs into a
+result sink (:mod:`repro.serve.sinks`) — no per-window Python objects
+at all.  The seed linked-list enumerator is preserved verbatim in
+:mod:`repro.core.enumerate_ref` as the oracle the property suite
+checks this path against.
 """
 
 from __future__ import annotations
@@ -27,75 +28,13 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.coretime import compute_core_times
-from repro.core.linkedlist import WindowList
 from repro.core.results import EnumerationResult, ResultCallback
-from repro.core.windows import ActiveWindow, EdgeCoreSkyline
+from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.serve.columnar import run_columnar_walk
+from repro.serve.sinks import ResultSink, make_sink
 from repro.utils.timer import Deadline
-
-
-def _bucket_window_arrays(
-    eids: np.ndarray,
-    starts: np.ndarray,
-    ends: np.ndarray,
-    actives: np.ndarray,
-    ts_lo: int,
-    ts_hi: int,
-) -> tuple[list[list[ActiveWindow]], list[list[ActiveWindow]]]:
-    """Build the activation (``Ba``) and start (``Bs``) buckets.
-
-    Consumes the columnar ``(eid, start, end, active)`` slice of
-    :meth:`EdgeCoreSkyline.active_window_arrays` directly: one stable
-    end-time argsort (Algorithm 5 line 8) orders the windows, and the
-    :class:`ActiveWindow` cells — the only per-window objects the
-    enumeration ever materialises, O(windows in range), never
-    O(num_edges) — are created straight into their buckets in ascending
-    end-time order, the precondition of the roving-cursor insertion.
-    """
-    order = np.argsort(ends, kind="stable").tolist()
-    eids_list = eids.tolist()
-    starts_list = starts.tolist()
-    ends_list = ends.tolist()
-    actives_list = actives.tolist()
-    span = ts_hi - ts_lo + 1
-    activation: list[list[ActiveWindow]] = [[] for _ in range(span)]
-    start: list[list[ActiveWindow]] = [[] for _ in range(span)]
-    for i in order:
-        window = ActiveWindow(
-            starts_list[i], ends_list[i], eids_list[i], actives_list[i]
-        )
-        activation[window.active - ts_lo].append(window)
-        start[window.start - ts_lo].append(window)
-    return activation, start
-
-
-def _as_output(
-    window_list: WindowList,
-    ts: int,
-    result: EnumerationResult,
-    collect: bool,
-    on_result: ResultCallback | None,
-) -> None:
-    """AS-Output (Algorithm 4): report all cores starting exactly at ``ts``.
-
-    Walks ``L_ts`` accumulating edges; a result is emitted at the last
-    window of each end-time group once a window with start time ``ts``
-    has been seen (the ``valid`` flag — Lemma 6).
-    """
-    accumulated: list[int] = []
-    valid = False
-    window = window_list.first
-    while window is not None:
-        accumulated.append(window.edge_id)
-        if window.start == ts:
-            valid = True
-        nxt = window.next
-        if valid and (nxt is None or nxt.end != window.end):
-            result.record(ts, window.end, accumulated, collect)
-            if on_result is not None:
-                on_result(ts, window.end, accumulated)
-        window = nxt
 
 
 def enumerate_temporal_kcores(
@@ -107,6 +46,7 @@ def enumerate_temporal_kcores(
     skyline: EdgeCoreSkyline | None = None,
     collect: bool = True,
     on_result: ResultCallback | None = None,
+    sink: ResultSink | None = None,
     deadline: Deadline | None = None,
 ) -> EnumerationResult:
     """Enumerate all distinct temporal k-cores of ``[ts, te]`` (Enum).
@@ -128,8 +68,13 @@ def enumerate_temporal_kcores(
     on_result:
         Optional streaming callback ``(ts, te, edge_id_prefix)``; the list
         argument is live and must be copied if retained.
+    sink:
+        Optional explicit :class:`~repro.serve.sinks.ResultSink` the
+        emissions are delivered to (NDJSON, flat arrays, counters, ...).
+        Overrides ``collect``/``on_result``; the returned result carries
+        the sink's counters.
     deadline:
-        Optional soft deadline checked once per start time.
+        Optional soft deadline checked once per visited start time.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -159,6 +104,7 @@ def enumerate_temporal_kcores(
         arrays,
         collect=collect,
         on_result=on_result,
+        sink=sink,
         deadline=deadline,
     )
 
@@ -171,37 +117,20 @@ def enumerate_active_window_arrays(
     *,
     collect: bool = True,
     on_result: ResultCallback | None = None,
+    sink: ResultSink | None = None,
     deadline: Deadline | None = None,
 ) -> EnumerationResult:
     """Run Enum over a prepared columnar ``(eid, start, end, active)`` slice.
 
-    The inner half of :func:`enumerate_temporal_kcores`, exposed so the
-    batch serving path (:meth:`repro.core.index.CoreIndex.query_batch`)
-    can feed slices it cut for a whole group of ranges in one vectorised
-    sweep.  ``arrays`` must describe exactly the minimal core windows
-    inside ``[ts_lo, ts_hi]`` with their activation times
+    The inner half of :func:`enumerate_temporal_kcores`, exposed so
+    callers that already cut a slice (the plan executor, benchmarks)
+    can run the walk directly.  ``arrays`` must describe exactly the
+    minimal core windows inside ``[ts_lo, ts_hi]`` with their
+    activation times
     (:meth:`EdgeCoreSkyline.active_window_arrays`).
     """
-    result = EnumerationResult("enum", k, (ts_lo, ts_hi))
-    if collect:
-        result.cores = []
-    eids, starts, ends, actives = arrays
-    if not len(eids):
-        return result
-    activation, start = _bucket_window_arrays(
-        eids, starts, ends, actives, ts_lo, ts_hi
-    )
-
-    window_list = WindowList()
-    for current_ts in range(ts_lo, ts_hi + 1):
-        if deadline is not None and deadline.expired():
-            result.completed = False
-            break
-        offset = current_ts - ts_lo
-        if current_ts > ts_lo:
-            for window in start[offset - 1]:
-                window_list.delete(window)
-        window_list.insert_sorted_batch(activation[offset])
-        if start[offset]:
-            _as_output(window_list, current_ts, result, collect, on_result)
-    return result
+    if sink is None:
+        sink = make_sink(collect=collect, on_result=on_result)
+    completed = run_columnar_walk(ts_lo, ts_hi, arrays, sink, deadline=deadline)
+    sink.finish(completed)
+    return sink.result("enum", k, (ts_lo, ts_hi))

@@ -1,0 +1,171 @@
+"""The seed linked-list enumerator, kept as the oracle (Algorithms 4–5).
+
+This is the pre-columnar Enum implementation: per-window
+:class:`~repro.core.windows.ActiveWindow` cells bucketed by activation
+and start time, the doubly linked ``L_ts`` of
+:mod:`repro.core.linkedlist` spliced between start times, and the
+cell-by-cell AS-Output walk.  The serving path now runs the columnar
+core (:mod:`repro.serve.columnar`); this module plays the same role
+``coretime_ref`` plays for the kernel — an independently structured
+implementation the property suite checks the fast path against, and
+the slow side of the PR 5 enumeration benchmark.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coretime import compute_core_times
+from repro.core.linkedlist import WindowList
+from repro.core.results import EnumerationResult, ResultCallback
+from repro.core.windows import ActiveWindow, EdgeCoreSkyline
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+from repro.utils.timer import Deadline
+
+
+def _bucket_window_arrays(
+    eids: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    actives: np.ndarray,
+    ts_lo: int,
+    ts_hi: int,
+) -> tuple[list[list[ActiveWindow]], list[list[ActiveWindow]]]:
+    """Build the activation (``Ba``) and start (``Bs``) buckets.
+
+    Consumes the columnar ``(eid, start, end, active)`` slice of
+    :meth:`EdgeCoreSkyline.active_window_arrays` directly: one stable
+    end-time argsort (Algorithm 5 line 8) orders the windows, and the
+    :class:`ActiveWindow` cells are created straight into their buckets
+    in ascending end-time order, the precondition of the roving-cursor
+    insertion.
+    """
+    order = np.argsort(ends, kind="stable").tolist()
+    eids_list = eids.tolist()
+    starts_list = starts.tolist()
+    ends_list = ends.tolist()
+    actives_list = actives.tolist()
+    span = ts_hi - ts_lo + 1
+    activation: list[list[ActiveWindow]] = [[] for _ in range(span)]
+    start: list[list[ActiveWindow]] = [[] for _ in range(span)]
+    for i in order:
+        window = ActiveWindow(
+            starts_list[i], ends_list[i], eids_list[i], actives_list[i]
+        )
+        activation[window.active - ts_lo].append(window)
+        start[window.start - ts_lo].append(window)
+    return activation, start
+
+
+def _as_output(
+    window_list: WindowList,
+    ts: int,
+    result: EnumerationResult,
+    collect: bool,
+    on_result: ResultCallback | None,
+) -> None:
+    """AS-Output (Algorithm 4): report all cores starting exactly at ``ts``.
+
+    Walks ``L_ts`` accumulating edges; a result is emitted at the last
+    window of each end-time group once a window with start time ``ts``
+    has been seen (the ``valid`` flag — Lemma 6).
+    """
+    accumulated: list[int] = []
+    valid = False
+    window = window_list.first
+    while window is not None:
+        accumulated.append(window.edge_id)
+        if window.start == ts:
+            valid = True
+        nxt = window.next
+        if valid and (nxt is None or nxt.end != window.end):
+            result.record(ts, window.end, accumulated, collect)
+            if on_result is not None:
+                on_result(ts, window.end, accumulated)
+        window = nxt
+
+
+def enumerate_active_window_arrays_ref(
+    k: int,
+    ts_lo: int,
+    ts_hi: int,
+    arrays: tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray],
+    *,
+    collect: bool = True,
+    on_result: ResultCallback | None = None,
+    deadline: Deadline | None = None,
+) -> EnumerationResult:
+    """Run the linked-list Enum over a prepared columnar window slice."""
+    result = EnumerationResult("enum-ref", k, (ts_lo, ts_hi))
+    if collect:
+        result.cores = []
+    eids, starts, ends, actives = arrays
+    if not len(eids):
+        return result
+    activation, start = _bucket_window_arrays(
+        eids, starts, ends, actives, ts_lo, ts_hi
+    )
+
+    window_list = WindowList()
+    for current_ts in range(ts_lo, ts_hi + 1):
+        if deadline is not None and deadline.expired():
+            result.completed = False
+            break
+        offset = current_ts - ts_lo
+        if current_ts > ts_lo:
+            for window in start[offset - 1]:
+                window_list.delete(window)
+        window_list.insert_sorted_batch(activation[offset])
+        if start[offset]:
+            _as_output(window_list, current_ts, result, collect, on_result)
+    return result
+
+
+def enumerate_temporal_kcores_ref(
+    graph: TemporalGraph,
+    k: int,
+    ts: int | None = None,
+    te: int | None = None,
+    *,
+    skyline: EdgeCoreSkyline | None = None,
+    collect: bool = True,
+    on_result: ResultCallback | None = None,
+    deadline: Deadline | None = None,
+) -> EnumerationResult:
+    """Enumerate all distinct temporal k-cores with the oracle Enum.
+
+    Same parameters and semantics as
+    :func:`repro.core.enumerate.enumerate_temporal_kcores`; kept
+    independent of the columnar core so the two can check each other.
+    """
+    if k < 1:
+        raise InvalidParameterError(f"k must be >= 1, got {k}")
+    ts_lo = 1 if ts is None else ts
+    ts_hi = graph.tmax if te is None else te
+    graph.check_window(ts_lo, ts_hi)
+
+    if skyline is None:
+        skyline = compute_core_times(graph, k, ts_lo, ts_hi).ecs
+        assert skyline is not None
+    elif (
+        skyline.k != k
+        or skyline.span[0] > ts_lo
+        or skyline.span[1] < ts_hi
+    ):
+        raise InvalidParameterError(
+            f"skyline computed for k={skyline.k}, span={skyline.span}; "
+            f"query wants k={k}, span=({ts_lo}, {ts_hi}) — the skyline "
+            "span must contain the query range"
+        )
+
+    arrays = skyline.active_window_arrays(ts_lo, ts_hi)
+    return enumerate_active_window_arrays_ref(
+        k,
+        ts_lo,
+        ts_hi,
+        arrays,
+        collect=collect,
+        on_result=on_result,
+        deadline=deadline,
+    )

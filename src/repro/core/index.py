@@ -21,15 +21,13 @@ from __future__ import annotations
 import io
 import os
 import threading
+import time
 from collections import OrderedDict
 from collections.abc import Iterable
+from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.coretime import CoreTimeResult, VertexCoreTimeIndex, compute_core_times
-from repro.core.enumerate import (
-    enumerate_active_window_arrays,
-    enumerate_temporal_kcores,
-)
 from repro.core.results import EnumerationResult
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
@@ -37,6 +35,7 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.timer import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
 
 
@@ -48,21 +47,31 @@ class CoreIndex:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         self.graph = graph
         self.k = k
+        started = time.perf_counter()
         result: CoreTimeResult = compute_core_times(graph, k)
+        self.build_seconds = time.perf_counter() - started
         assert result.ecs is not None
         self.vct: VertexCoreTimeIndex = result.vct
         self.ecs: EdgeCoreSkyline = result.ecs
 
     @classmethod
     def from_core_times(
-        cls, graph: TemporalGraph, k: int, result: CoreTimeResult
+        cls,
+        graph: TemporalGraph,
+        k: int,
+        result: CoreTimeResult,
+        *,
+        build_seconds: float = 0.0,
     ) -> "CoreIndex":
         """Wrap an already-computed full-span result as an index.
 
         Used by the shared-scan multi-``k`` builder
         (:func:`repro.core.multik.build_core_indexes`) and the store
         codec, which produce VCT/ECS without going through this class's
-        constructor.  The result must carry a skyline.
+        constructor.  The result must carry a skyline.  ``build_seconds``
+        records what computing it cost (``0.0`` for store loads — an
+        index that was cheap to obtain is cheap to drop), consulted by
+        the registry's eviction spill policy.
         """
         if result.ecs is None:
             raise InvalidParameterError(
@@ -71,6 +80,7 @@ class CoreIndex:
         index = cls.__new__(cls)
         index.graph = graph
         index.k = k
+        index.build_seconds = build_seconds
         index.vct = result.vct
         index.ecs = result.ecs
         return index
@@ -81,77 +91,59 @@ class CoreIndex:
         te: int,
         *,
         collect: bool = True,
+        sink: "ResultSink | None" = None,
         deadline: Deadline | None = None,
     ) -> EnumerationResult:
         """All distinct temporal k-cores of ``[ts, te]`` from the index.
 
         Equivalent to a fresh per-range run (validated by the test
-        suite), but skips the core-time computation entirely: the
-        full-span skyline is cut down to the range inside the enumerator
-        by two ``searchsorted`` calls over a start-sorted permutation
-        cached on the skyline — no restricted skyline is materialised
-        and no per-edge scan runs.
+        suite), but skips the core-time computation entirely: the query
+        is planned as a single-request :class:`~repro.serve.planner
+        .QueryPlan` pinned to this index, and the executor cuts the
+        full-span skyline down to the range by two ``searchsorted``
+        calls over a start-sorted permutation cached on the skyline —
+        no restricted skyline is materialised and no per-edge scan
+        runs.  ``sink`` optionally redirects delivery (NDJSON,
+        counters, flat arrays — see :mod:`repro.serve.sinks`).
         """
-        self.graph.check_window(ts, te)
-        return enumerate_temporal_kcores(
-            self.graph,
-            self.k,
-            ts,
-            te,
-            skyline=self.ecs,
-            collect=collect,
-            deadline=deadline,
-        )
+        return self.query_batch(
+            [(ts, te)], collect=collect, sinks=[sink], deadline=deadline
+        )[0]
 
     def query_batch(
         self,
         ranges: "Iterable[tuple[int, int]]",
         *,
         collect: bool = False,
+        sinks: "list[ResultSink | None] | None" = None,
         deadline: Deadline | None = None,
+        merge_overlaps: bool = True,
     ) -> list[EnumerationResult]:
-        """Answer many ranges from the shared index in one vectorised prep.
+        """Answer many ranges from the shared index in one planned pass.
 
         The batch serving primitive behind
         :func:`repro.bench.batch.run_query_batch` /
-        :func:`~repro.bench.batch.run_mixed_batch`: the start-sorted cut
-        positions of *all* ranges are located with a single
-        ``searchsorted`` pair over the cached sorted skyline view
-        (:meth:`EdgeCoreSkyline.start_cuts
-        <repro.core.windows.EdgeCoreSkyline.start_cuts>`), then each
-        range enumerates from its pre-cut columnar slice.  Results come
-        back in input order; ``collect`` defaults to ``False`` (count
-        only), matching batch traffic.
+        :func:`~repro.bench.batch.run_mixed_batch`: the ranges are
+        planned against this index (identical ranges deduped,
+        overlapping windows merged and enumerated once, each answer
+        sliced out by TTI containment — ``merge_overlaps=False``
+        disables the merging) and the executor locates every covering
+        window's slice with a single ``searchsorted`` pair over the
+        cached sorted skyline view.  Results come back in input order;
+        ``collect`` defaults to ``False`` (count only), matching batch
+        traffic.  ``sinks``, when given, carries one optional
+        per-range delivery sink.
         """
+        from repro.serve.executor import execute_plan
+        from repro.serve.planner import plan_for_index
+
         ranges = list(ranges)
-        span_lo, span_hi = self.ecs.span
-        for ts, te in ranges:
-            self.graph.check_window(ts, te)
-            if ts < span_lo or te > span_hi:
-                raise InvalidParameterError(
-                    f"[{ts}, {te}] is not inside the computed span "
-                    f"[{span_lo}, {span_hi}]"
-                )
         if not ranges:
             return []
-        los, his = self.ecs.start_cuts(
-            [ts for ts, _ in ranges], [te for _, te in ranges]
+        plan = plan_for_index(
+            self, ranges, sinks=sinks, merge_overlaps=merge_overlaps
         )
-        results: list[EnumerationResult] = []
-        for (ts, te), lo, hi in zip(ranges, los.tolist(), his.tolist()):
-            selected = self.ecs.selection_from_cut(lo, hi, ts, te)
-            arrays = self.ecs.active_arrays_from_selection(selected, ts)
-            results.append(
-                enumerate_active_window_arrays(
-                    self.k,
-                    ts,
-                    te,
-                    arrays,
-                    collect=collect,
-                    deadline=deadline,
-                )
-            )
-        return results
+        return execute_plan(plan, collect=collect, deadline=deadline)
 
     def historical_core(self, ts: int, te: int) -> set[int]:
         """Single-window (historical) k-core members, index-only.
@@ -207,6 +199,66 @@ class CoreIndex:
         return buffer.getvalue()
 
 
+@dataclass(frozen=True)
+class SpillPolicy:
+    """When eviction should persist an index to the attached store.
+
+    ``mode``:
+
+    * ``"always"`` — every evicted, not-yet-persisted index is spilled
+      (the pre-policy behaviour, and the default);
+    * ``"never"`` — evictions simply drop;
+    * ``"cost"`` — spill only when the index cost at least
+      ``min_build_seconds`` of compute to produce: cheap builds are
+      cheaper to redo than to write and keep on disk, while an index
+      that took seconds of Algorithm 2 is worth a blob.  Store-loaded
+      indexes record a build cost of ``0.0`` — they are already
+      persisted and never re-spill regardless.
+
+    :meth:`parse` accepts a ready policy, the mode strings, or a bare
+    number (shorthand for ``cost`` with that threshold).
+    """
+
+    mode: str = "always"
+    min_build_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("always", "never", "cost"):
+            raise InvalidParameterError(
+                f"unknown spill mode {self.mode!r}; "
+                "choose 'always', 'never' or 'cost'"
+            )
+        if self.min_build_seconds < 0:
+            raise InvalidParameterError(
+                f"min_build_seconds must be >= 0, got {self.min_build_seconds}"
+            )
+
+    @classmethod
+    def parse(cls, value: "SpillPolicy | str | float | int") -> "SpillPolicy":
+        if isinstance(value, SpillPolicy):
+            return value
+        if isinstance(value, str):
+            return cls(mode=value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return cls(mode="cost", min_build_seconds=float(value))
+        raise InvalidParameterError(
+            f"cannot parse spill policy from {value!r}; pass a SpillPolicy, "
+            "'always'/'never'/'cost', or a cost threshold in seconds"
+        )
+
+    def should_spill(self, index: "CoreIndex") -> bool:
+        if self.mode == "always":
+            return True
+        if self.mode == "never":
+            return False
+        return getattr(index, "build_seconds", 0.0) >= self.min_build_seconds
+
+    def __str__(self) -> str:
+        if self.mode == "cost":
+            return f"cost>={self.min_build_seconds:g}s"
+        return self.mode
+
+
 class CoreIndexRegistry:
     """An LRU cache of :class:`CoreIndex` instances keyed on ``(graph, k)``.
 
@@ -241,8 +293,11 @@ class CoreIndexRegistry:
     ``(graph, k)`` is not yet persisted is saved to disk before being
     dropped (best effort — unpersistable graphs and I/O failures are
     swallowed), so capacity pressure downgrades an index from RAM to
-    disk instead of discarding the build.  ``evict_spills`` in
-    :meth:`stats` counts successful spills.
+    disk instead of discarding the build.  The constructor's
+    ``spill_policy`` (:class:`SpillPolicy`: ``"always"`` default,
+    ``"never"``, or a build-cost threshold in seconds) decides which
+    evictions are worth persisting; ``evict_spills`` / ``evict_drops``
+    in :meth:`stats` count the outcomes.
 
     Thread-safe: all cache operations hold an internal lock, so a
     warm-up thread plus serving threads is a supported pattern.  The
@@ -251,16 +306,24 @@ class CoreIndexRegistry:
     build at the cost of serialising distinct builds.
     """
 
-    def __init__(self, capacity: int = 8, *, store: "IndexStore | None" = None):
+    def __init__(
+        self,
+        capacity: int = 8,
+        *,
+        store: "IndexStore | None" = None,
+        spill_policy: "SpillPolicy | str | float" = "always",
+    ):
         if capacity < 1:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.store = store
+        self.spill_policy = SpillPolicy.parse(spill_policy)
         self.hits = 0
         self.misses = 0
         self.store_hits = 0
         self.multik_builds = 0
         self.evict_spills = 0
+        self.evict_drops = 0
         self._store_hits_by_k: dict[int, int] = {}
         self._multik_builds_by_k: dict[int, int] = {}
         self._lock = threading.Lock()
@@ -293,15 +356,21 @@ class CoreIndexRegistry:
         Skips silently when no store is attached or the store already
         holds a fingerprint-matching entry for the ``(graph, k)`` —
         keys known persisted (loaded from or previously spilled to the
-        attached store) skip even the manifest probe; swallows store
-        failures (unpersistable labels, I/O errors) — eviction must
-        never raise.  Successful writes are counted in ``evict_spills``.
+        attached store) skip even the manifest probe.  The configured
+        :class:`SpillPolicy` then decides whether the build is worth
+        persisting (vetoes are counted in ``evict_drops``); store
+        failures (unpersistable labels, I/O errors) are swallowed —
+        eviction must never raise.  Successful writes are counted in
+        ``evict_spills``.
         """
         store = self.store
         if store is None:
             return
         key = (id(index.graph), index.k)
         if key in self._persisted:
+            return
+        if not self.spill_policy.should_spill(index):
+            self.evict_drops += 1
             return
         from repro.errors import StoreError
 
@@ -312,6 +381,22 @@ class CoreIndexRegistry:
             self._persisted.add(key)
         except (StoreError, OSError):
             pass
+
+    def peek(self, graph: TemporalGraph, k: int) -> "CoreIndex | None":
+        """The cached index for ``(graph, k)``, or ``None`` — no side effects.
+
+        Unlike :meth:`get`, a peek never loads, builds, bumps the LRU
+        order or touches the hit/miss counters — it answers the
+        planner's "is this already resident?" question
+        (:func:`repro.serve.planner.plan_queries` engine ``auto``)
+        without distorting cache behaviour.
+        """
+        key = (id(graph), k)
+        with self._lock:
+            index = self._entries.get(key)
+            if index is not None and index.graph is graph:
+                return index
+        return None
 
     def get(
         self,
@@ -482,7 +567,8 @@ class CoreIndexRegistry:
         build — a warm-serving deployment asserts the latter stays at
         zero.  ``multik_builds`` counts shared-build invocations;
         ``evict_spills`` counts LRU evictions persisted to the attached
-        store before dropping.
+        store before dropping, ``evict_drops`` the evictions the
+        configured ``spill_policy`` declined to persist.
         """
         with self._lock:
             return {
@@ -491,6 +577,8 @@ class CoreIndexRegistry:
                 "store_hits": self.store_hits,
                 "multik_builds": self.multik_builds,
                 "evict_spills": self.evict_spills,
+                "evict_drops": self.evict_drops,
+                "spill_policy": str(self.spill_policy),
                 "store_hits_by_k": dict(self._store_hits_by_k),
                 "multik_builds_by_k": dict(self._multik_builds_by_k),
                 "size": len(self._entries),

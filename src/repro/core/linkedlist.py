@@ -6,6 +6,10 @@ order.  Moving from one start time to the next deletes the windows whose
 start time just expired (O(1) each) and splices in the newly activated
 windows (pre-sorted by end time, inserted with a forward-roving cursor) —
 the ``O(|L \\ L'|)`` update the paper highlights in Section V-C.
+
+This structure now backs only the **oracle** enumerator
+(:mod:`repro.core.enumerate_ref`); the serving path maintains ``L_ts``
+as an end-sorted int64 matrix instead (:mod:`repro.serve.columnar`).
 """
 
 from __future__ import annotations

@@ -44,6 +44,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
 
 
@@ -193,6 +194,7 @@ class StreamingCoreService:
         k: int | None = None,
         strict: bool = False,
         collect: bool = True,
+        sink: "ResultSink | None" = None,
     ) -> EnumerationResult:
         """Temporal k-cores of normalised range ``[ts, te]``.
 
@@ -200,9 +202,13 @@ class StreamingCoreService:
         smallest).  ``strict=True`` forces pending edges to be folded in
         first; otherwise the answer may lag by up to ``max_pending``
         edges — the staleness contract callers opt into for throughput.
+        The answer is planned and executed against the service's index
+        (:meth:`CoreIndex.query <repro.core.index.CoreIndex.query>`);
+        ``sink`` optionally streams it (:mod:`repro.serve.sinks`)
+        instead of materialising — the long-poll daemon shape.
         """
         self._ensure_fresh(strict)
-        return self._index_for(k).query(ts, te, collect=collect)
+        return self._index_for(k).query(ts, te, collect=collect, sink=sink)
 
     def query_raw(
         self,

@@ -53,6 +53,7 @@ it.
 
 from __future__ import annotations
 
+import time
 from collections import deque
 from collections.abc import Iterable
 from typing import TYPE_CHECKING
@@ -768,7 +769,13 @@ def build_core_indexes(
         # path (and its test monkeypatches) authoritative.
         out[missing[0]] = CoreIndex(graph, missing[0])
     elif missing:
+        started = time.perf_counter()
         results = compute_core_times_multi(graph, missing)
+        # Attribute the shared scan evenly: what each k "cost" to build,
+        # consulted by the registry's eviction spill policy.
+        per_k_seconds = (time.perf_counter() - started) / len(missing)
         for k in missing:
-            out[k] = CoreIndex.from_core_times(graph, k, results[k])
+            out[k] = CoreIndex.from_core_times(
+                graph, k, results[k], build_seconds=per_k_seconds
+            )
     return out

@@ -14,16 +14,20 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.baselines.bruteforce import enumerate_bruteforce
 from repro.baselines.otcd import enumerate_otcd
 from repro.core.coretime import CoreTimeResult, compute_core_times
 from repro.core.enumbase import enumerate_temporal_kcores_base
-from repro.core.enumerate import enumerate_temporal_kcores
-from repro.core.index import CoreIndexRegistry, get_core_index
+from repro.core.index import CoreIndexRegistry, DEFAULT_REGISTRY
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.timer import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.sinks import ResultSink
 
 #: Engines selectable by name.  ``enum`` is the paper's final algorithm;
 #: ``index`` answers from a shared full-span CoreIndex (built once per
@@ -98,19 +102,35 @@ class TimeRangeCoreQuery:
 
     # ------------------------------------------------------------------
 
-    def run(self) -> EnumerationResult:
+    def run(self, *, sink: "ResultSink | None" = None) -> EnumerationResult:
         """Execute the query and return the enumeration result.
 
         Safe to call repeatedly; each call answers with the configured
         engine (``engine="index"`` reuses the registry-cached index, so
         only the first call on a cold ``(graph, k)`` pays a build).
+
+        The serving engines (``enum`` and ``index``) plan the query
+        through :mod:`repro.serve` — ``enum`` as a direct-compute plan
+        (Algorithm 2 over the range, the paper's pipeline), ``index``
+        as an index-cut plan against the registry — and accept an
+        optional delivery ``sink`` (:mod:`repro.serve.sinks`): NDJSON
+        streaming, counting, flat arrays.  The baseline engines ignore
+        ``sink``.
         """
         ts, te = self.time_range
         deadline = Deadline(self.timeout) if self.timeout is not None else None
-        if self.engine == "enum":
-            return enumerate_temporal_kcores(
-                self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
+        if self.engine in ("enum", "index"):
+            from repro.serve.executor import execute_plan
+            from repro.serve.planner import QueryRequest, plan_queries
+
+            plan = plan_queries(
+                [QueryRequest(self.graph, self.k, ts, te, sink=sink)],
+                engine="direct" if self.engine == "enum" else "index",
             )
+            registry = self.registry if self.registry is not None else DEFAULT_REGISTRY
+            return execute_plan(
+                plan, registry=registry, collect=self.collect, deadline=deadline
+            )[0]
         if self.engine == "enumbase":
             return enumerate_temporal_kcores_base(
                 self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
@@ -129,9 +149,6 @@ class TimeRangeCoreQuery:
                 collect=self.collect,
                 deadline=deadline,
             )
-        if self.engine == "index":
-            index = get_core_index(self.graph, self.k, registry=self.registry)
-            return index.query(ts, te, collect=self.collect, deadline=deadline)
         return enumerate_bruteforce(
             self.graph, self.k, ts, te, collect=self.collect, deadline=deadline
         )

@@ -1,0 +1,54 @@
+"""repro.serve — the plan/execute serving layer.
+
+Serving splits into three stages (see ``docs/SERVING.md``):
+
+* **plan** (:mod:`repro.serve.planner`) — normalise any mix of range
+  queries into a :class:`QueryPlan`: group by ``(graph, k)``, dedupe
+  identical ranges, merge overlapping windows so shared work is
+  enumerated once, pick the engine per group;
+* **execute** (:mod:`repro.serve.executor`) — cut each group's columnar
+  window slice (shared index or direct compute) and run the columnar
+  Algorithm-5 walk (:mod:`repro.serve.columnar`) once per covering
+  window, slicing emissions per request;
+* **sink** (:mod:`repro.serve.sinks`) — deliver results: materialised
+  core objects, streaming callbacks, counters, NDJSON lines or flat
+  arrays.
+"""
+
+from repro.serve.columnar import run_columnar_walk
+from repro.serve.executor import execute_plan
+from repro.serve.planner import (
+    CoveringWindow,
+    PlanGroup,
+    QueryPlan,
+    QueryRequest,
+    plan_queries,
+)
+from repro.serve.sinks import (
+    CallbackSink,
+    CountSink,
+    FlatArraySink,
+    MaterializingSink,
+    NDJSONSink,
+    ResultSink,
+    TeeSink,
+    make_sink,
+)
+
+__all__ = [
+    "CallbackSink",
+    "CountSink",
+    "CoveringWindow",
+    "FlatArraySink",
+    "MaterializingSink",
+    "NDJSONSink",
+    "PlanGroup",
+    "QueryPlan",
+    "QueryRequest",
+    "ResultSink",
+    "TeeSink",
+    "execute_plan",
+    "make_sink",
+    "plan_queries",
+    "run_columnar_walk",
+]

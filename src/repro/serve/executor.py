@@ -1,0 +1,180 @@
+"""The plan executor — run a :class:`~repro.serve.planner.QueryPlan`.
+
+Execution walks the plan group by group:
+
+* an ``index`` group resolves its shared
+  :class:`~repro.core.index.CoreIndex` (pinned on the group, else
+  registry → store → build) and cuts the columnar window slice of
+  *all* its covering windows with one vectorised ``searchsorted``
+  sweep over the skyline's cached start-sorted permutation;
+* a ``direct`` group runs Algorithm 2 over each covering window and
+  takes the slice from the freshly computed skyline;
+* every covering window is enumerated **once** by the columnar core
+  (:func:`~repro.serve.columnar.run_columnar_walk`); when several
+  requests share the window, a slice router fans each emission batch
+  out to the requests whose range contains the reported TTIs — a
+  binary search per request per start time, nothing re-enumerated.
+
+Results come back as one :class:`~repro.core.results.EnumerationResult`
+per request, in request order; requests that carry their own sink are
+delivered through it (and the returned result reflects that sink's
+counters).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.core.results import EnumerationResult
+from repro.errors import InvalidParameterError
+from repro.serve.columnar import run_columnar_walk
+from repro.serve.planner import PlanGroup, QueryPlan
+from repro.serve.sinks import MaterializingSink, CountSink, ResultSink
+from repro.utils.timer import Deadline
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.index import CoreIndexRegistry
+    from repro.store.index_store import IndexStore
+
+
+class _SliceRouter(ResultSink):
+    """Fan one covering walk out to the requests it serves.
+
+    Targets are ``(ts, te, sink)``; an emission batch at start time
+    ``t`` reaches every target with ``ts <= t`` (targets activate in
+    sorted order as ``t`` grows, and retire once ``te < t``), cut down
+    by one ``searchsorted`` to the prefix of cores whose TTI end fits
+    inside the target range — exactly the cores of that range, since a
+    covering window's cores restricted to a contained range are the
+    range's own cores (TTI containment, see the planner notes).
+    """
+
+    def __init__(self, targets: list[tuple[int, int, ResultSink]]):
+        super().__init__()
+        self._pending = sorted(targets, key=lambda target: target[0])
+        self._position = 0
+        self._active: list[tuple[int, int, ResultSink]] = []
+
+    def consume(self, t, ends, prefix_lens, eids) -> None:
+        pending = self._pending
+        while self._position < len(pending) and pending[self._position][0] <= t:
+            self._active.append(pending[self._position])
+            self._position += 1
+        if not self._active:
+            return
+        alive: list[tuple[int, int, ResultSink]] = []
+        for target in self._active:
+            ts, te, sink = target
+            if te < t:  # reported TTI starts only grow; this target is done
+                continue
+            alive.append(target)
+            count = int(np.searchsorted(ends, te, side="right"))
+            if count:
+                # Cut the shared run to the largest prefix this target
+                # reports — downstream sinks convert what they receive,
+                # and a narrow range must not pay for the wide window.
+                run = eids[: int(prefix_lens[count - 1])]
+                sink.emit(t, ends[:count], prefix_lens[:count], run)
+        self._active = alive
+
+    def finish(self, completed: bool) -> None:
+        super().finish(completed)
+        for _ts, _te, sink in self._pending:
+            sink.finish(completed)
+
+
+def _group_window_arrays(
+    group: PlanGroup,
+    *,
+    registry: "CoreIndexRegistry | None",
+    store: "IndexStore | None",
+):
+    """Yield ``(window, arrays)`` for every covering window of ``group``."""
+    if group.engine == "index":
+        index = group.index
+        if index is None:
+            from repro.core.index import get_core_index
+
+            index = get_core_index(
+                group.graph, group.k, registry=registry, store=store
+            )
+        span_lo, span_hi = index.ecs.span
+        for window in group.windows:
+            if window.ts < span_lo or window.te > span_hi:
+                raise InvalidParameterError(
+                    f"[{window.ts}, {window.te}] is not inside the computed "
+                    f"span [{span_lo}, {span_hi}]"
+                )
+        los, his = index.ecs.start_cuts(
+            [window.ts for window in group.windows],
+            [window.te for window in group.windows],
+        )
+        for window, lo, hi in zip(group.windows, los.tolist(), his.tolist()):
+            selected = index.ecs.selection_from_cut(lo, hi, window.ts, window.te)
+            yield window, index.ecs.active_arrays_from_selection(
+                selected, window.ts
+            )
+    elif group.engine == "direct":
+        from repro.core.coretime import compute_core_times
+
+        for window in group.windows:
+            skyline = compute_core_times(
+                group.graph, group.k, window.ts, window.te
+            ).ecs
+            assert skyline is not None
+            yield window, skyline.active_window_arrays(window.ts, window.te)
+    else:  # pragma: no cover - the planner validates engines
+        raise InvalidParameterError(f"plan group has unknown engine {group.engine!r}")
+
+
+def execute_plan(
+    plan: QueryPlan,
+    *,
+    registry: "CoreIndexRegistry | None" = None,
+    store: "IndexStore | None" = None,
+    collect: bool = False,
+    deadline: Deadline | None = None,
+) -> list[EnumerationResult]:
+    """Run ``plan``; one :class:`EnumerationResult` per request, in order.
+
+    ``collect`` picks the default sink (materialising vs counting) for
+    requests that did not bring their own.  ``registry``/``store``
+    resolve the shared indexes of ``index`` groups (falling back to the
+    process-wide default registry).  ``deadline`` is shared by every
+    walk: on expiry the remaining windows abort immediately and their
+    requests come back with ``completed=False`` and whatever was
+    delivered before the abort.
+    """
+    sinks: list[ResultSink] = [
+        request.sink
+        if request.sink is not None
+        else (MaterializingSink() if collect else CountSink())
+        for request in plan.requests
+    ]
+    for group in plan.groups:
+        for window, arrays in _group_window_arrays(
+            group, registry=registry, store=store
+        ):
+            if window.is_shared:
+                target: ResultSink = _SliceRouter(
+                    [
+                        (
+                            plan.requests[rid].ts,
+                            plan.requests[rid].te,
+                            sinks[rid],
+                        )
+                        for rid in window.requests
+                    ]
+                )
+            else:
+                target = sinks[window.requests[0]]
+            completed = run_columnar_walk(
+                window.ts, window.te, arrays, target, deadline=deadline
+            )
+            target.finish(completed)
+    return [
+        sink.result("enum", request.k, request.time_range)
+        for request, sink in zip(plan.requests, sinks)
+    ]

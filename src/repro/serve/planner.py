@@ -1,0 +1,275 @@
+"""The query planner — normalise serving traffic into a `QueryPlan`.
+
+Every serving entry point (single queries through
+:class:`~repro.core.query.TimeRangeCoreQuery`, the fixed-``k`` and
+mixed batch runners, :class:`~repro.core.maintenance.StreamingCoreService`,
+the CLI) describes its work as :class:`QueryRequest` values and hands
+them to :func:`plan_queries`.  Planning is pure — no index is built,
+no window enumerated — and does three things:
+
+1. **Group** requests by ``(graph, k)``: requests of one group share a
+   skyline, so their window prep is one vectorised cut.
+2. **Dedupe and merge**: identical ranges collapse onto one covering
+   window; contained ranges ride along for free; overlapping ranges
+   are merged into one covering window when the overlap is worth it
+   (``min_overlap`` — merging windows that barely touch would pay for
+   boundary-straddling cores nobody asked for).  Each covering window
+   is enumerated **once** by the executor and sliced per request: a
+   core of the covering walk belongs to request ``[ts, te]`` exactly
+   when its TTI is contained in ``[ts, te]`` (Definition 3 puts cores
+   and TTIs in bijection, so sub-range answers are TTI filters — the
+   same fact that lets one full-span index serve arbitrary ranges).
+3. **Pick the engine** per group: ``index`` (cut the shared
+   :class:`~repro.core.index.CoreIndex` skyline) when one is already
+   cached, pinned, or the group's traffic warrants building one;
+   ``direct`` (run Algorithm 2 over each covering window) for one-shot
+   traffic that should not pay a full-span build.
+
+The resulting :class:`QueryPlan` is inert data; hand it to
+:func:`repro.serve.executor.execute_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.errors import InvalidParameterError
+from repro.graph.temporal_graph import TemporalGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.core.index import CoreIndex, CoreIndexRegistry
+    from repro.serve.sinks import ResultSink
+
+#: Engine names a plan group can carry.
+PLAN_ENGINES = ("auto", "index", "direct")
+
+#: Default minimum overlap fraction (of the smaller window) for merging
+#: two overlapping-but-not-nested ranges into one covering window.
+DEFAULT_MIN_OVERLAP = 0.5
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One range query: ``(graph, k, [ts, te])`` plus its delivery sink.
+
+    ``sink`` is optional — the executor creates a counting or
+    materialising sink from its ``collect`` default when none is given.
+    Validated eagerly so a malformed request fails at plan time, not
+    midway through executing a batch.
+    """
+
+    graph: TemporalGraph
+    k: int
+    ts: int
+    te: int
+    sink: "ResultSink | None" = None
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {self.k}")
+        self.graph.check_window(self.ts, self.te)
+
+    @property
+    def time_range(self) -> tuple[int, int]:
+        return (self.ts, self.te)
+
+
+@dataclass
+class CoveringWindow:
+    """One window the executor enumerates, serving one or more requests.
+
+    ``requests`` are indices into the plan's request list; every
+    request range is contained in ``[ts, te]`` and receives the slice
+    of the walk's emissions whose TTIs its range contains.
+    """
+
+    ts: int
+    te: int
+    requests: list[int]
+
+    @property
+    def is_shared(self) -> bool:
+        return len(self.requests) > 1
+
+
+@dataclass
+class PlanGroup:
+    """All covering windows of one ``(graph, k)``, plus the engine choice.
+
+    ``index`` may carry a pre-resolved :class:`CoreIndex` (pinned by
+    the caller — e.g. ``CoreIndex.query`` planning for itself); the
+    executor then uses it directly instead of consulting a registry.
+    """
+
+    graph: TemporalGraph
+    k: int
+    engine: str
+    windows: list[CoveringWindow] = field(default_factory=list)
+    index: "CoreIndex | None" = None
+
+
+@dataclass
+class QueryPlan:
+    """The executable shape of a batch of requests.
+
+    ``stats`` records what planning saved: ``deduped`` identical
+    ranges, ``merged`` ranges answered from a shared covering window,
+    and the final window count versus the request count.
+    """
+
+    requests: list[QueryRequest]
+    groups: list[PlanGroup]
+    stats: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def num_windows(self) -> int:
+        return sum(len(group.windows) for group in self.groups)
+
+
+def _merge_ranges(
+    ranges: list[tuple[tuple[int, int], list[int]]], min_overlap: float
+) -> list[CoveringWindow]:
+    """Merge deduped ranges (sorted by ``(ts, -te)``) into covering windows.
+
+    Containment always merges (the contained range adds no new work);
+    plain overlap merges when it spans at least ``min_overlap`` of the
+    smaller range.
+    """
+    windows: list[CoveringWindow] = []
+    for (ts, te), request_ids in ranges:
+        if windows:
+            current = windows[-1]
+            if te <= current.te:  # contained (ranges sorted by ts)
+                current.requests.extend(request_ids)
+                continue
+            overlap = current.te - ts + 1
+            smaller = min(current.te - current.ts, te - ts) + 1
+            if overlap > 0 and overlap >= min_overlap * smaller:
+                current.te = te
+                current.requests.extend(request_ids)
+                continue
+        windows.append(CoveringWindow(ts, te, list(request_ids)))
+    return windows
+
+
+def plan_for_index(
+    index: "CoreIndex",
+    ranges: list[tuple[int, int]],
+    *,
+    sinks: "list[ResultSink | None] | None" = None,
+    merge_overlaps: bool = True,
+    min_overlap: float = DEFAULT_MIN_OVERLAP,
+) -> QueryPlan:
+    """Plan a batch of ranges pinned to an already-resolved index.
+
+    The shape behind :meth:`CoreIndex.query_batch
+    <repro.core.index.CoreIndex.query_batch>`: the usual dedup/merge
+    planning, with every group carrying ``index`` so the executor never
+    consults a registry.  ``sinks`` optionally supplies one delivery
+    sink per range (parallel to ``ranges``).
+    """
+    if sinks is not None and len(sinks) != len(ranges):
+        raise InvalidParameterError(
+            f"sinks has {len(sinks)} entries for {len(ranges)} ranges"
+        )
+    requests = [
+        QueryRequest(
+            index.graph,
+            index.k,
+            ts,
+            te,
+            sink=sinks[position] if sinks is not None else None,
+        )
+        for position, (ts, te) in enumerate(ranges)
+    ]
+    plan = plan_queries(
+        requests,
+        engine="index",
+        merge_overlaps=merge_overlaps,
+        min_overlap=min_overlap,
+    )
+    for group in plan.groups:
+        group.index = index
+    return plan
+
+
+def plan_queries(
+    requests: "list[QueryRequest]",
+    *,
+    engine: str = "auto",
+    registry: "CoreIndexRegistry | None" = None,
+    merge_overlaps: bool = True,
+    min_overlap: float = DEFAULT_MIN_OVERLAP,
+) -> QueryPlan:
+    """Normalise ``requests`` into a :class:`QueryPlan`.
+
+    ``engine`` forces ``"index"`` or ``"direct"`` for every group;
+    ``"auto"`` picks per group: ``index`` when ``registry`` already
+    caches the ``(graph, k)`` or the group holds more than one request
+    or covering window (shared prep amortises the build — and with an
+    attached store the build is usually a disk load), ``direct`` for a
+    lone one-shot request, which pays Algorithm 2 over just its window
+    instead of a full-span index build.  The registry is only *peeked*
+    at plan time, never populated.
+
+    ``merge_overlaps=False`` limits sharing to identical ranges
+    (every distinct range gets its own covering window).
+    """
+    if engine not in PLAN_ENGINES:
+        raise InvalidParameterError(
+            f"unknown plan engine {engine!r}; choose one of {PLAN_ENGINES}"
+        )
+    if not 0.0 <= min_overlap <= 1.0:
+        raise InvalidParameterError(
+            f"min_overlap must be within [0, 1], got {min_overlap}"
+        )
+
+    # Group by (graph identity, k), preserving first-seen order.
+    grouped: dict[tuple[int, int], list[int]] = {}
+    graphs: dict[int, TemporalGraph] = {}
+    for position, request in enumerate(requests):
+        graphs[id(request.graph)] = request.graph
+        grouped.setdefault((id(request.graph), request.k), []).append(position)
+
+    deduped = 0
+    merged = 0
+    groups: list[PlanGroup] = []
+    for (gid, k), positions in grouped.items():
+        graph = graphs[gid]
+        # Dedupe identical ranges.
+        by_range: dict[tuple[int, int], list[int]] = {}
+        for position in positions:
+            request = requests[position]
+            by_range.setdefault(request.time_range, []).append(position)
+        deduped += len(positions) - len(by_range)
+        ordered = sorted(by_range.items(), key=lambda item: (item[0][0], -item[0][1]))
+        if merge_overlaps:
+            windows = _merge_ranges(ordered, min_overlap)
+        else:
+            windows = [
+                CoveringWindow(ts, te, list(ids)) for (ts, te), ids in ordered
+            ]
+        merged += len(by_range) - len(windows)
+
+        chosen = engine
+        if chosen == "auto":
+            cached = registry is not None and registry.peek(graph, k) is not None
+            chosen = (
+                "index"
+                if cached or len(positions) > 1 or len(windows) > 1
+                else "direct"
+            )
+        groups.append(PlanGroup(graph, k, chosen, windows))
+
+    return QueryPlan(
+        list(requests),
+        groups,
+        stats={
+            "requests": len(requests),
+            "groups": len(groups),
+            "windows": sum(len(g.windows) for g in groups),
+            "deduped": deduped,
+            "merged": merged,
+        },
+    )

@@ -234,6 +234,9 @@ def load_index(
     index = CoreIndex.__new__(CoreIndex)
     index.graph = graph
     index.k = meta["k"]
+    # Opening from disk is (near-)free: the eviction spill policy must
+    # never consider a loaded index worth re-persisting.
+    index.build_seconds = 0.0
     index.vct = VertexCoreTimeIndex.from_flat(
         parts["vct_offsets"], parts["vct_starts"], parts["vct_cts"], meta["k"], span
     )

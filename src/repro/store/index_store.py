@@ -34,6 +34,7 @@ import contextlib
 import json
 import os
 import pathlib
+import time
 import zlib
 from collections.abc import Iterable, Iterator
 
@@ -51,6 +52,36 @@ from repro.store.format import FORMAT_VERSION
 
 MANIFEST_NAME = "manifest.json"
 GRAPH_FILE = "graph.bin"
+LOCK_NAME = ".lock"
+
+#: Seconds between contention polls while waiting for a directory lock.
+LOCK_POLL_SECONDS = 0.05
+
+
+def _pid_alive(pid: int) -> bool:
+    """Whether ``pid`` names a live process on this machine."""
+    if pid <= 0:
+        return False
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:  # pragma: no cover - exists, owned by another user
+        return True
+    except OSError:  # pragma: no cover - platform oddities read as alive
+        return True
+    return True
+
+
+def _read_lock_owner(path: pathlib.Path) -> dict | None:
+    """The owner metadata a writer recorded in the lock file, if any."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8") or "null")
+    except (OSError, ValueError):
+        return None
+    if not isinstance(payload, dict) or "pid" not in payload:
+        return None
+    return payload
 
 
 class IndexStore:
@@ -64,6 +95,14 @@ class IndexStore:
         Check blob payload checksums on every open (default).  Disabling
         skips the sequential crc pass for trusted local stores;
         truncation is still detected from the declared payload length.
+    lock_timeout:
+        Upper bound, in seconds, on how long a writer waits for a graph
+        directory's advisory lock before raising :class:`StoreError`
+        naming the recorded holder.  ``None`` (default) waits
+        indefinitely — but stale-lock recovery still applies either
+        way: a lock whose recorded writer died is taken over rather
+        than waited on (see :meth:`_dir_lock`; takeovers are counted
+        in ``stale_takeovers``).
 
     Staleness and invalidation: entries are matched by content
     *fingerprint*, so an index saved for one graph can never be served
@@ -78,10 +117,20 @@ class IndexStore:
     ``docs/STORE_FORMAT.md`` for the full on-disk contract).
     """
 
-    def __init__(self, root: str | os.PathLike[str], *, verify: bool = True):
+    def __init__(
+        self,
+        root: str | os.PathLike[str],
+        *,
+        verify: bool = True,
+        lock_timeout: float | None = None,
+    ):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.verify = verify
+        if lock_timeout is not None and lock_timeout < 0:
+            raise StoreError(f"lock_timeout must be >= 0, got {lock_timeout}")
+        self.lock_timeout = lock_timeout
+        self.stale_takeovers = 0
 
     def __repr__(self) -> str:
         return f"IndexStore({str(self.root)!r}, graphs={len(self.keys())})"
@@ -132,18 +181,129 @@ class IndexStore:
         and manifest writes are individually atomic, so an unlocked
         reader sees a consistent before-or-after state.  No-op where
         ``fcntl`` is unavailable.
+
+        Hardened against stale locks: the holder records ``{pid,
+        acquired_at}`` in the lock file while it works (cleared on
+        release), and a contender that cannot acquire checks the
+        recorded writer's liveness.  A SIGKILL'd writer normally needs
+        no help — the kernel drops its ``flock`` with its last open
+        descriptor — but where the lock is held *past* its writer's
+        death (an fd leaked to a child, emulated ``flock`` on network
+        filesystems), the contender observes the same dead owner on
+        two consecutive polls, rotates the lock file out of the way
+        and takes over (counted in ``stale_takeovers``).  Acquisition
+        re-validates that its descriptor still names the live lock
+        path, so a takeover can never leave two writers both holding
+        an orphaned inode.  ``lock_timeout`` bounds the wait; on
+        expiry a :class:`StoreError` names the recorded owner.
         """
         directory = self.root / key
         directory.mkdir(parents=True, exist_ok=True)
         if fcntl is None:  # pragma: no cover - non-POSIX fallback
             yield
             return
-        with open(directory / ".lock", "a+b") as handle:
-            fcntl.flock(handle.fileno(), fcntl.LOCK_EX)
-            try:
-                yield
-            finally:
+        handle = self._acquire_dir_lock(directory / LOCK_NAME)
+        try:
+            yield
+        finally:
+            with contextlib.suppress(OSError):
+                # Clear the owner stamp *before* releasing: a contender
+                # must never read our metadata once the flock is free.
+                handle.seek(0)
+                handle.truncate()
+                handle.flush()
+            with contextlib.suppress(OSError):
                 fcntl.flock(handle.fileno(), fcntl.LOCK_UN)
+            handle.close()
+
+    def _acquire_dir_lock(self, lock_path: pathlib.Path):
+        """Acquire ``lock_path`` exclusively; returns the open handle.
+
+        Implements the contend/detect/rotate loop described in
+        :meth:`_dir_lock`.  A dead recorded owner must be observed on
+        two consecutive polls before rotation (a live writer normally
+        overwrites the leftover metadata long before that), and every
+        acquirer stamps its pid *before* validating that its
+        descriptor still names the lock path — so if a rotation ever
+        does race a not-yet-stamped writer, exactly one of the two
+        passes validation and the other re-contends.
+        """
+        timeout = self.lock_timeout
+        give_up_at = None if timeout is None else time.monotonic() + timeout
+        dead_owner_seen: tuple[int, object] | None = None
+        while True:
+            handle = open(lock_path, "a+b")
+            keep = False
+            try:
+                try:
+                    fcntl.flock(handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+                except OSError:
+                    owner = _read_lock_owner(lock_path)
+                    if owner is not None and not _pid_alive(owner["pid"]):
+                        observed = (owner["pid"], owner.get("acquired_at"))
+                        if dead_owner_seen == observed:
+                            # Same dead writer twice: the flock is held
+                            # beyond its owner's death.  Rotate the file;
+                            # everyone re-contends on the fresh inode.
+                            with contextlib.suppress(OSError):
+                                os.unlink(lock_path)
+                            self.stale_takeovers += 1
+                            dead_owner_seen = None
+                            continue
+                        dead_owner_seen = observed
+                    else:
+                        dead_owner_seen = None
+                    if give_up_at is not None and time.monotonic() >= give_up_at:
+                        holder = (
+                            f"pid {owner['pid']}" if owner else "an unknown writer"
+                        )
+                        raise StoreError(
+                            f"timed out after {timeout:g}s waiting for "
+                            f"{lock_path} (held by {holder})"
+                        )
+                    time.sleep(LOCK_POLL_SECONDS)
+                    continue
+                # Acquired.  Stamp ownership first, *then* confirm the
+                # descriptor still names the live lock path: a contender
+                # that observed the previous (dead) owner's leftover
+                # metadata may rotate the file at any point before our
+                # stamp replaces it, and a validate-before-stamp order
+                # would miss a rotation landing in that window.  After
+                # the stamp, any rotation is ours to detect here.
+                handle.seek(0)
+                handle.truncate()
+                handle.write(
+                    json.dumps(
+                        {"pid": os.getpid(), "acquired_at": time.time()}
+                    ).encode("utf-8")
+                )
+                handle.flush()
+                try:
+                    fd_stat = os.fstat(handle.fileno())
+                    path_stat = os.stat(lock_path)
+                    current = (fd_stat.st_dev, fd_stat.st_ino) == (
+                        path_stat.st_dev,
+                        path_stat.st_ino,
+                    )
+                except OSError:
+                    current = False
+                if not current:
+                    continue  # rotated under us; re-contend on the new inode
+                keep = True
+                return handle
+            finally:
+                if not keep:
+                    handle.close()
+
+    def lock_info(self, key: str) -> dict | None:
+        """The recorded owner of ``key``'s writer lock, if any.
+
+        ``{"pid": ..., "acquired_at": ...}`` while a writer holds the
+        directory lock (or after one crashed without releasing),
+        ``None`` otherwise.  Observability only — liveness of the pid
+        is for the caller to judge.
+        """
+        return _read_lock_owner(self.root / key / LOCK_NAME)
 
     @staticmethod
     def _default_key(fingerprint: dict) -> str:

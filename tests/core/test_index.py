@@ -206,7 +206,8 @@ class TestCoreIndexRegistry:
         assert first is second
         assert registry.stats() == {
             "hits": 1, "misses": 1, "store_hits": 0, "multik_builds": 0,
-            "evict_spills": 0, "store_hits_by_k": {}, "multik_builds_by_k": {},
+            "evict_spills": 0, "evict_drops": 0, "spill_policy": "always",
+            "store_hits_by_k": {}, "multik_builds_by_k": {},
             "size": 1, "capacity": 4,
         }
 

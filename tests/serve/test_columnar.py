@@ -1,0 +1,172 @@
+"""Columnar enumeration core vs the seed linked-list oracle.
+
+The property contract: over randomised graphs, ``k`` values and query
+windows, the columnar walk must report exactly the oracle's cores —
+same count, same TTI set, same edge *set* per TTI, same ``|R|``.
+(Intra-core edge order may differ inside equal-end-time groups; the
+identity of a core is its edge set.)
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
+from repro.core.index import CoreIndex
+from repro.graph.generators import uniform_random_temporal
+from repro.utils.timer import Deadline
+
+
+class ExpiresAfter:
+    """A fake deadline that trips after ``n`` polls — deterministic aborts."""
+
+    def __init__(self, n: int):
+        self.remaining_polls = n
+
+    def expired(self) -> bool:
+        self.remaining_polls -= 1
+        return self.remaining_polls < 0
+
+
+def assert_result_identical(new, ref):
+    assert new.num_results == ref.num_results
+    assert new.total_edges == ref.total_edges
+    assert new.completed == ref.completed
+    new_by_tti = new.by_tti()
+    ref_by_tti = ref.by_tti()
+    assert new_by_tti.keys() == ref_by_tti.keys()
+    for tti, core in new_by_tti.items():
+        assert core.edge_set() == ref_by_tti[tti].edge_set(), tti
+
+
+def random_windows(rng, tmax, count):
+    windows = []
+    for _ in range(count):
+        a, b = rng.randint(1, tmax), rng.randint(1, tmax)
+        windows.append((min(a, b), max(a, b)))
+    return windows
+
+
+class TestOracleIdentity:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("k", [2, 3, 4])
+    def test_full_span_identical(self, seed, k):
+        graph = uniform_random_temporal(14, 110, tmax=18, seed=seed)
+        assert_result_identical(
+            enumerate_temporal_kcores(graph, k),
+            enumerate_temporal_kcores_ref(graph, k),
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_windows_identical(self, seed):
+        graph = uniform_random_temporal(13, 140, tmax=24, seed=seed)
+        rng = random.Random(1000 + seed)
+        for ts, te in random_windows(rng, graph.tmax, 8):
+            for k in (2, 3):
+                assert_result_identical(
+                    enumerate_temporal_kcores(graph, k, ts, te),
+                    enumerate_temporal_kcores_ref(graph, k, ts, te),
+                )
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_index_cut_windows_identical(self, seed):
+        """The serving shape: one full-span skyline, many sub-ranges."""
+        graph = uniform_random_temporal(12, 120, tmax=20, seed=seed)
+        index = CoreIndex(graph, 2)
+        rng = random.Random(2000 + seed)
+        for ts, te in random_windows(rng, graph.tmax, 10):
+            assert_result_identical(
+                index.query(ts, te),
+                enumerate_temporal_kcores_ref(
+                    graph, 2, ts, te, skyline=index.ecs
+                ),
+            )
+
+    def test_empty_ranges(self):
+        graph = uniform_random_temporal(10, 60, tmax=30, seed=7)
+        # k too large for any core, and a window too narrow for one.
+        for k, ts, te in [(9, 1, graph.tmax), (2, 1, 1), (3, 5, 6)]:
+            new = enumerate_temporal_kcores(graph, k, ts, te)
+            ref = enumerate_temporal_kcores_ref(graph, k, ts, te)
+            assert_result_identical(new, ref)
+
+    def test_parallel_and_duplicate_edges(self):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        graph = TemporalGraph(
+            [("a", "b", 1), ("a", "b", 1), ("a", "b", 2), ("b", "c", 2),
+             ("a", "c", 2), ("b", "c", 3), ("a", "c", 1)]
+        )
+        assert_result_identical(
+            enumerate_temporal_kcores(graph, 2),
+            enumerate_temporal_kcores_ref(graph, 2),
+        )
+
+    def test_streaming_counters_identical(self):
+        graph = uniform_random_temporal(14, 150, tmax=16, seed=3)
+        new = enumerate_temporal_kcores(graph, 2, collect=False)
+        ref = enumerate_temporal_kcores_ref(graph, 2, collect=False)
+        assert new.cores is None and ref.cores is None
+        assert (new.num_results, new.total_edges) == (
+            ref.num_results, ref.total_edges
+        )
+
+    def test_callback_protocol_identical(self):
+        graph = uniform_random_temporal(12, 100, tmax=14, seed=5)
+        new_seen, ref_seen = [], []
+        enumerate_temporal_kcores(
+            graph, 2, collect=False,
+            on_result=lambda ts, te, edges: new_seen.append(
+                (ts, te, frozenset(edges))),
+        )
+        enumerate_temporal_kcores_ref(
+            graph, 2, collect=False,
+            on_result=lambda ts, te, edges: ref_seen.append(
+                (ts, te, frozenset(edges))),
+        )
+        assert new_seen == ref_seen  # same cores, same emission order
+
+
+class TestDeadline:
+    def test_immediate_deadline_aborts_cleanly(self):
+        graph = uniform_random_temporal(12, 100, tmax=14, seed=0)
+        result = enumerate_temporal_kcores(graph, 2, deadline=Deadline(0.0))
+        assert not result.completed
+        assert result.num_results == 0
+
+    @pytest.mark.parametrize("polls", [1, 2, 5])
+    def test_mid_walk_abort_is_a_prefix_of_the_full_answer(self, polls):
+        """Cancellation mid-walk keeps whatever start times finished."""
+        graph = uniform_random_temporal(13, 150, tmax=18, seed=11)
+        full = enumerate_temporal_kcores(graph, 2)
+        partial = enumerate_temporal_kcores(
+            graph, 2, deadline=ExpiresAfter(polls)
+        )
+        assert not partial.completed
+        assert partial.num_results < full.num_results
+        # Every partial core is a genuine core of the full answer, and
+        # the abort respects start-time boundaries: the partial TTIs are
+        # exactly the full answer's TTIs up to the last finished start.
+        full_by_tti = full.by_tti()
+        for tti, core in partial.by_tti().items():
+            assert core.edge_set() == full_by_tti[tti].edge_set()
+        if partial.num_results:
+            last_started = max(ts for ts, _te in partial.by_tti())
+            expected = {
+                tti for tti in full_by_tti if tti[0] <= last_started
+            }
+            assert set(partial.by_tti()) == expected
+
+    def test_deadline_mid_walk_with_sink_marks_incomplete(self):
+        from repro.serve.sinks import CountSink
+
+        graph = uniform_random_temporal(13, 150, tmax=18, seed=11)
+        sink = CountSink()
+        result = enumerate_temporal_kcores(
+            graph, 2, sink=sink, deadline=ExpiresAfter(1)
+        )
+        assert not result.completed
+        assert not sink.completed

@@ -1,0 +1,154 @@
+"""Executor tests: sliced shared-window answers == independent answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
+from repro.core.index import CoreIndex, CoreIndexRegistry
+from repro.errors import InvalidParameterError
+from repro.graph.generators import uniform_random_temporal
+from repro.serve.executor import execute_plan
+from repro.serve.planner import QueryRequest, plan_for_index, plan_queries
+from repro.serve.sinks import CountSink, FlatArraySink
+
+
+def overlapping_ranges(rng, tmax, count):
+    """Batches biased toward heavy overlap (hot regions + repeats)."""
+    hot = rng.randint(1, max(1, tmax // 2))
+    ranges = []
+    for _ in range(count):
+        mode = rng.random()
+        if mode < 0.3 and ranges:
+            ranges.append(rng.choice(ranges))  # exact repeat
+        elif mode < 0.7:
+            lo = max(1, hot + rng.randint(-3, 3))
+            hi = min(tmax, lo + rng.randint(2, tmax // 2))
+            ranges.append((lo, hi))
+        else:
+            a, b = rng.randint(1, tmax), rng.randint(1, tmax)
+            ranges.append((min(a, b), max(a, b)))
+    return ranges
+
+
+class TestOverlapDedupCorrectness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_sliced_answers_equal_independent_answers(self, seed):
+        graph = uniform_random_temporal(13, 150, tmax=24, seed=seed)
+        index = CoreIndex(graph, 2)
+        rng = random.Random(500 + seed)
+        ranges = overlapping_ranges(rng, graph.tmax, 12)
+
+        shared = index.query_batch(ranges, collect=True)
+        lone = [
+            enumerate_temporal_kcores_ref(graph, 2, ts, te, skyline=index.ecs)
+            for ts, te in ranges
+        ]
+        for (ts, te), got, want in zip(ranges, shared, lone):
+            assert got.time_range == (ts, te)
+            assert got.num_results == want.num_results, (ts, te)
+            assert got.total_edges == want.total_edges
+            got_by_tti = got.by_tti()
+            want_by_tti = want.by_tti()
+            assert got_by_tti.keys() == want_by_tti.keys()
+            for tti, core in got_by_tti.items():
+                assert core.edge_set() == want_by_tti[tti].edge_set()
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_merge_and_no_merge_agree(self, seed):
+        graph = uniform_random_temporal(12, 130, tmax=20, seed=seed)
+        index = CoreIndex(graph, 3)
+        rng = random.Random(900 + seed)
+        ranges = overlapping_ranges(rng, graph.tmax, 10)
+        merged = index.query_batch(ranges, merge_overlaps=True)
+        split = index.query_batch(ranges, merge_overlaps=False)
+        assert [
+            (r.num_results, r.total_edges) for r in merged
+        ] == [(r.num_results, r.total_edges) for r in split]
+
+    def test_every_tti_stays_inside_its_request_range(self):
+        graph = uniform_random_temporal(14, 160, tmax=22, seed=42)
+        index = CoreIndex(graph, 2)
+        ranges = [(1, 15), (5, 22), (8, 12), (5, 22)]
+        for result in index.query_batch(ranges, collect=True):
+            lo, hi = result.time_range
+            for core in result:
+                assert lo <= core.tti[0] <= core.tti[1] <= hi
+
+
+class TestMixedPlans:
+    def test_mixed_graphs_and_ks_route_in_input_order(self, paper_graph):
+        other = uniform_random_temporal(10, 80, tmax=12, seed=1)
+        registry = CoreIndexRegistry(capacity=4)
+        requests = [
+            QueryRequest(paper_graph, 2, 1, 4),
+            QueryRequest(other, 2, 1, 12),
+            QueryRequest(paper_graph, 3, 1, 7),
+            QueryRequest(paper_graph, 2, 2, 4),
+        ]
+        plan = plan_queries(requests, engine="index")
+        results = execute_plan(plan, registry=registry, collect=True)
+        assert [r.time_range for r in results] == [
+            (1, 4), (1, 12), (1, 7), (2, 4)]
+        want0 = enumerate_temporal_kcores_ref(paper_graph, 2, 1, 4)
+        assert results[0].edge_sets() == want0.edge_sets()
+        want3 = enumerate_temporal_kcores_ref(paper_graph, 2, 2, 4)
+        assert results[3].edge_sets() == want3.edge_sets()
+
+    def test_direct_engine_answers_without_registry_population(self, paper_graph):
+        registry = CoreIndexRegistry(capacity=4)
+        plan = plan_queries(
+            [QueryRequest(paper_graph, 2, 1, 4)], engine="direct"
+        )
+        results = execute_plan(plan, registry=registry, collect=True)
+        assert results[0].num_results == 2
+        assert len(registry) == 0  # direct plans never build an index
+
+    def test_per_request_sinks_are_honoured(self, paper_graph):
+        count = CountSink()
+        flat = FlatArraySink()
+        plan = plan_queries(
+            [
+                QueryRequest(paper_graph, 2, 1, 4, sink=count),
+                QueryRequest(paper_graph, 2, 1, 4, sink=flat),
+            ],
+            engine="index",
+        )
+        results = execute_plan(plan, registry=CoreIndexRegistry(capacity=2))
+        assert count.num_results == 2
+        assert flat.num_results == 2
+        assert {
+            (ts, te) for ts, te, _run in flat.iter_cores()
+        } == {(1, 4), (2, 3)}
+        assert [r.num_results for r in results] == [2, 2]
+
+
+class TestValidation:
+    def test_sub_span_index_rejects_outside_ranges(self, paper_graph):
+        from repro.core.coretime import compute_core_times
+
+        sub = CoreIndex.from_core_times(
+            paper_graph, 2, compute_core_times(paper_graph, 2, 2, 5)
+        )
+        with pytest.raises(InvalidParameterError):
+            sub.query_batch([(1, 5)])
+        with pytest.raises(InvalidParameterError):
+            sub.query(2, 6)
+
+    def test_empty_batch_returns_empty(self, paper_graph):
+        index = CoreIndex(paper_graph, 2)
+        assert index.query_batch([]) == []
+
+
+class TestDeadline:
+    def test_expired_deadline_marks_all_requests_incomplete(self, paper_graph):
+        from repro.utils.timer import Deadline
+
+        index = CoreIndex(paper_graph, 2)
+        results = index.query_batch(
+            [(1, 4), (2, 5)], deadline=Deadline(0.0)
+        )
+        assert all(not result.completed for result in results)
+        assert all(result.num_results == 0 for result in results)

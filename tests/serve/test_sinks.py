@@ -1,0 +1,170 @@
+"""Result sink unit tests: counters, delivery semantics, streaming."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.enumerate import enumerate_temporal_kcores
+from repro.serve.sinks import (
+    CallbackSink,
+    CountSink,
+    FlatArraySink,
+    MaterializingSink,
+    NDJSONSink,
+    TeeSink,
+    make_sink,
+)
+
+
+def emit_batches(sink):
+    """Two hand-built batches: ts=2 with two cores, ts=3 with one."""
+    sink.emit(
+        2,
+        np.array([5, 7], dtype=np.int64),
+        np.array([2, 3], dtype=np.int64),
+        np.array([10, 11, 12], dtype=np.int64),
+    )
+    sink.emit(
+        3,
+        np.array([7], dtype=np.int64),
+        np.array([1], dtype=np.int64),
+        np.array([12], dtype=np.int64),
+    )
+    sink.finish(True)
+
+
+class TestCounters:
+    @pytest.mark.parametrize(
+        "factory",
+        [CountSink, MaterializingSink, FlatArraySink,
+         lambda: CallbackSink(lambda *args: None)],
+    )
+    def test_every_sink_counts_identically(self, factory):
+        sink = factory()
+        emit_batches(sink)
+        assert sink.num_results == 3
+        assert sink.total_edges == 6
+        assert sink.completed
+
+    def test_result_packaging(self):
+        sink = CountSink()
+        emit_batches(sink)
+        result = sink.result("enum", 2, (2, 7))
+        assert (result.num_results, result.total_edges) == (3, 6)
+        assert result.cores is None
+        assert result.completed
+
+    def test_finish_false_is_sticky(self):
+        sink = CountSink()
+        sink.finish(False)
+        sink.finish(True)
+        assert not sink.completed
+
+
+class TestMaterializing:
+    def test_cores_are_prefixes_of_the_run(self):
+        sink = MaterializingSink()
+        emit_batches(sink)
+        assert [core.tti for core in sink.cores] == [(2, 5), (2, 7), (3, 7)]
+        assert [core.edge_ids for core in sink.cores] == [
+            (10, 11), (10, 11, 12), (12,)]
+        result = sink.result("enum", 2, (2, 7))
+        assert result.cores is sink.cores
+
+
+class TestCallback:
+    def test_live_prefix_protocol(self):
+        seen = []
+        sink = CallbackSink(lambda ts, te, edges: seen.append(
+            (ts, te, list(edges), id(edges))))
+        emit_batches(sink)
+        assert [(ts, te, edges) for ts, te, edges, _ in seen] == [
+            (2, 5, [10, 11]), (2, 7, [10, 11, 12]), (3, 7, [12])]
+        # Within one start time the callback receives the *same* live list.
+        assert seen[0][3] == seen[1][3]
+        assert seen[1][3] != seen[2][3]
+
+
+class TestNDJSON:
+    def test_one_line_per_core(self):
+        stream = io.StringIO()
+        sink = NDJSONSink(stream)
+        emit_batches(sink)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines == [
+            {"tti": [2, 5], "num_edges": 2, "edge_ids": [10, 11]},
+            {"tti": [2, 7], "num_edges": 3, "edge_ids": [10, 11, 12]},
+            {"tti": [3, 7], "num_edges": 1, "edge_ids": [12]},
+        ]
+
+    def test_without_edge_ids_lines_are_constant_size(self):
+        stream = io.StringIO()
+        sink = NDJSONSink(stream, edge_ids=False)
+        emit_batches(sink)
+        lines = [json.loads(line) for line in stream.getvalue().splitlines()]
+        assert lines[0] == {"tti": [2, 5], "num_edges": 2}
+        assert all("edge_ids" not in line for line in lines)
+
+    def test_streams_during_enumeration_not_after(self, paper_graph):
+        written_at: list[int] = []
+
+        class Spy(io.StringIO):
+            def write(self, text):
+                written_at.append(text.count("\n"))
+                return super().write(text)
+
+        stream = Spy()
+        enumerate_temporal_kcores(paper_graph, 2, sink=NDJSONSink(stream))
+        assert sum(written_at) == 13  # one line per core, as emitted
+
+
+class TestFlatArray:
+    def test_columns_and_lazy_expansion(self):
+        sink = FlatArraySink()
+        emit_batches(sink)
+        ts, te, lengths, run_ids = sink.arrays()
+        assert ts.tolist() == [2, 2, 3]
+        assert te.tolist() == [5, 7, 7]
+        assert lengths.tolist() == [2, 3, 1]
+        assert run_ids.tolist() == [0, 0, 1]
+        expanded = [
+            (ts_, te_, run.tolist()) for ts_, te_, run in sink.iter_cores()
+        ]
+        assert expanded == [
+            (2, 5, [10, 11]), (2, 7, [10, 11, 12]), (3, 7, [12])]
+
+    def test_empty_arrays(self):
+        sink = FlatArraySink()
+        sink.finish(True)
+        ts, te, lengths, run_ids = sink.arrays()
+        assert len(ts) == len(te) == len(lengths) == len(run_ids) == 0
+
+    def test_shared_runs_are_stored_once(self, paper_graph):
+        sink = FlatArraySink()
+        result = enumerate_temporal_kcores(paper_graph, 2, sink=sink)
+        assert result.num_results == 13
+        stored = sum(len(run) for run in sink.runs)
+        assert stored < result.total_edges  # prefixes share their run
+
+
+class TestTeeAndFactory:
+    def test_tee_feeds_all_targets(self):
+        count = CountSink()
+        flat = FlatArraySink()
+        tee = TeeSink(count, flat)
+        emit_batches(tee)
+        assert count.num_results == flat.num_results == tee.num_results == 3
+        assert not tee.collects
+
+    def test_make_sink_matrix(self):
+        assert isinstance(make_sink(collect=True), MaterializingSink)
+        assert isinstance(make_sink(collect=False), CountSink)
+        streaming = make_sink(collect=False, on_result=lambda *a: None)
+        assert isinstance(streaming, CallbackSink)
+        both = make_sink(collect=True, on_result=lambda *a: None)
+        assert isinstance(both, TeeSink)
+        assert both.collects

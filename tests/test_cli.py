@@ -53,6 +53,87 @@ class TestQuery:
         assert main(["query", "-k", "2"]) == 2
         assert "error:" in capsys.readouterr().err
 
+    def test_output_ndjson_streams_one_line_per_core(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--range", "1", "4", "--output", "ndjson"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert {tuple(line["tti"]) for line in lines} == {(1, 4), (2, 3)}
+        for line in lines:
+            assert line["num_edges"] == len(line["edge_ids"])
+
+    def test_output_count_prints_counters_only(self, graph_file, capsys):
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--output", "count"]) == 0
+        fields = capsys.readouterr().out.split()
+        assert int(fields[0]) == 13
+        assert int(fields[1]) > 13  # |R| counts edges across cores
+
+    def test_output_ndjson_from_store(self, graph_file, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--range", "1", "4", "--store", store_dir,
+                     "--output", "ndjson"]) == 0
+        lines = [json.loads(line)
+                 for line in capsys.readouterr().out.splitlines()]
+        assert {tuple(line["tti"]) for line in lines} == {(1, 4), (2, 3)}
+
+
+class TestBatch:
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text(
+            "# mixed-k batch over the paper example\n"
+            "2 1 4\n"
+            "2 2 4\n"
+            "2 1 4\n"
+            "3 1 7\n",
+            encoding="utf-8",
+        )
+        return str(path)
+
+    def test_text_answers_and_plan_summary(self, graph_file, query_file, capsys):
+        assert main(["batch", "--input", graph_file,
+                     "--queries", query_file]) == 0
+        out = capsys.readouterr().out
+        assert "k=2 [1, 4]: 2 core(s)" in out
+        assert "plan: 4 queries" in out
+        assert "1 identical deduped" in out
+
+    def test_json_answers_match_single_queries(self, graph_file, query_file, capsys):
+        assert main(["batch", "--input", graph_file, "--queries", query_file,
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["requests"] == 4
+        answers = payload["answers"]
+        assert [a["time_range"] for a in answers] == [
+            [1, 4], [2, 4], [1, 4], [1, 7]]
+        # The deduped repeat answers identically.
+        assert answers[0] == answers[2]
+        assert answers[0]["num_results"] == 2
+
+    def test_no_merge_still_answers_identically(self, graph_file, query_file, capsys):
+        assert main(["batch", "--input", graph_file, "--queries", query_file,
+                     "--no-merge", "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["plan"]["merged"] == 0
+        assert [a["num_results"] for a in payload["answers"]] == [2, 1, 2, 0]
+
+    def test_malformed_line_names_line_number(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "bad.txt"
+        path.write_text("2 1 4\nnot a query\n", encoding="utf-8")
+        assert main(["batch", "--input", graph_file,
+                     "--queries", str(path)]) == 2
+        assert ":2:" in capsys.readouterr().err
+
+    def test_empty_query_file_errors(self, graph_file, tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# only comments\n", encoding="utf-8")
+        assert main(["batch", "--input", graph_file,
+                     "--queries", str(path)]) == 2
+        assert "no queries" in capsys.readouterr().err
+
 
 class TestStats:
     def test_text(self, graph_file, capsys):
