@@ -3,9 +3,12 @@
 The paper measures single queries; deployments run *batches* (the
 workload generator samples 100 ranges per parameter point).  Queries
 against one prebuilt :class:`~repro.core.index.CoreIndex` are
-independent and read-only, so they parallelise across processes.  Each
-worker builds the index once (from the pickled graph shipped at pool
-start) and answers its share of ranges.
+independent and read-only, so they parallelise across processes: the
+``processes=`` path hands the planned batch to a
+:class:`~repro.serve.parallel.WorkerPool` whose workers attach to a
+shared :class:`~repro.store.index_store.IndexStore` by mmap — the graph
+and index are persisted once by the parent and *opened* (never pickled,
+never rebuilt) by every worker.
 
 The sequential path fetches its index through a
 :class:`~repro.core.index.CoreIndexRegistry` (the process-wide default
@@ -34,16 +37,17 @@ everything still missing — before answering in input order.
 For small workloads the pool start-up dwarfs the queries — callers
 should batch at least a few dozen ranges or stay sequential; the
 ``processes=None`` default means "sequential", making parallelism a
-deliberate opt-in.
+deliberate opt-in.  (Earlier revisions shipped the full edge list into
+each worker and rebuilt the index per worker; that initializer is gone
+— the store-backed pool is strictly cheaper and answers identically.)
 """
 
 from __future__ import annotations
 
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.index import CoreIndex, CoreIndexRegistry, DEFAULT_REGISTRY, get_core_index
+from repro.core.index import CoreIndexRegistry, DEFAULT_REGISTRY, get_core_index
 from repro.core.query import TimeRangeCoreQuery
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
@@ -51,10 +55,8 @@ from repro.serve.executor import execute_plan
 from repro.serve.planner import QueryRequest, plan_queries
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.parallel import WorkerPool
     from repro.store.index_store import IndexStore
-
-# Per-worker state, created once by the pool initializer.
-_WORKER_INDEX: CoreIndex | None = None
 
 
 @dataclass(frozen=True)
@@ -72,25 +74,13 @@ class BatchAnswer:
     k: int | None = None
 
 
-def _init_worker(edges: tuple, k: int) -> None:
-    global _WORKER_INDEX
-    graph = TemporalGraph(list(edges))
-    _WORKER_INDEX = CoreIndex(graph, k)
-
-
-def _answer(time_range: tuple[int, int]) -> BatchAnswer:
-    assert _WORKER_INDEX is not None, "worker not initialised"
-    ts, te = time_range
-    result = _WORKER_INDEX.query(ts, te, collect=False)
-    return BatchAnswer(time_range, result.num_results, result.total_edges)
-
-
 def run_query_batch(
     graph: TemporalGraph,
     k: int,
     ranges: list[tuple[int, int]],
     *,
     processes: int | None = None,
+    parallel: "WorkerPool | None" = None,
     registry: CoreIndexRegistry | None = None,
     store: "IndexStore | None" = None,
 ) -> list[BatchAnswer]:
@@ -98,15 +88,22 @@ def run_query_batch(
 
     ``processes=None`` runs sequentially in-process, fetching the index
     from ``registry`` (default: the process-wide registry) so repeated
-    batches on the same graph hit the cache; ``processes >= 1`` fans out
-    over a process pool, each worker holding its own index.  Answers come
-    back in input order either way.
+    batches on the same graph hit the cache; ``processes >= 1`` fans the
+    planned covering windows out over a store-backed
+    :class:`~repro.serve.parallel.WorkerPool` — the index is persisted
+    once into an ephemeral store and every worker attaches to it by
+    mmap (no per-worker build, no pickled edges).  Answers come back in
+    input order either way.  Callers that serve many batches should
+    keep their own pool and pass it as ``parallel`` instead, so the
+    worker processes and their mmap attachments persist across calls
+    (``processes`` is then ignored).
 
     ``store`` makes the sequential path's cache miss fall through to the
     on-disk index store (fingerprint match) before computing, so a batch
     served by a freshly booted process warm-starts from the last
-    prebuild instead of paying Algorithm 2.  The parallel path ignores
-    it (workers are separate processes holding their own indexes).
+    prebuild instead of paying Algorithm 2.  With ``processes=``, it
+    also becomes the pool's shared store (workers attach to it
+    directly) instead of an ephemeral temp directory.
 
     Registry caching pins the graph (plus its compiled arrays and index)
     until LRU eviction, and makes a repeated batch skip the index build.
@@ -116,29 +113,25 @@ def run_query_batch(
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
+    if processes is not None and processes < 1:
+        raise InvalidParameterError(f"processes must be >= 1, got {processes}")
     if not ranges:
         return []
     for ts, te in ranges:
         graph.check_window(ts, te)
 
-    if processes is None:
-        index = get_core_index(graph, k, registry=registry, store=store)
-        return [
-            BatchAnswer((ts, te), result.num_results, result.total_edges)
-            for (ts, te), result in zip(ranges, index.query_batch(ranges))
-        ]
+    index = get_core_index(graph, k, registry=registry, store=store)
+    if parallel is None and processes is not None:
+        from repro.serve.parallel import open_pool
 
-    if processes < 1:
-        raise InvalidParameterError(f"processes must be >= 1, got {processes}")
-    edges = tuple(
-        (graph.label_of(u), graph.label_of(v), t) for u, v, t in graph.edges
-    )
-    with ProcessPoolExecutor(
-        max_workers=processes,
-        initializer=_init_worker,
-        initargs=(edges, k),
-    ) as pool:
-        return list(pool.map(_answer, ranges))
+        with open_pool(processes, store=store) as pool:
+            results = index.query_batch(ranges, parallel=pool)
+    else:
+        results = index.query_batch(ranges, parallel=parallel)
+    return [
+        BatchAnswer((ts, te), result.num_results, result.total_edges)
+        for (ts, te), result in zip(ranges, results)
+    ]
 
 
 def run_mixed_batch(
@@ -146,6 +139,7 @@ def run_mixed_batch(
     *,
     registry: CoreIndexRegistry | None = None,
     store: "IndexStore | None" = None,
+    parallel: "WorkerPool | None" = None,
 ) -> list[BatchAnswer]:
     """Answer heterogeneous ``(graph, k, (ts, te))`` queries (count-only).
 
@@ -161,7 +155,9 @@ def run_mixed_batch(
 
     A batch mixing four ``k`` values against a cold graph therefore
     costs one multi-``k`` build, not four Algorithm-2 runs; with a
-    prebuilt store it costs zero.
+    prebuilt store it costs zero.  ``parallel`` fans the plan's
+    covering windows — across *all* its ``(graph, k)`` groups — out
+    over a :class:`~repro.serve.parallel.WorkerPool`.
     """
     if not queries:
         return []
@@ -189,7 +185,7 @@ def run_mixed_batch(
         [QueryRequest(graph, k, ts, te) for graph, k, (ts, te) in queries],
         engine="index",
     )
-    results = execute_plan(plan, registry=target, store=store)
+    results = execute_plan(plan, registry=target, store=store, parallel=parallel)
     return [
         BatchAnswer(query[2], result.num_results, result.total_edges, query[1])
         for query, result in zip(queries, results)

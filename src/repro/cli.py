@@ -235,7 +235,17 @@ def cmd_batch(args: argparse.Namespace) -> int:
     plan = plan_queries(
         requests, engine="index", merge_overlaps=not args.no_merge
     )
-    results = execute_plan(plan, registry=registry, store=store)
+    if args.processes:
+        from repro.serve.parallel import open_pool
+
+        # Workers attach to --store when given (mmap, zero copy); an
+        # ephemeral store backs the pool otherwise.
+        with open_pool(args.processes, store=store) as pool:
+            results = execute_plan(
+                plan, registry=registry, store=store, parallel=pool
+            )
+    else:
+        results = execute_plan(plan, registry=registry, store=store)
     stats = plan.stats
     if args.format == "json":
         print(json.dumps({
@@ -406,6 +416,11 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument(
         "--no-merge", action="store_true",
         help="disable overlap merging (only identical ranges share work)",
+    )
+    batch.add_argument(
+        "--processes", type=int, default=0, metavar="N",
+        help="fan the planned windows out over N worker processes "
+             "attached to the shared index store by mmap (0 = in-process)",
     )
     batch.add_argument("--format", choices=("text", "json"), default="text")
     batch.set_defaults(func=cmd_batch)

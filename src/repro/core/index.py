@@ -35,6 +35,7 @@ from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.timer import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.parallel import WorkerPool
     from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
 
@@ -118,6 +119,7 @@ class CoreIndex:
         sinks: "list[ResultSink | None] | None" = None,
         deadline: Deadline | None = None,
         merge_overlaps: bool = True,
+        parallel: "WorkerPool | None" = None,
     ) -> list[EnumerationResult]:
         """Answer many ranges from the shared index in one planned pass.
 
@@ -132,7 +134,11 @@ class CoreIndex:
         cached sorted skyline view.  Results come back in input order;
         ``collect`` defaults to ``False`` (count only), matching batch
         traffic.  ``sinks``, when given, carries one optional
-        per-range delivery sink.
+        per-range delivery sink.  ``parallel`` hands the planned
+        windows to a :class:`~repro.serve.parallel.WorkerPool`, which
+        executes them across store-attached worker processes (this
+        index is persisted into the pool store, so workers mmap the
+        identical blob rather than rebuild).
         """
         from repro.serve.executor import execute_plan
         from repro.serve.planner import plan_for_index
@@ -143,7 +149,9 @@ class CoreIndex:
         plan = plan_for_index(
             self, ranges, sinks=sinks, merge_overlaps=merge_overlaps
         )
-        return execute_plan(plan, collect=collect, deadline=deadline)
+        return execute_plan(
+            plan, collect=collect, deadline=deadline, parallel=parallel
+        )
 
     def historical_core(self, ts: int, te: int) -> set[int]:
         """Single-window (historical) k-core members, index-only.

@@ -44,8 +44,10 @@ from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.serve.parallel import WorkerPool
     from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
+    from repro.utils.timer import Deadline
 
 
 def _normalise_ks(k: int | Iterable[int]) -> tuple[int, ...]:
@@ -209,6 +211,34 @@ class StreamingCoreService:
         """
         self._ensure_fresh(strict)
         return self._index_for(k).query(ts, te, collect=collect, sink=sink)
+
+    def query_batch(
+        self,
+        ranges: Iterable[tuple[int, int]],
+        *,
+        k: int | None = None,
+        strict: bool = False,
+        collect: bool = False,
+        deadline: "Deadline | None" = None,
+        parallel: "WorkerPool | None" = None,
+    ) -> list[EnumerationResult]:
+        """Answer many ranges against the service's index, in input order.
+
+        One staleness check covers the whole batch (``strict=True``
+        folds pending edges in first, once), then the ranges go through
+        :meth:`CoreIndex.query_batch
+        <repro.core.index.CoreIndex.query_batch>` — deduped, merged
+        into covering windows, cut with one vectorised sweep.
+        ``parallel`` fans the covering windows out over a
+        :class:`~repro.serve.parallel.WorkerPool`; the service's
+        current index is persisted into the pool store so workers mmap
+        it (a rebuilt index after further appends is a new fingerprint
+        — workers attach to the new blob, never a stale one).
+        """
+        self._ensure_fresh(strict)
+        return self._index_for(k).query_batch(
+            ranges, collect=collect, deadline=deadline, parallel=parallel
+        )
 
     def query_raw(
         self,

@@ -13,10 +13,17 @@ Serving splits into three stages (see ``docs/SERVING.md``):
 * **sink** (:mod:`repro.serve.sinks`) — deliver results: materialised
   core objects, streaming callbacks, counters, NDJSON lines or flat
   arrays.
+
+A fourth, optional axis fans execution out across processes
+(:mod:`repro.serve.parallel`): a :class:`WorkerPool` of store-attached
+workers (mmap, zero copy) executes the plan's covering windows in
+parallel — ``execute_plan(parallel=pool)`` — and the parent stitches
+the columnar results back into input order through the same sinks.
 """
 
 from repro.serve.columnar import run_columnar_walk
 from repro.serve.executor import execute_plan
+from repro.serve.parallel import WorkerPool, open_pool
 from repro.serve.planner import (
     CoveringWindow,
     PlanGroup,
@@ -47,8 +54,10 @@ __all__ = [
     "QueryRequest",
     "ResultSink",
     "TeeSink",
+    "WorkerPool",
     "execute_plan",
     "make_sink",
+    "open_pool",
     "plan_queries",
     "run_columnar_walk",
 ]

@@ -12,13 +12,17 @@ Execution walks the plan group by group:
 * every covering window is enumerated **once** by the columnar core
   (:func:`~repro.serve.columnar.run_columnar_walk`); when several
   requests share the window, a slice router fans each emission batch
-  out to the requests whose range contains the reported TTIs — a
-  binary search per request per start time, nothing re-enumerated.
+  out to the requests whose range contains the reported TTIs — the
+  target ranges are held as flat interval arrays, so each batch is
+  routed with one vectorised ``searchsorted`` over all active targets
+  (and a counting-only batch never re-enters Python at all).
 
 Results come back as one :class:`~repro.core.results.EnumerationResult`
 per request, in request order; requests that carry their own sink are
 delivered through it (and the returned result reflects that sink's
-counters).
+counters).  ``execute_plan(parallel=...)`` hands the whole plan to a
+:class:`~repro.serve.parallel.WorkerPool` instead, which partitions the
+covering windows across store-attached worker processes.
 """
 
 from __future__ import annotations
@@ -36,52 +40,88 @@ from repro.utils.timer import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.index import CoreIndexRegistry
+    from repro.serve.parallel import WorkerPool
     from repro.store.index_store import IndexStore
+
+_NO_ACTIVE = np.empty(0, dtype=np.int64)
 
 
 class _SliceRouter(ResultSink):
     """Fan one covering walk out to the requests it serves.
 
-    Targets are ``(ts, te, sink)``; an emission batch at start time
-    ``t`` reaches every target with ``ts <= t`` (targets activate in
-    sorted order as ``t`` grows, and retire once ``te < t``), cut down
-    by one ``searchsorted`` to the prefix of cores whose TTI end fits
-    inside the target range — exactly the cores of that range, since a
-    covering window's cores restricted to a contained range are the
-    range's own cores (TTI containment, see the planner notes).
+    Targets are ``(ts, te, sink)``, held as one shared pair of flat
+    interval arrays sorted by ``ts``.  An emission batch at start time
+    ``t`` reaches every target with ``ts <= t <= te`` — activation is a
+    single ``searchsorted`` into the start array (starts only grow), and
+    the prefix of cores each active target reports (those whose TTI end
+    fits inside its range) is found for *all* active targets with one
+    vectorised ``searchsorted`` of their end bounds into the batch's
+    sorted ``ends``.  That prefix is exactly the target range's own
+    answer: a covering window's cores restricted to a contained range
+    are the range's cores (TTI containment, see the planner notes).
+
+    When every target delivers to a bare :class:`CountSink` (the batch
+    default), routing never re-enters Python per target: the per-target
+    result and edge counters are accumulated as flat arrays (one
+    ``cumsum`` of the batch's prefix lengths gives every cut's edge
+    total) and written into the sinks once, at :meth:`finish`.  This is
+    what keeps 1000+-request contended batches vectorised end to end.
     """
 
     def __init__(self, targets: list[tuple[int, int, ResultSink]]):
         super().__init__()
-        self._pending = sorted(targets, key=lambda target: target[0])
+        order = sorted(range(len(targets)), key=lambda i: targets[i][0])
+        self._ts = np.array([targets[i][0] for i in order], dtype=np.int64)
+        self._te = np.array([targets[i][1] for i in order], dtype=np.int64)
+        self._sinks = [targets[i][2] for i in order]
         self._position = 0
-        self._active: list[tuple[int, int, ResultSink]] = []
+        self._active = _NO_ACTIVE  # indices of activated, unretired targets
+        self._counting = all(type(sink) is CountSink for sink in self._sinks)
+        if self._counting:
+            self._num = np.zeros(len(targets), dtype=np.int64)
+            self._edges = np.zeros(len(targets), dtype=np.int64)
 
     def consume(self, t, ends, prefix_lens, eids) -> None:
-        pending = self._pending
-        while self._position < len(pending) and pending[self._position][0] <= t:
-            self._active.append(pending[self._position])
-            self._position += 1
-        if not self._active:
+        hi = int(np.searchsorted(self._ts, t, side="right"))
+        if hi > self._position:
+            self._active = np.concatenate(
+                (self._active, np.arange(self._position, hi, dtype=np.int64))
+            )
+            self._position = hi
+        if not len(self._active):
             return
-        alive: list[tuple[int, int, ResultSink]] = []
-        for target in self._active:
-            ts, te, sink = target
-            if te < t:  # reported TTI starts only grow; this target is done
-                continue
-            alive.append(target)
-            count = int(np.searchsorted(ends, te, side="right"))
+        # Reported TTI starts only grow; a target whose te fell behind
+        # t is done for good.
+        keep = self._te[self._active] >= t
+        if not keep.all():
+            self._active = self._active[keep]
+        active = self._active
+        if not len(active):
+            return
+        counts = np.searchsorted(ends, self._te[active], side="right")
+        if self._counting:
+            totals = np.concatenate(
+                (np.zeros(1, dtype=np.int64), np.cumsum(prefix_lens))
+            )
+            self._num[active] += counts  # active indices are distinct
+            self._edges[active] += totals[counts]
+            return
+        sinks = self._sinks
+        for idx, count in zip(active.tolist(), counts.tolist()):
             if count:
                 # Cut the shared run to the largest prefix this target
                 # reports — downstream sinks convert what they receive,
                 # and a narrow range must not pay for the wide window.
                 run = eids[: int(prefix_lens[count - 1])]
-                sink.emit(t, ends[:count], prefix_lens[:count], run)
-        self._active = alive
+                sinks[idx].emit(t, ends[:count], prefix_lens[:count], run)
 
     def finish(self, completed: bool) -> None:
         super().finish(completed)
-        for _ts, _te, sink in self._pending:
+        if self._counting:
+            for idx, sink in enumerate(self._sinks):
+                sink.num_results += int(self._num[idx])
+                sink.total_edges += int(self._edges[idx])
+        for sink in self._sinks:
             sink.finish(completed)
 
 
@@ -136,6 +176,7 @@ def execute_plan(
     store: "IndexStore | None" = None,
     collect: bool = False,
     deadline: Deadline | None = None,
+    parallel: "WorkerPool | None" = None,
 ) -> list[EnumerationResult]:
     """Run ``plan``; one :class:`EnumerationResult` per request, in order.
 
@@ -146,7 +187,18 @@ def execute_plan(
     walk: on expiry the remaining windows abort immediately and their
     requests come back with ``completed=False`` and whatever was
     delivered before the abort.
+
+    ``parallel`` hands the plan to a
+    :class:`~repro.serve.parallel.WorkerPool`: covering windows are
+    partitioned by estimated work and executed across store-attached
+    worker processes, with results stitched back into input order
+    through the same sink interface.  The pool falls back to this
+    sequential path for plans too small to amortise the dispatch.
     """
+    if parallel is not None:
+        return parallel.execute(
+            plan, registry=registry, collect=collect, deadline=deadline
+        )
     sinks: list[ResultSink] = [
         request.sink
         if request.sink is not None

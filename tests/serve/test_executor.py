@@ -125,6 +125,91 @@ class TestMixedPlans:
         assert [r.num_results for r in results] == [2, 2]
 
 
+class TestSliceRouter:
+    """The vectorised flat-interval router (PR 6 satellite)."""
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_contended_batch_routes_like_single_queries(self, seed):
+        """1000 requests on one hot region, all through one shared walk."""
+        graph = uniform_random_temporal(13, 150, tmax=24, seed=seed)
+        index = CoreIndex(graph, 2)
+        rng = random.Random(3200 + seed)
+        ranges = overlapping_ranges(rng, graph.tmax, 1000)
+        batch = index.query_batch(ranges)
+        singles = {
+            time_range: index.query(*time_range, collect=False)
+            for time_range in set(ranges)
+        }
+        for time_range, got in zip(ranges, batch):
+            want = singles[time_range]
+            assert got.num_results == want.num_results, time_range
+            assert got.total_edges == want.total_edges, time_range
+
+    def test_counting_fast_path_defers_sink_updates_to_finish(self):
+        """All-CountSink routing accumulates in arrays, not per emission."""
+        from repro.serve.executor import _SliceRouter
+
+        sinks = [CountSink() for _ in range(3)]
+        router = _SliceRouter(
+            [(1, 6, sinks[0]), (2, 4, sinks[1]), (5, 9, sinks[2])]
+        )
+        assert router._counting
+        import numpy as np
+
+        router.emit(
+            2,
+            np.array([3, 5], dtype=np.int64),
+            np.array([2, 4], dtype=np.int64),
+            np.array([10, 11, 12, 13], dtype=np.int64),
+        )
+        # nothing delivered yet: the fast path writes once, at finish
+        assert [s.num_results for s in sinks] == [0, 0, 0]
+        router.finish(True)
+        # target [1,6] sees both cut ends (3 and 5); [2,4] only end 3;
+        # [5,9] is not active at t=2 (ts=5 > 2).
+        assert [s.num_results for s in sinks] == [2, 1, 0]
+        assert [s.total_edges for s in sinks] == [4 + 2, 2, 0]
+        assert all(s.completed for s in sinks)
+
+    def test_mixed_sinks_slice_prefixes_per_target(self):
+        """A custom sink alongside counters still receives its own cut."""
+        from repro.serve.executor import _SliceRouter
+
+        import numpy as np
+
+        flat = FlatArraySink()
+        count = CountSink()
+        router = _SliceRouter([(1, 9, flat), (1, 3, count)])
+        assert not router._counting
+        router.emit(
+            1,
+            np.array([3, 7], dtype=np.int64),
+            np.array([2, 5], dtype=np.int64),
+            np.array([4, 5, 6, 7, 8], dtype=np.int64),
+        )
+        router.finish(True)
+        assert flat.num_results == 2 and flat.total_edges == 7
+        assert count.num_results == 1 and count.total_edges == 2
+        assert [
+            (ts, te, list(run)) for ts, te, run in flat.iter_cores()
+        ] == [(1, 3, [4, 5]), (1, 7, [4, 5, 6, 7, 8])]
+
+    def test_targets_starting_later_activate_later(self):
+        from repro.serve.executor import _SliceRouter
+
+        import numpy as np
+
+        early = CountSink()
+        late = CountSink()
+        router = _SliceRouter([(1, 9, early), (5, 9, late)])
+        one = np.array([6], dtype=np.int64)
+        router.emit(2, one, one, np.array([0], dtype=np.int64))
+        router.emit(5, one, one, np.array([1], dtype=np.int64))
+        router.finish(True)
+        assert early.num_results == 2
+        assert late.num_results == 1  # missed the t=2 emission
+
+
 class TestValidation:
     def test_sub_span_index_rejects_outside_ranges(self, paper_graph):
         from repro.core.coretime import compute_core_times

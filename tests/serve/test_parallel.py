@@ -1,0 +1,312 @@
+"""WorkerPool tests: parallel answers == sequential == reference oracle."""
+
+from __future__ import annotations
+
+import os
+import pathlib
+import random
+
+import pytest
+
+from repro.bench.batch import run_mixed_batch, run_query_batch
+from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
+from repro.core.index import CoreIndex, CoreIndexRegistry
+from repro.core.maintenance import StreamingCoreService
+from repro.errors import InvalidParameterError
+from repro.graph.generators import uniform_random_temporal
+from repro.serve.executor import execute_plan
+from repro.serve.parallel import WorkerPool, _partition, open_pool
+from repro.serve.planner import CoveringWindow, QueryRequest, plan_queries
+from repro.store import IndexStore
+from repro.utils.timer import Deadline
+
+from tests.serve.test_executor import overlapping_ranges
+
+
+@pytest.fixture(scope="module")
+def pool(tmp_path_factory):
+    """One 2-worker pool shared by the module (spawn cost paid once)."""
+    store = tmp_path_factory.mktemp("pool-store")
+    with WorkerPool(store, processes=2, min_parallel_windows=0) as pool:
+        yield pool
+
+
+def counters(results):
+    return [(r.num_results, r.total_edges, r.completed) for r in results]
+
+
+def core_sets(results):
+    return [
+        {(c.tti, frozenset(c.edge_ids)) for c in (r.cores or [])}
+        for r in results
+    ]
+
+
+class TestParallelEqualsSequential:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_counts_match_executor_and_oracle(self, pool, seed):
+        graph = uniform_random_temporal(13, 150, tmax=24, seed=seed)
+        k = 2 + seed % 2
+        rng = random.Random(7000 + seed)
+        ranges = overlapping_ranges(rng, graph.tmax, 10)
+        requests = [QueryRequest(graph, k, ts, te) for ts, te in ranges]
+
+        parallel = execute_plan(plan_queries(requests), parallel=pool)
+        sequential = execute_plan(plan_queries(requests))
+        assert counters(parallel) == counters(sequential)
+        for (ts, te), got in zip(ranges, parallel):
+            want = enumerate_temporal_kcores_ref(graph, k, ts, te)
+            assert got.num_results == want.num_results
+            assert got.total_edges == want.total_edges
+
+    @pytest.mark.parametrize("seed", range(2))
+    def test_collected_cores_match_executor(self, pool, seed):
+        graph = uniform_random_temporal(12, 120, tmax=18, seed=30 + seed)
+        rng = random.Random(8100 + seed)
+        ranges = overlapping_ranges(rng, graph.tmax, 8)
+        requests = [QueryRequest(graph, 2, ts, te) for ts, te in ranges]
+        parallel = execute_plan(
+            plan_queries(requests), collect=True, parallel=pool
+        )
+        sequential = execute_plan(
+            plan_queries([QueryRequest(graph, 2, ts, te) for ts, te in ranges]),
+            collect=True,
+        )
+        assert core_sets(parallel) == core_sets(sequential)
+
+    def test_direct_engine_windows_fan_out(self, pool, paper_graph):
+        ranges = [(1, 4), (2, 6), (5, 7), (1, 7)]
+        requests = [QueryRequest(paper_graph, 2, ts, te) for ts, te in ranges]
+        before = pool.tasks_dispatched
+        parallel = execute_plan(
+            plan_queries(requests, engine="direct"), parallel=pool
+        )
+        sequential = execute_plan(
+            plan_queries(
+                [QueryRequest(paper_graph, 2, ts, te) for ts, te in ranges],
+                engine="direct",
+            )
+        )
+        assert counters(parallel) == counters(sequential)
+        assert pool.tasks_dispatched > before
+
+    def test_single_worker_pool(self, tmp_path, paper_graph):
+        ranges = [(1, 4), (2, 6), (1, 7), (3, 5)]
+        with WorkerPool(
+            tmp_path / "store", processes=1, min_parallel_windows=0
+        ) as single:
+            parallel = run_query_batch(paper_graph, 2, ranges, parallel=single)
+        assert parallel == run_query_batch(paper_graph, 2, ranges)
+
+    def test_mixed_batch_through_pool(self, pool, paper_graph, triangle_graph):
+        queries = [
+            (paper_graph, 2, (1, 4)),
+            (triangle_graph, 2, (1, 3)),
+            (paper_graph, 3, (1, 7)),
+            (paper_graph, 2, (2, 6)),
+        ]
+        registry = CoreIndexRegistry(capacity=8)
+        assert run_mixed_batch(
+            queries, registry=registry, parallel=pool
+        ) == run_mixed_batch(queries, registry=registry)
+
+    def test_streaming_service_batch(self, pool, paper_graph):
+        edges = [
+            (paper_graph.label_of(u), paper_graph.label_of(v), t)
+            for u, v, t in paper_graph.edges
+        ]
+        service = StreamingCoreService(2, edges)
+        ranges = [(1, 4), (2, 6), (1, 7)]
+        parallel = service.query_batch(ranges, parallel=pool)
+        sequential = service.query_batch(ranges)
+        assert counters(parallel) == counters(sequential)
+
+
+class TestDeadlines:
+    def test_expired_deadline_aborts_everywhere(self, pool, paper_graph):
+        requests = [
+            QueryRequest(paper_graph, 2, ts, te)
+            for ts, te in [(1, 4), (2, 6), (1, 7)]
+        ]
+        results = execute_plan(
+            plan_queries(requests), parallel=pool, deadline=Deadline(0.0)
+        )
+        assert all(not r.completed for r in results)
+
+    def test_generous_deadline_completes(self, pool, paper_graph):
+        requests = [
+            QueryRequest(paper_graph, 2, ts, te)
+            for ts, te in [(1, 4), (2, 6), (1, 7)]
+        ]
+        results = execute_plan(
+            plan_queries(requests), parallel=pool, deadline=Deadline(60.0)
+        )
+        assert all(r.completed for r in results)
+        assert counters(results) == counters(
+            execute_plan(
+                plan_queries(
+                    [
+                        QueryRequest(paper_graph, 2, ts, te)
+                        for ts, te in [(1, 4), (2, 6), (1, 7)]
+                    ]
+                )
+            )
+        )
+
+
+class TestRecovery:
+    def test_sigkilled_worker_is_replaced_and_answers_survive(
+        self, tmp_path, paper_graph
+    ):
+        fault = tmp_path / "kill-exactly-one-worker"
+        fault.touch()
+        ranges = [(1, 4), (2, 6), (1, 7), (3, 5), (5, 5), (2, 3)]
+        with WorkerPool(
+            tmp_path / "store",
+            processes=2,
+            min_parallel_windows=0,
+            _fault_path=os.fspath(fault),
+        ) as pool:
+            parallel = run_query_batch(paper_graph, 2, ranges, parallel=pool)
+            assert pool.broken_restarts >= 1
+        assert not fault.exists()  # the fault fired exactly once
+        assert parallel == run_query_batch(paper_graph, 2, ranges)
+
+    def test_exhausted_restarts_degrade_to_parent_execution(
+        self, tmp_path, paper_graph, monkeypatch
+    ):
+        import repro.serve.parallel as parallel_module
+
+        # Every dispatch dies: the pool must finish the batch itself.
+        def always_dead(chunk, timeout):
+            raise parallel_module.BrokenProcessPool("worker lost")
+
+        ranges = [(1, 4), (2, 6), (1, 7)]
+        with WorkerPool(
+            tmp_path / "store",
+            processes=1,
+            min_parallel_windows=0,
+            max_restarts=1,
+        ) as pool:
+            monkeypatch.setattr(parallel_module, "_worker_run", always_dead)
+
+            class _DeadFuture:
+                def __init__(self, *a, **kw):
+                    pass
+
+                def result(self):
+                    raise parallel_module.BrokenProcessPool("worker lost")
+
+            class _DeadExecutor:
+                def submit(self, fn, *args):
+                    return _DeadFuture()
+
+                def shutdown(self, **kwargs):
+                    pass
+
+            monkeypatch.setattr(
+                pool, "_ensure_executor", lambda: _DeadExecutor()
+            )
+            answers = run_query_batch(paper_graph, 2, ranges, parallel=pool)
+            assert pool.broken_restarts == pool.max_restarts + 1
+        assert answers == run_query_batch(paper_graph, 2, ranges)
+
+
+class TestFallbacksAndValidation:
+    def test_small_plans_stay_sequential(self, tmp_path, paper_graph):
+        with WorkerPool(
+            tmp_path / "store", processes=2, min_parallel_windows=100
+        ) as pool:
+            answers = run_query_batch(
+                paper_graph, 2, [(1, 4), (2, 6)], parallel=pool
+            )
+            assert pool.sequential_fallbacks == 1
+            assert pool.tasks_dispatched == 0
+        assert answers == run_query_batch(paper_graph, 2, [(1, 4), (2, 6)])
+
+    def test_validation(self, tmp_path):
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(tmp_path / "s", processes=0)
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(tmp_path / "s", min_parallel_windows=-1)
+        with pytest.raises(InvalidParameterError):
+            WorkerPool(tmp_path / "s", chunks_per_worker=0)
+
+    def test_legacy_processes_argument_routes_through_pool(self, paper_graph):
+        ranges = [(1, 4), (2, 6), (1, 7), (3, 5), (5, 5), (2, 3)]
+        sequential = run_query_batch(paper_graph, 2, ranges)
+        assert run_query_batch(paper_graph, 2, ranges, processes=2) == sequential
+        assert run_query_batch(paper_graph, 2, ranges, processes=1) == sequential
+
+    def test_edge_shipping_initializer_is_gone(self):
+        import repro.bench.batch as batch_module
+
+        assert not hasattr(batch_module, "_init_worker")
+        assert not hasattr(batch_module, "_answer")
+
+    def test_processes_with_store_uses_that_store(self, tmp_path, paper_graph):
+        store = IndexStore(tmp_path / "store")
+        # Disjoint ranges: several covering windows, so the ephemeral
+        # pool actually dispatches (and therefore persists) instead of
+        # taking the small-plan sequential fallback.
+        ranges = [(1, 2), (3, 4), (5, 7)]
+        answers = run_query_batch(
+            paper_graph, 2, ranges, processes=2, store=store
+        )
+        assert answers == run_query_batch(paper_graph, 2, ranges)
+        # the pool persisted into the caller's store, not a temp one
+        assert store.has_index(paper_graph, 2)
+
+
+class TestPoolInternals:
+    def test_partition_balances_and_orders_by_cost(self):
+        windows = [CoveringWindow(i, i + 1, [i]) for i in range(7)]
+        costs = [5, 1, 1, 1, 8, 1, 1]
+        packed = _partition(windows, costs, 3)
+        assert sum(len(ws) for ws, _ in packed) == len(windows)
+        totals = [total for _, total in packed]
+        assert totals == sorted(totals, reverse=True)
+        assert packed[0][0][0].ts == 4  # the cost-8 window leads
+        seen = {w.ts for ws, _ in packed for w in ws}
+        assert seen == set(range(7))
+
+    def test_partition_with_more_bins_than_windows(self):
+        windows = [CoveringWindow(1, 2, [0])]
+        packed = _partition(windows, [3], 4)
+        assert len(packed) == 1 and packed[0][0] == windows
+
+    def test_prestart_spawns_workers(self, tmp_path):
+        with WorkerPool(tmp_path / "store", processes=2) as pool:
+            pids = pool.prestart()
+            assert len(pids) == 2
+            assert all(pid != os.getpid() for pid in pids)
+
+    def test_store_persist_is_cached_across_batches(self, tmp_path, paper_graph):
+        with WorkerPool(
+            tmp_path / "store", processes=1, min_parallel_windows=0
+        ) as pool:
+            index = CoreIndex(paper_graph, 2)
+            key = pool.ensure_index(index)
+            assert pool.ensure_index(index) == key  # set-cached, no probe
+            assert pool.store.has_index(paper_graph, 2, key=key)
+
+    def test_unpersistable_graph_falls_back_sequential(self, tmp_path):
+        from repro.graph.temporal_graph import TemporalGraph
+
+        # tuple labels: rejected by the store codec
+        graph = TemporalGraph(
+            [(("a",), ("b",), 1), (("b",), ("c",), 1), (("a",), ("c",), 2)]
+        )
+        with WorkerPool(
+            tmp_path / "store", processes=1, min_parallel_windows=0
+        ) as pool:
+            answers = run_query_batch(graph, 2, [(1, 2), (1, 1)], parallel=pool)
+            assert pool.sequential_fallbacks == 1
+        assert answers == run_query_batch(graph, 2, [(1, 2), (1, 1)])
+
+    def test_open_pool_without_store_cleans_up(self, paper_graph):
+        with open_pool(1, min_parallel_windows=0) as pool:
+            root = pathlib.Path(pool.store.root)
+            run_query_batch(paper_graph, 2, [(1, 4), (2, 6)], parallel=pool)
+            assert root.exists()
+        assert not root.exists()
