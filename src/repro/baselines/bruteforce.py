@@ -14,7 +14,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.snapshot import Snapshot
 from repro.graph.static_core import snapshot_k_core
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 def enumerate_bruteforce(

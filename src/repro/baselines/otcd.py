@@ -23,7 +23,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.static_core import peel_k_core
 from repro.graph.temporal_graph import TemporalGraph
 from repro.utils.order import interval_contains
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class _CoreState:

@@ -26,7 +26,7 @@ from repro.core.enumerate import enumerate_temporal_kcores
 from repro.datasets.registry import load_dataset
 from repro.datasets.stats import compute_stats
 from repro.errors import BenchmarkError
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 #: Engines of the main comparison (Figure 6's series).
 FIG6_ENGINES = ("otcd", "coretime", "enumbase", "enum")

@@ -49,9 +49,38 @@ from repro.datasets.stats import compute_stats
 from repro.errors import ReproError
 from repro.graph.io import dump_edge_list, load_edge_list
 from repro.graph.temporal_graph import TemporalGraph
+from repro.obs.metrics import get_registry
+from repro.obs.report import report as obs_report
+from repro.obs.timing import Deadline
+from repro.obs.trace import Trace
 from repro.serve import CountSink, NDJSONSink, QueryRequest, execute_plan, plan_queries
 from repro.store import IndexStore
-from repro.utils.timer import Deadline
+from repro.store.index_store import _pid_alive
+
+
+def _write_metrics(path: str) -> None:
+    """Dump the process metrics registry as JSON to ``path`` (``-`` = stdout)."""
+    rendered = get_registry().render_json() + "\n"
+    if path == "-":
+        sys.stdout.write(rendered)
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+    except OSError as exc:
+        raise ReproError(f"cannot write metrics to {path!r}: {exc}") from exc
+
+
+def _write_trace(trace: Trace, path: str) -> None:
+    """Dump ``trace`` as NDJSON span events to ``path`` (``-`` = stdout)."""
+    if path == "-":
+        trace.write_ndjson(sys.stdout)
+        return
+    try:
+        with open(path, "w", encoding="utf-8") as handle:
+            trace.write_ndjson(handle)
+    except OSError as exc:
+        raise ReproError(f"cannot write trace to {path!r}: {exc}") from exc
 
 
 def _load_graph(args: argparse.Namespace) -> TemporalGraph:
@@ -133,6 +162,8 @@ def cmd_query(args: argparse.Namespace) -> int:
         result = query.run(sink=sink)
         time_range = query.time_range
         engine = args.engine
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     if args.output == "ndjson":
         # Cores already streamed line by line; nothing is buffered to print.
         return 0 if result.completed else 1
@@ -232,8 +263,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
         requests = [QueryRequest(graph, k, ts, te) for k, ts, te in queries]
     except ReproError as exc:
         raise ReproError(f"invalid query: {exc}") from exc
+    trace = Trace("batch") if args.trace_out else None
     plan = plan_queries(
-        requests, engine="index", merge_overlaps=not args.no_merge
+        requests, engine="index", merge_overlaps=not args.no_merge,
+        trace=trace,
     )
     if args.processes:
         from repro.serve.parallel import open_pool
@@ -246,6 +279,10 @@ def cmd_batch(args: argparse.Namespace) -> int:
             )
     else:
         results = execute_plan(plan, registry=registry, store=store)
+    if trace is not None:
+        _write_trace(trace, args.trace_out)
+    if args.metrics_out:
+        _write_metrics(args.metrics_out)
     stats = plan.stats
     if args.format == "json":
         print(json.dumps({
@@ -271,7 +308,75 @@ def cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _store_stats(args: argparse.Namespace) -> int:
+    """``stats --store DIR``: persisted keys, sizes, and lock liveness."""
+    store = IndexStore(args.store)
+    keys = []
+    for key in store.keys():
+        manifest = store.manifest(key)
+        fingerprint = manifest.get("fingerprint", {})
+        lock = store.lock_info(key)
+        if lock is not None:
+            lock = dict(lock)
+            lock["alive"] = _pid_alive(int(lock.get("pid", 0)))
+        keys.append({
+            "key": key,
+            "vertices": fingerprint.get("num_vertices"),
+            "temporal_edges": fingerprint.get("num_edges"),
+            "tmax": fingerprint.get("tmax"),
+            "indexes": [
+                {
+                    "k": int(k),
+                    "vct_size": entry.get("vct_size"),
+                    "ecs_size": entry.get("ecs_size"),
+                }
+                for k, entry in sorted(
+                    manifest.get("indexes", {}).items(),
+                    key=lambda item: int(item[0]),
+                )
+            ],
+            "lock": lock,
+        })
+    payload = {
+        "root": str(store.root),
+        "keys": keys,
+        "stale_takeovers": store.stale_takeovers,
+    }
+    if args.format == "json":
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"store {payload['root']}: {len(keys)} graph(s), "
+          f"{payload['stale_takeovers']} stale lock takeover(s) this process")
+    for entry in keys:
+        print(f"  {entry['key']}: {entry['vertices']} vertices, "
+              f"{entry['temporal_edges']} edges, tmax={entry['tmax']}")
+        for index in entry["indexes"]:
+            print(f"    k={index['k']}: |VCT| = {index['vct_size']}, "
+                  f"|ECS| = {index['ecs_size']}")
+        lock = entry["lock"]
+        if lock is None:
+            print("    lock: free")
+        else:
+            state = "live" if lock["alive"] else "stale (holder dead)"
+            print(f"    lock: held by pid {lock['pid']} [{state}], "
+                  f"acquired_at={lock.get('acquired_at')}")
+    return 0
+
+
 def cmd_stats(args: argparse.Namespace) -> int:
+    if args.store:
+        return _store_stats(args)
+    if args.metrics:
+        # The live process registry: whatever this process instrumented
+        # (with --input/--dataset the graph stats are computed first, so
+        # their instruments appear in the report too).
+        if args.input or args.dataset:
+            compute_stats(_load_graph(args))
+        if args.format == "json":
+            print(get_registry().render_json())
+        else:
+            print(obs_report(), end="")
+        return 0
     graph = _load_graph(args)
     stats = compute_stats(graph)
     rows = {
@@ -398,6 +503,11 @@ def build_parser() -> argparse.ArgumentParser:
              "JSON line per core to stdout as enumerated (O(1) memory), "
              "'count' prints 'num_results total_edges' only",
     )
+    query.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="dump the process metrics registry as JSON after answering "
+             "('-' = stdout)",
+    )
     query.set_defaults(func=cmd_query)
 
     batch = sub.add_parser(
@@ -423,10 +533,32 @@ def build_parser() -> argparse.ArgumentParser:
              "attached to the shared index store by mmap (0 = in-process)",
     )
     batch.add_argument("--format", choices=("text", "json"), default="text")
+    batch.add_argument(
+        "--metrics-out", metavar="FILE",
+        help="dump the process metrics registry as JSON after the batch "
+             "('-' = stdout)",
+    )
+    batch.add_argument(
+        "--trace-out", metavar="FILE",
+        help="record plan/execute spans and write them as NDJSON "
+             "('-' = stdout)",
+    )
     batch.set_defaults(func=cmd_batch)
 
-    stats = sub.add_parser("stats", help="Table III statistics of a graph")
+    stats = sub.add_parser(
+        "stats", help="Table III statistics of a graph, or of an index store"
+    )
     _add_graph_source(stats)
+    stats.add_argument(
+        "--store", metavar="DIR",
+        help="report an index store instead: persisted keys, index sizes, "
+             "writer-lock liveness, stale takeovers",
+    )
+    stats.add_argument(
+        "--metrics", action="store_true",
+        help="report the live process metrics registry instead "
+             "(counters, gauges, latency histograms)",
+    )
     stats.add_argument("--format", choices=("text", "json"), default="text")
     stats.set_defaults(func=cmd_stats)
 

@@ -16,7 +16,7 @@ from repro.core.results import EnumerationResult
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 def enumerate_temporal_kcores_base(

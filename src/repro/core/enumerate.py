@@ -34,7 +34,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.serve.columnar import run_columnar_walk
 from repro.serve.sinks import ResultSink, make_sink
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 def enumerate_temporal_kcores(

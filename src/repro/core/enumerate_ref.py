@@ -21,7 +21,7 @@ from repro.core.results import EnumerationResult, ResultCallback
 from repro.core.windows import ActiveWindow, EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 def _bucket_window_arrays(

@@ -21,7 +21,6 @@ from __future__ import annotations
 import io
 import os
 import threading
-import time
 from collections import OrderedDict
 from collections.abc import Iterable
 from dataclasses import dataclass
@@ -32,12 +31,23 @@ from repro.core.results import EnumerationResult
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.metrics import MetricsRegistry, get_registry, next_instance
+from repro.obs.timing import Deadline, now
+from repro.obs.trace import NULL_TRACE, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.parallel import WorkerPool
     from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
+
+
+def _build_seconds_histogram():
+    """Per-``k`` Algorithm-2 build-time histogram on the process registry."""
+    return get_registry().histogram(
+        "repro_index_build_seconds",
+        "Core-index (VCT+ECS) build time per Algorithm-2 run",
+        ("k",),
+    )
 
 
 class CoreIndex:
@@ -48,9 +58,10 @@ class CoreIndex:
             raise InvalidParameterError(f"k must be >= 1, got {k}")
         self.graph = graph
         self.k = k
-        started = time.perf_counter()
+        started = now()
         result: CoreTimeResult = compute_core_times(graph, k)
-        self.build_seconds = time.perf_counter() - started
+        self.build_seconds = now() - started
+        _build_seconds_histogram().labels(str(k)).observe(self.build_seconds)
         assert result.ecs is not None
         self.vct: VertexCoreTimeIndex = result.vct
         self.ecs: EdgeCoreSkyline = result.ecs
@@ -120,6 +131,7 @@ class CoreIndex:
         deadline: Deadline | None = None,
         merge_overlaps: bool = True,
         parallel: "WorkerPool | None" = None,
+        trace: Trace | None = None,
     ) -> list[EnumerationResult]:
         """Answer many ranges from the shared index in one planned pass.
 
@@ -138,7 +150,9 @@ class CoreIndex:
         windows to a :class:`~repro.serve.parallel.WorkerPool`, which
         executes them across store-attached worker processes (this
         index is persisted into the pool store, so workers mmap the
-        identical blob rather than rebuild).
+        identical blob rather than rebuild).  ``trace``, when given,
+        records a span tree for the batch — ``query_batch`` wrapping
+        ``plan`` and ``execute`` (see :mod:`repro.obs.trace`).
         """
         from repro.serve.executor import execute_plan
         from repro.serve.planner import plan_for_index
@@ -146,12 +160,18 @@ class CoreIndex:
         ranges = list(ranges)
         if not ranges:
             return []
-        plan = plan_for_index(
-            self, ranges, sinks=sinks, merge_overlaps=merge_overlaps
-        )
-        return execute_plan(
-            plan, collect=collect, deadline=deadline, parallel=parallel
-        )
+        trace = trace if trace is not None else NULL_TRACE
+        with trace.span("query_batch", requests=len(ranges), k=self.k):
+            plan = plan_for_index(
+                self,
+                ranges,
+                sinks=sinks,
+                merge_overlaps=merge_overlaps,
+                trace=trace,
+            )
+            return execute_plan(
+                plan, collect=collect, deadline=deadline, parallel=parallel
+            )
 
     def historical_core(self, ts: int, te: int) -> set[int]:
         """Single-window (historical) k-core members, index-only.
@@ -320,20 +340,68 @@ class CoreIndexRegistry:
         *,
         store: "IndexStore | None" = None,
         spill_policy: "SpillPolicy | str | float" = "always",
+        metrics: "MetricsRegistry | None" = None,
     ):
         if capacity < 1:
             raise InvalidParameterError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self.store = store
         self.spill_policy = SpillPolicy.parse(spill_policy)
-        self.hits = 0
-        self.misses = 0
-        self.store_hits = 0
-        self.multik_builds = 0
-        self.evict_spills = 0
-        self.evict_drops = 0
-        self._store_hits_by_k: dict[int, int] = {}
-        self._multik_builds_by_k: dict[int, int] = {}
+        # All bookkeeping lives in the metrics registry (the process
+        # default unless ``metrics=`` isolates it); this instance's
+        # series carry a unique ``registry`` label, and the legacy
+        # ``hits``/``misses``/... attributes read back through it.
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.instance = next_instance("registry")
+        m, inst = self.metrics, self.instance
+        self._c_hits = m.counter(
+            "repro_registry_hits_total",
+            "Index-registry cache hits",
+            ("registry",),
+        ).labels(inst)
+        self._c_misses = m.counter(
+            "repro_registry_misses_total",
+            "Index-registry cache misses (store probe or build follows)",
+            ("registry",),
+        ).labels(inst)
+        self._c_store_hits = m.counter(
+            "repro_registry_store_hits_total",
+            "Cache misses served from the attached index store",
+            ("registry",),
+        ).labels(inst)
+        self._c_multik_builds = m.counter(
+            "repro_registry_multik_builds_total",
+            "Shared multi-k build invocations",
+            ("registry",),
+        ).labels(inst)
+        self._store_hits_by_k_counter = m.counter(
+            "repro_registry_store_hits_by_k_total",
+            "Store-served misses broken down by k",
+            ("registry", "k"),
+        )
+        self._multik_built_counter = m.counter(
+            "repro_registry_multik_built_total",
+            "Indexes produced by shared multi-k builds, by k",
+            ("registry", "k"),
+        )
+        evictions = m.counter(
+            "repro_registry_evictions_total",
+            "LRU evictions by outcome (spill=persisted, drop=discarded)",
+            ("registry", "action"),
+        )
+        self._c_evict_spills = evictions.labels(inst, "spill")
+        self._c_evict_drops = evictions.labels(inst, "drop")
+        self._g_size = m.gauge(
+            "repro_registry_size",
+            "Resident cached indexes",
+            ("registry",),
+        ).labels(inst)
+        self._g_capacity = m.gauge(
+            "repro_registry_capacity",
+            "LRU capacity",
+            ("registry",),
+        ).labels(inst)
+        self._g_capacity.set(capacity)
         self._lock = threading.Lock()
         self._entries: OrderedDict[tuple[int, int], CoreIndex] = OrderedDict()
         # Keys known to be persisted in the *attached* store (loaded from
@@ -344,6 +412,40 @@ class CoreIndexRegistry:
     def __len__(self) -> int:
         with self._lock:
             return len(self._entries)
+
+    # -- legacy counter attributes, now views over the metrics registry --
+
+    @property
+    def hits(self) -> int:
+        return int(self._c_hits.value)
+
+    @property
+    def misses(self) -> int:
+        return int(self._c_misses.value)
+
+    @property
+    def store_hits(self) -> int:
+        return int(self._c_store_hits.value)
+
+    @property
+    def multik_builds(self) -> int:
+        return int(self._c_multik_builds.value)
+
+    @property
+    def evict_spills(self) -> int:
+        return int(self._c_evict_spills.value)
+
+    @property
+    def evict_drops(self) -> int:
+        return int(self._c_evict_drops.value)
+
+    def _by_k_view(self, counter) -> dict[int, int]:
+        """This instance's children of a ``(registry, k)`` counter."""
+        return {
+            int(key[1]): int(child.value)
+            for key, child in counter.items()
+            if key[0] == self.instance
+        }
 
     def _insert(self, key: tuple[int, int], index: CoreIndex) -> None:
         """Insert under the lock, evicting beyond capacity (LRU order).
@@ -357,6 +459,7 @@ class CoreIndexRegistry:
         while len(self._entries) > self.capacity:
             _evicted_key, evicted = self._entries.popitem(last=False)
             self._spill(evicted)
+        self._g_size.set(len(self._entries))
 
     def _spill(self, index: CoreIndex) -> None:
         """Persist an evicted index to the attached store, best effort.
@@ -378,14 +481,14 @@ class CoreIndexRegistry:
         if key in self._persisted:
             return
         if not self.spill_policy.should_spill(index):
-            self.evict_drops += 1
+            self._c_evict_drops.inc()
             return
         from repro.errors import StoreError
 
         try:
             if not store.has_index(index.graph, index.k):
                 store.save_index(index)
-                self.evict_spills += 1
+                self._c_evict_spills.inc()
             self._persisted.add(key)
         except (StoreError, OSError):
             pass
@@ -427,14 +530,16 @@ class CoreIndexRegistry:
             index = self._entries.get(key)
             if index is not None and index.graph is graph:
                 self._entries.move_to_end(key)
-                self.hits += 1
+                self._c_hits.inc()
                 return index
-            self.misses += 1
+            self._c_misses.inc()
             if store is not None:
                 index = store.load_index(graph, k)
                 if index is not None:
-                    self.store_hits += 1
-                    self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
+                    self._c_store_hits.inc()
+                    self._store_hits_by_k_counter.labels(
+                        self.instance, str(k)
+                    ).inc()
                     if store is self.store:
                         self._persisted.add(key)
                     self._insert(key, index)
@@ -488,17 +593,19 @@ class CoreIndexRegistry:
                 index = self._entries.get(key)
                 if index is not None and index.graph is graph:
                     self._entries.move_to_end(key)
-                    self.hits += 1
+                    self._c_hits.inc()
                     out[k] = index
                 else:
-                    self.misses += 1
+                    self._c_misses.inc()
                     missing.append(k)
             to_build: list[int] = []
             for k in missing:
                 index = store.load_index(graph, k) if store is not None else None
                 if index is not None:
-                    self.store_hits += 1
-                    self._store_hits_by_k[k] = self._store_hits_by_k.get(k, 0) + 1
+                    self._c_store_hits.inc()
+                    self._store_hits_by_k_counter.labels(
+                        self.instance, str(k)
+                    ).inc()
                     if store is self.store:
                         self._persisted.add((id(graph), k))
                     self._insert((id(graph), k), index)
@@ -509,11 +616,11 @@ class CoreIndexRegistry:
                 from repro.core.multik import build_core_indexes
 
                 built = build_core_indexes(graph, to_build)
-                self.multik_builds += 1
+                self._c_multik_builds.inc()
                 for k in to_build:
-                    self._multik_builds_by_k[k] = (
-                        self._multik_builds_by_k.get(k, 0) + 1
-                    )
+                    self._multik_built_counter.labels(
+                        self.instance, str(k)
+                    ).inc()
                     self._insert((id(graph), k), built[k])
                     out[k] = built[k]
         return out
@@ -565,11 +672,15 @@ class CoreIndexRegistry:
         """Drop every cached index (counters are kept)."""
         with self._lock:
             self._entries.clear()
+            self._g_size.set(0)
 
     def stats(self) -> dict:
         """Hit/miss/size counters for observability.
 
-        Beyond the aggregate counters, ``store_hits_by_k`` and
+        Since PR 7 this dict is a *view* over the process metrics
+        registry (series labelled with this instance's ``registry``
+        label) — same shape as before, one source of truth.  Beyond the
+        aggregate counters, ``store_hits_by_k`` and
         ``multik_builds_by_k`` break down, per ``k``, how many misses
         were served from disk versus computed by the shared multi-``k``
         build — a warm-serving deployment asserts the latter stays at
@@ -579,19 +690,20 @@ class CoreIndexRegistry:
         configured ``spill_policy`` declined to persist.
         """
         with self._lock:
-            return {
-                "hits": self.hits,
-                "misses": self.misses,
-                "store_hits": self.store_hits,
-                "multik_builds": self.multik_builds,
-                "evict_spills": self.evict_spills,
-                "evict_drops": self.evict_drops,
-                "spill_policy": str(self.spill_policy),
-                "store_hits_by_k": dict(self._store_hits_by_k),
-                "multik_builds_by_k": dict(self._multik_builds_by_k),
-                "size": len(self._entries),
-                "capacity": self.capacity,
-            }
+            size = len(self._entries)
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "store_hits": self.store_hits,
+            "multik_builds": self.multik_builds,
+            "evict_spills": self.evict_spills,
+            "evict_drops": self.evict_drops,
+            "spill_policy": str(self.spill_policy),
+            "store_hits_by_k": self._by_k_view(self._store_hits_by_k_counter),
+            "multik_builds_by_k": self._by_k_view(self._multik_built_counter),
+            "size": size,
+            "capacity": self.capacity,
+        }
 
 
 #: Process-wide default registry used by ``engine="index"`` and the

@@ -47,7 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.parallel import WorkerPool
     from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
-    from repro.utils.timer import Deadline
+    from repro.obs.timing import Deadline
 
 
 def _normalise_ks(k: int | Iterable[int]) -> tuple[int, ...]:

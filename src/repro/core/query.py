@@ -24,7 +24,7 @@ from repro.core.index import CoreIndexRegistry, DEFAULT_REGISTRY
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.sinks import ResultSink

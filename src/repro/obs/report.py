@@ -1,0 +1,103 @@
+"""One-shot human-readable report over a metrics registry.
+
+:func:`report` renders everything a registry knows — counters and
+gauges grouped by instrument, histograms as count/mean/quantile rows —
+as plain text for a terminal.  It is what the CLI ``stats`` subcommand
+prints and what a REPL user calls after a batch::
+
+    >>> import repro.obs as obs
+    >>> print(obs.report())            # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry, get_registry
+
+_INF = float("inf")
+
+
+def _fmt_value(value: float) -> str:
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{value:.6g}"
+
+
+def _fmt_seconds(value: float) -> str:
+    if value == _INF:
+        return "inf"
+    if value >= 1.0:
+        return f"{value:.3g}s"
+    if value >= 1e-3:
+        return f"{value * 1e3:.3g}ms"
+    return f"{value * 1e6:.3g}us"
+
+
+def _fmt_labels(labels: dict) -> str:
+    if not labels:
+        return "(total)"
+    return "{" + ",".join(f"{k}={v}" for k, v in labels.items()) + "}"
+
+
+def report(registry: MetricsRegistry | None = None) -> str:
+    """Render ``registry`` (default: the process registry) as text.
+
+    One section per instrument kind; histogram rows estimate p50/p95
+    at bucket resolution from the cumulative counts.
+    """
+    registry = registry if registry is not None else get_registry()
+    snap = registry.snapshot()
+    if not snap:
+        return "no instruments registered\n"
+
+    by_kind: dict[str, list[tuple[str, dict]]] = {}
+    for name, inst in snap.items():
+        by_kind.setdefault(inst["kind"], []).append((name, inst))
+
+    lines: list[str] = []
+    for kind, title in (
+        ("counter", "counters"),
+        ("gauge", "gauges"),
+        ("histogram", "latency histograms"),
+    ):
+        instruments = by_kind.get(kind)
+        if not instruments:
+            continue
+        lines.append(f"== {title} ==")
+        for name, inst in instruments:
+            if inst["help"]:
+                lines.append(f"{name}  # {inst['help']}")
+            else:
+                lines.append(name)
+            if kind == "histogram":
+                uppers = [float(b) for b in inst["buckets"]] + [_INF]
+                for sample in inst["values"]:
+                    count = sample["count"]
+                    if not count:
+                        continue
+                    mean = sample["sum"] / count
+                    p50 = _bucket_quantile(uppers, sample["bucket_counts"], 0.50)
+                    p95 = _bucket_quantile(uppers, sample["bucket_counts"], 0.95)
+                    lines.append(
+                        f"  {_fmt_labels(sample['labels']):<40} "
+                        f"count={count} mean={_fmt_seconds(mean)} "
+                        f"p50<={_fmt_seconds(p50)} p95<={_fmt_seconds(p95)}"
+                    )
+            else:
+                for sample in inst["values"]:
+                    lines.append(
+                        f"  {_fmt_labels(sample['labels']):<40} "
+                        f"{_fmt_value(sample['value'])}"
+                    )
+        lines.append("")
+    return "\n".join(lines).rstrip("\n") + "\n"
+
+
+def _bucket_quantile(uppers, cumulative, q: float) -> float:
+    total = cumulative[-1]
+    if not total:
+        return 0.0
+    threshold = q * total
+    for upper, running in zip(uppers, cumulative):
+        if running >= threshold:
+            return upper
+    return _INF  # pragma: no cover - the +Inf row always reaches total

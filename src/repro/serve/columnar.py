@@ -40,7 +40,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.serve.sinks import ResultSink
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 _EMPTY = np.empty(0, dtype=np.int64)
 

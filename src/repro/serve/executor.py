@@ -33,10 +33,11 @@ import numpy as np
 
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
+from repro.obs.metrics import get_registry, timing_enabled
+from repro.obs.timing import Deadline, now
 from repro.serve.columnar import run_columnar_walk
 from repro.serve.planner import PlanGroup, QueryPlan
 from repro.serve.sinks import MaterializingSink, CountSink, ResultSink
-from repro.utils.timer import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.index import CoreIndexRegistry
@@ -44,6 +45,31 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.store.index_store import IndexStore
 
 _NO_ACTIVE = np.empty(0, dtype=np.int64)
+
+# Executor instruments on the process metrics registry.  Latency
+# histograms observe only when timing is enabled; the router counters
+# accumulate locally per walk and flush once at finish, so the
+# per-emission hot path stays registry-free.
+_EXECUTE_SECONDS = get_registry().histogram(
+    "repro_execute_seconds", "Plan execution latency per batch"
+)
+_ENUMERATE_SECONDS = get_registry().histogram(
+    "repro_enumerate_seconds", "Columnar walk latency per covering window"
+)
+_SINK_FLUSH_SECONDS = get_registry().histogram(
+    "repro_sink_flush_seconds", "Sink finish/flush latency per covering window"
+)
+_WINDOWS_EXECUTED = get_registry().counter(
+    "repro_execute_windows_total",
+    "Covering windows enumerated, by sharing mode",
+    ("mode",),
+)
+_ROUTER_TARGETS = get_registry().counter(
+    "repro_router_targets_total", "Requests fanned out by slice routers"
+)
+_ROUTER_BATCHES = get_registry().counter(
+    "repro_router_batches_total", "Emission batches routed by slice routers"
+)
 
 
 class _SliceRouter(ResultSink):
@@ -76,12 +102,14 @@ class _SliceRouter(ResultSink):
         self._sinks = [targets[i][2] for i in order]
         self._position = 0
         self._active = _NO_ACTIVE  # indices of activated, unretired targets
+        self._batches = 0  # flushed to the metrics registry at finish
         self._counting = all(type(sink) is CountSink for sink in self._sinks)
         if self._counting:
             self._num = np.zeros(len(targets), dtype=np.int64)
             self._edges = np.zeros(len(targets), dtype=np.int64)
 
     def consume(self, t, ends, prefix_lens, eids) -> None:
+        self._batches += 1
         hi = int(np.searchsorted(self._ts, t, side="right"))
         if hi > self._position:
             self._active = np.concatenate(
@@ -123,6 +151,8 @@ class _SliceRouter(ResultSink):
                 sink.total_edges += int(self._edges[idx])
         for sink in self._sinks:
             sink.finish(completed)
+        _ROUTER_TARGETS.inc(len(self._sinks))
+        _ROUTER_BATCHES.inc(self._batches)
 
 
 def _group_window_arrays(
@@ -194,11 +224,47 @@ def execute_plan(
     worker processes, with results stitched back into input order
     through the same sink interface.  The pool falls back to this
     sequential path for plans too small to amortise the dispatch.
+
+    Execution records into the plan's trace (an ``execute`` span
+    wrapping one ``enumerate`` and ``sink_flush`` span per covering
+    window) and into the process metrics registry (the
+    ``repro_execute_*`` / ``repro_enumerate_seconds`` /
+    ``repro_sink_flush_seconds`` instruments).
     """
-    if parallel is not None:
-        return parallel.execute(
-            plan, registry=registry, collect=collect, deadline=deadline
-        )
+    trace = plan.trace
+    timed = timing_enabled()
+    started = now() if timed else 0.0
+    with trace.span(
+        "execute", windows=plan.num_windows, pooled=parallel is not None
+    ):
+        if parallel is not None:
+            results = parallel.execute(
+                plan, registry=registry, collect=collect, deadline=deadline
+            )
+        else:
+            results = _execute_sequential(
+                plan,
+                registry=registry,
+                store=store,
+                collect=collect,
+                deadline=deadline,
+                timed=timed,
+            )
+    if timed:
+        _EXECUTE_SECONDS.observe(now() - started)
+    return results
+
+
+def _execute_sequential(
+    plan: QueryPlan,
+    *,
+    registry: "CoreIndexRegistry | None",
+    store: "IndexStore | None",
+    collect: bool,
+    deadline: Deadline | None,
+    timed: bool,
+) -> list[EnumerationResult]:
+    trace = plan.trace
     sinks: list[ResultSink] = [
         request.sink
         if request.sink is not None
@@ -222,10 +288,26 @@ def execute_plan(
                 )
             else:
                 target = sinks[window.requests[0]]
-            completed = run_columnar_walk(
-                window.ts, window.te, arrays, target, deadline=deadline
-            )
-            target.finish(completed)
+            _WINDOWS_EXECUTED.labels(
+                "shared" if window.is_shared else "single"
+            ).inc()
+            with trace.span(
+                "enumerate",
+                ts=window.ts,
+                te=window.te,
+                requests=len(window.requests),
+            ):
+                walk_started = now() if timed else 0.0
+                completed = run_columnar_walk(
+                    window.ts, window.te, arrays, target, deadline=deadline
+                )
+                if timed:
+                    _ENUMERATE_SECONDS.observe(now() - walk_started)
+            with trace.span("sink_flush", requests=len(window.requests)):
+                flush_started = now() if timed else 0.0
+                target.finish(completed)
+                if timed:
+                    _SINK_FLUSH_SECONDS.observe(now() - flush_started)
     return [
         sink.result("enum", request.k, request.time_range)
         for request, sink in zip(plan.requests, sinks)

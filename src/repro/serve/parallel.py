@@ -64,10 +64,11 @@ import numpy as np
 from repro.core.index import CoreIndex, get_core_index
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError, StoreError
+from repro.obs.metrics import MetricsRegistry, get_registry, next_instance, timing_enabled
+from repro.obs.timing import Deadline, now
 from repro.serve.planner import CoveringWindow, PlanGroup, QueryPlan
 from repro.serve.sinks import CountSink, MaterializingSink, ResultSink
 from repro.store.index_store import IndexStore
-from repro.utils.timer import Deadline
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.index import CoreIndexRegistry
@@ -230,17 +231,61 @@ def _maybe_fault() -> None:
     os.kill(os.getpid(), signal.SIGKILL)
 
 
+def _obs_marks(state: "_WorkerState") -> tuple[int, ...]:
+    """Counter readings a chunk's observability delta is diffed against."""
+    registry, store = state.registry, state.store
+    return (
+        registry.hits,
+        registry.misses,
+        registry.store_hits,
+        store.stale_takeovers,
+        store.stats()["index_load_hits"],
+    )
+
+
+#: Names of the per-worker counters shipped back to the parent, in the
+#: order :func:`_obs_marks` reads them.
+_OBS_COUNTER_NAMES = (
+    "registry_hits",
+    "registry_misses",
+    "registry_store_hits",
+    "store_stale_takeovers",
+    "store_index_load_hits",
+)
+
+
 def _worker_run(chunk: _Chunk, timeout: float | None):
+    """Execute one chunk in this worker; ``(entries, obs_delta)``.
+
+    ``obs_delta`` is the chunk's contribution to the worker's local
+    metrics registry (counter marks diffed around the run, plus the
+    chunk's wall time and window count), shipped as a small plain dict
+    for the parent to fold into its pool-labelled instruments — worker
+    registries live in other processes and would otherwise be invisible
+    (and lost entirely on a worker crash, which is why the delta rides
+    the chunk-result protocol instead of a shutdown hook).
+    """
     _maybe_fault()
     state = _WORKER
     assert state is not None, "worker not initialised"
-    return _run_chunk(
+    before = _obs_marks(state)
+    started = now()
+    entries = _run_chunk(
         chunk,
         state.graph(chunk.key),
         timeout,
         registry=state.registry,
         store=state.store,
     )
+    delta = dict(
+        zip(
+            _OBS_COUNTER_NAMES,
+            (after - mark for after, mark in zip(_obs_marks(state), before)),
+        )
+    )
+    delta["chunk_seconds"] = now() - started
+    delta["windows"] = len(chunk.windows)
+    return entries, delta
 
 
 def _worker_ping(delay: float) -> int:
@@ -311,7 +356,12 @@ class WorkerPool:
 
     Counters: ``tasks_dispatched``, ``sequential_fallbacks`` and
     ``broken_restarts`` expose what the pool actually did — benchmarks
-    and tests assert against them.
+    and tests assert against them.  Since PR 7 they are views over the
+    process metrics registry (series labelled with this pool's
+    ``pool`` instance label); :meth:`stats` returns the whole
+    bookkeeping as one dict, including the per-worker counters each
+    chunk ships home and the ``tasks_dispatched == chunks_completed +
+    chunks_lost`` crash accounting.
 
     The pool is a context manager; :meth:`close` shuts the workers down.
     Thread-safety: like the executor it is a single-dispatcher object —
@@ -328,6 +378,7 @@ class WorkerPool:
         verify: bool = True,
         worker_capacity: int = 16,
         max_restarts: int = 2,
+        metrics: "MetricsRegistry | None" = None,
         _fault_path: str | None = None,
     ):
         if processes is not None and processes < 1:
@@ -355,15 +406,114 @@ class WorkerPool:
         self._keys: dict[int, tuple["TemporalGraph", str]] = {}
         self._persisted: set[tuple[str, int]] = set()
         self._warm: list[tuple[str, int | None]] = []
-        self.tasks_dispatched = 0
-        self.sequential_fallbacks = 0
-        self.broken_restarts = 0
+        # Pool bookkeeping lives in the metrics registry (the process
+        # default unless ``metrics=`` isolates it); the legacy counter
+        # attributes read back through it.
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.instance = next_instance("pool")
+        m, inst = self.metrics, self.instance
+        self._c_tasks_dispatched = m.counter(
+            "repro_pool_tasks_dispatched_total",
+            "Chunks submitted to worker processes",
+            ("pool",),
+        ).labels(inst)
+        self._c_sequential_fallbacks = m.counter(
+            "repro_pool_sequential_fallbacks_total",
+            "Plans served in-process (too small, or unpersistable graph)",
+            ("pool",),
+        ).labels(inst)
+        self._c_broken_restarts = m.counter(
+            "repro_pool_broken_restarts_total",
+            "Pool rebuilds after a worker death",
+            ("pool",),
+        ).labels(inst)
+        self._c_chunks_lost = m.counter(
+            "repro_pool_chunks_lost_total",
+            "Dispatched chunks lost to worker deaths (later re-run)",
+            ("pool",),
+        ).labels(inst)
+        chunks_completed = m.counter(
+            "repro_pool_chunks_completed_total",
+            "Chunks finished, by where they ran (worker or degraded parent)",
+            ("pool", "where"),
+        )
+        self._c_chunks_worker = chunks_completed.labels(inst, "worker")
+        self._c_chunks_parent = chunks_completed.labels(inst, "parent")
+        self._worker_counters = m.counter(
+            "repro_pool_worker_counters_total",
+            "Per-worker registry/store counters aggregated from chunk deltas",
+            ("pool", "counter"),
+        )
+        self._h_chunk_seconds = m.histogram(
+            "repro_pool_chunk_seconds",
+            "Chunk wall time as measured where the chunk ran",
+            ("pool",),
+        ).labels(inst)
 
     def __repr__(self) -> str:
         return (
             f"WorkerPool({str(self.store.root)!r}, processes={self.processes}, "
             f"dispatched={self.tasks_dispatched})"
         )
+
+    # -- legacy counter attributes, now views over the metrics registry --
+
+    @property
+    def tasks_dispatched(self) -> int:
+        return int(self._c_tasks_dispatched.value)
+
+    @property
+    def sequential_fallbacks(self) -> int:
+        return int(self._c_sequential_fallbacks.value)
+
+    @property
+    def broken_restarts(self) -> int:
+        return int(self._c_broken_restarts.value)
+
+    @property
+    def chunks_lost(self) -> int:
+        return int(self._c_chunks_lost.value)
+
+    def stats(self) -> dict:
+        """The pool's bookkeeping as one dict view over the registry.
+
+        ``chunks_completed`` splits finished chunks by where they ran;
+        ``tasks_dispatched == chunks_completed["worker"] + chunks_lost``
+        always holds (lost chunks re-run as fresh dispatches, or in the
+        parent once restarts are exhausted).  ``worker_counters`` are
+        the per-worker registry/store counters each chunk ships home —
+        present even for chunks whose worker later died, because the
+        delta rides the chunk-result protocol.
+        """
+        worker_counters = {
+            key[1]: int(child.value)
+            for key, child in self._worker_counters.items()
+            if key[0] == self.instance
+        }
+        return {
+            "processes": self.processes,
+            "tasks_dispatched": self.tasks_dispatched,
+            "sequential_fallbacks": self.sequential_fallbacks,
+            "broken_restarts": self.broken_restarts,
+            "chunks_lost": self.chunks_lost,
+            "chunks_completed": {
+                "worker": int(self._c_chunks_worker.value),
+                "parent": int(self._c_chunks_parent.value),
+            },
+            "worker_counters": worker_counters,
+        }
+
+    def _merge_worker_delta(self, delta: dict) -> None:
+        """Fold one chunk's shipped observability delta into the pool."""
+        for name in _OBS_COUNTER_NAMES:
+            amount = delta.get(name, 0)
+            if amount:
+                self._worker_counters.labels(self.instance, name).inc(amount)
+        windows = delta.get("windows", 0)
+        if windows:
+            self._worker_counters.labels(self.instance, "windows").inc(windows)
+        if timing_enabled():
+            self._h_chunk_seconds.observe(delta.get("chunk_seconds", 0.0))
 
     def __enter__(self) -> "WorkerPool":
         return self
@@ -499,7 +649,7 @@ class WorkerPool:
         from repro.serve.executor import execute_plan
 
         if plan.num_windows < self.min_parallel_windows:
-            self.sequential_fallbacks += 1
+            self._c_sequential_fallbacks.inc()
             return execute_plan(
                 plan,
                 registry=registry,
@@ -514,7 +664,7 @@ class WorkerPool:
         except (StoreError, OSError):
             # The store cannot hold this plan's graphs (labels, disk):
             # serve correctly in-process rather than fail the batch.
-            self.sequential_fallbacks += 1
+            self._c_sequential_fallbacks.inc()
             return execute_plan(
                 plan, registry=registry, collect=collect, deadline=deadline
             )
@@ -587,6 +737,16 @@ class WorkerPool:
         returns), so a :class:`BrokenProcessPool` simply re-dispatches
         whatever had not finished on a fresh pool; after
         ``max_restarts`` rebuilds the leftovers run in the parent.
+
+        Accounting survives the crashes: every dispatched-but-broken
+        chunk is recorded in ``chunks_lost`` (whether its future broke
+        at submit or result time), so ``tasks_dispatched`` always equals
+        worker-completed chunks plus lost ones, and a recovered batch's
+        re-run work is never silently folded into the original
+        dispatch counts.  Degraded parent-side runs count under
+        ``chunks_completed{where="parent"}`` — their registry/store
+        activity lands directly on the parent's own instruments, so
+        only the chunk itself is recorded here.
         """
         results: dict[int, tuple] = {}
         pending = list(range(len(chunks)))
@@ -596,6 +756,7 @@ class WorkerPool:
                 for ci in pending:
                     graph, index = context[ci]
                     timeout = deadline.remaining if deadline else None
+                    started = now()
                     for entry in _run_chunk(
                         chunks[ci],
                         graph,
@@ -605,6 +766,9 @@ class WorkerPool:
                         index=index,
                     ):
                         results[entry[0]] = entry[1:]
+                    self._c_chunks_parent.inc()
+                    if timing_enabled():
+                        self._h_chunk_seconds.observe(now() - started)
                 break
             executor = self._ensure_executor()
             broken: list[int] = []
@@ -615,22 +779,30 @@ class WorkerPool:
                     futures.append(
                         (executor.submit(_worker_run, chunks[ci], timeout), ci)
                     )
-                    self.tasks_dispatched += 1
+                    self._c_tasks_dispatched.inc()
             except BrokenProcessPool:
                 # The pool died while we were still submitting: whatever
-                # was not yet submitted retries with the rest.
+                # was not yet submitted retries with the rest.  The
+                # already-submitted futures were dispatched and are now
+                # lost with the pool.
                 broken.extend(ci for _, ci in futures)
                 broken.extend(pending[len(futures):])
+                self._c_chunks_lost.inc(len(futures))
                 futures = []
             for future, ci in futures:
                 try:
-                    for entry in future.result():
-                        results[entry[0]] = entry[1:]
+                    entries, delta = future.result()
                 except BrokenProcessPool:
                     broken.append(ci)
+                    self._c_chunks_lost.inc()
+                    continue
+                for entry in entries:
+                    results[entry[0]] = entry[1:]
+                self._c_chunks_worker.inc()
+                self._merge_worker_delta(delta)
             if broken:
                 restarts += 1
-                self.broken_restarts += 1
+                self._c_broken_restarts.inc()
                 self.close()  # rebuild on next loop with the warm list
             pending = broken
         return results

@@ -36,6 +36,9 @@ from typing import TYPE_CHECKING
 
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.obs.metrics import get_registry, timing_enabled
+from repro.obs.timing import now
+from repro.obs.trace import NULL_TRACE, Trace
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.core.index import CoreIndex, CoreIndexRegistry
@@ -43,6 +46,25 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
 
 #: Engine names a plan group can carry.
 PLAN_ENGINES = ("auto", "index", "direct")
+
+# Planner instruments on the process metrics registry.  The counters
+# mirror the per-plan ``stats`` dict cumulatively; the histogram times
+# whole planning passes (skipped when timing is disabled).
+_PLAN_SECONDS = get_registry().histogram(
+    "repro_plan_seconds", "Query-planning latency per batch"
+)
+_PLAN_REQUESTS = get_registry().counter(
+    "repro_plan_requests_total", "Requests planned"
+)
+_PLAN_WINDOWS = get_registry().counter(
+    "repro_plan_windows_total", "Covering windows emitted by the planner"
+)
+_PLAN_DEDUPED = get_registry().counter(
+    "repro_plan_deduped_total", "Requests answered by an identical range"
+)
+_PLAN_MERGED = get_registry().counter(
+    "repro_plan_merged_total", "Distinct ranges folded into a shared window"
+)
 
 #: Default minimum overlap fraction (of the smaller window) for merging
 #: two overlapping-but-not-nested ranges into one covering window.
@@ -115,12 +137,16 @@ class QueryPlan:
 
     ``stats`` records what planning saved: ``deduped`` identical
     ranges, ``merged`` ranges answered from a shared covering window,
-    and the final window count versus the request count.
+    and the final window count versus the request count.  ``trace``
+    carries the per-query span tree the executor should continue
+    recording into (:data:`~repro.obs.trace.NULL_TRACE` when tracing
+    is off).
     """
 
     requests: list[QueryRequest]
     groups: list[PlanGroup]
     stats: dict[str, int] = field(default_factory=dict)
+    trace: Trace = NULL_TRACE
 
     @property
     def num_windows(self) -> int:
@@ -160,6 +186,7 @@ def plan_for_index(
     sinks: "list[ResultSink | None] | None" = None,
     merge_overlaps: bool = True,
     min_overlap: float = DEFAULT_MIN_OVERLAP,
+    trace: Trace | None = None,
 ) -> QueryPlan:
     """Plan a batch of ranges pinned to an already-resolved index.
 
@@ -188,6 +215,7 @@ def plan_for_index(
         engine="index",
         merge_overlaps=merge_overlaps,
         min_overlap=min_overlap,
+        trace=trace,
     )
     for group in plan.groups:
         group.index = index
@@ -201,6 +229,7 @@ def plan_queries(
     registry: "CoreIndexRegistry | None" = None,
     merge_overlaps: bool = True,
     min_overlap: float = DEFAULT_MIN_OVERLAP,
+    trace: Trace | None = None,
 ) -> QueryPlan:
     """Normalise ``requests`` into a :class:`QueryPlan`.
 
@@ -215,6 +244,11 @@ def plan_queries(
 
     ``merge_overlaps=False`` limits sharing to identical ranges
     (every distinct range gets its own covering window).
+
+    ``trace``, when given, records the pass as a ``plan`` span and is
+    carried on the returned plan for the executor to continue;
+    planning also feeds the process registry's ``repro_plan_*``
+    instruments either way.
     """
     if engine not in PLAN_ENGINES:
         raise InvalidParameterError(
@@ -224,7 +258,33 @@ def plan_queries(
         raise InvalidParameterError(
             f"min_overlap must be within [0, 1], got {min_overlap}"
         )
+    trace = trace if trace is not None else NULL_TRACE
+    timed = timing_enabled()
+    started = now() if timed else 0.0
+    with trace.span("plan", requests=len(requests), engine=engine) as span:
+        plan = _plan(requests, engine, registry, merge_overlaps, min_overlap)
+        span.set(
+            windows=plan.stats["windows"],
+            deduped=plan.stats["deduped"],
+            merged=plan.stats["merged"],
+        )
+    plan.trace = trace
+    _PLAN_REQUESTS.inc(plan.stats["requests"])
+    _PLAN_WINDOWS.inc(plan.stats["windows"])
+    _PLAN_DEDUPED.inc(plan.stats["deduped"])
+    _PLAN_MERGED.inc(plan.stats["merged"])
+    if timed:
+        _PLAN_SECONDS.observe(now() - started)
+    return plan
 
+
+def _plan(
+    requests: "list[QueryRequest]",
+    engine: str,
+    registry: "CoreIndexRegistry | None",
+    merge_overlaps: bool,
+    min_overlap: float,
+) -> QueryPlan:
     # Group by (graph identity, k), preserving first-seen order.
     grouped: dict[tuple[int, int], list[int]] = {}
     graphs: dict[int, TemporalGraph] = {}

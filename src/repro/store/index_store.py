@@ -47,6 +47,8 @@ from repro.core.index import CoreIndex
 from repro.core.multik import _validated_ks, build_core_indexes
 from repro.errors import StoreError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.obs.metrics import MetricsRegistry, get_registry, next_instance, timing_enabled
+from repro.obs.timing import now
 from repro.store import codec
 from repro.store.format import FORMAT_VERSION
 
@@ -123,6 +125,7 @@ class IndexStore:
         *,
         verify: bool = True,
         lock_timeout: float | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ):
         self.root = pathlib.Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
@@ -130,10 +133,65 @@ class IndexStore:
         if lock_timeout is not None and lock_timeout < 0:
             raise StoreError(f"lock_timeout must be >= 0, got {lock_timeout}")
         self.lock_timeout = lock_timeout
-        self.stale_takeovers = 0
+        # Store bookkeeping lives in the metrics registry (the process
+        # default unless ``metrics=`` isolates it); this instance's
+        # series carry a unique ``store`` label, and the legacy
+        # ``stale_takeovers`` attribute reads back through it.
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.instance = next_instance("store")
+        m, inst = self.metrics, self.instance
+        self._c_stale_takeovers = m.counter(
+            "repro_store_stale_takeovers_total",
+            "Dead-writer lock files rotated out of the way",
+            ("store",),
+        ).labels(inst)
+        self._c_graph_loads = m.counter(
+            "repro_store_graph_loads_total",
+            "Graph blobs opened",
+            ("store",),
+        ).labels(inst)
+        self._c_graph_saves = m.counter(
+            "repro_store_graph_saves_total",
+            "Graph blobs written (idempotent re-saves not counted)",
+            ("store",),
+        ).labels(inst)
+        self._c_index_saves = m.counter(
+            "repro_store_index_saves_total",
+            "Index blobs written",
+            ("store",),
+        ).labels(inst)
+        index_loads = m.counter(
+            "repro_store_index_loads_total",
+            "Index load attempts by outcome (miss = absent/stale/corrupt)",
+            ("store", "outcome"),
+        )
+        self._c_index_load_hits = index_loads.labels(inst, "hit")
+        self._c_index_load_misses = index_loads.labels(inst, "miss")
+        self._h_lock_wait = m.histogram(
+            "repro_store_lock_wait_seconds",
+            "Time spent acquiring a graph directory's writer lock",
+            ("store",),
+        ).labels(inst)
 
     def __repr__(self) -> str:
         return f"IndexStore({str(self.root)!r}, graphs={len(self.keys())})"
+
+    @property
+    def stale_takeovers(self) -> int:
+        """Dead-writer lock rotations (view over the metrics registry)."""
+        return int(self._c_stale_takeovers.value)
+
+    def stats(self) -> dict:
+        """This store's counters, as a plain dict view over the registry."""
+        return {
+            "graph_loads": int(self._c_graph_loads.value),
+            "graph_saves": int(self._c_graph_saves.value),
+            "index_saves": int(self._c_index_saves.value),
+            "index_load_hits": int(self._c_index_load_hits.value),
+            "index_load_misses": int(self._c_index_load_misses.value),
+            "stale_takeovers": self.stale_takeovers,
+            "root": str(self.root),
+        }
 
     # ------------------------------------------------------------------
     # Manifests
@@ -229,6 +287,7 @@ class IndexStore:
         passes validation and the other re-contends.
         """
         timeout = self.lock_timeout
+        wait_started = now() if timing_enabled() else None
         give_up_at = None if timeout is None else time.monotonic() + timeout
         dead_owner_seen: tuple[int, object] | None = None
         while True:
@@ -247,7 +306,7 @@ class IndexStore:
                             # everyone re-contends on the fresh inode.
                             with contextlib.suppress(OSError):
                                 os.unlink(lock_path)
-                            self.stale_takeovers += 1
+                            self._c_stale_takeovers.inc()
                             dead_owner_seen = None
                             continue
                         dead_owner_seen = observed
@@ -290,6 +349,8 @@ class IndexStore:
                 if not current:
                     continue  # rotated under us; re-contend on the new inode
                 keep = True
+                if wait_started is not None:
+                    self._h_lock_wait.observe(now() - wait_started)
                 return handle
             finally:
                 if not keep:
@@ -362,6 +423,7 @@ class IndexStore:
                 "graph_file": GRAPH_FILE,
                 "indexes": {},
             })
+            self._c_graph_saves.inc()
         return key
 
     def save_index(self, index: CoreIndex, *, name: str | None = None) -> str:
@@ -378,6 +440,7 @@ class IndexStore:
                 "ecs_size": index.ecs.size(),
             }
             self._write_manifest(key, manifest)
+            self._c_index_saves.inc()
         return key
 
     def build_all(
@@ -437,10 +500,12 @@ class IndexStore:
     def load_graph(self, key: str) -> TemporalGraph:
         """Open the graph blob of ``key`` (raises on absence/corruption)."""
         manifest = self.manifest(key)
-        return codec.load_graph(
+        graph = codec.load_graph(
             self.root / key / manifest.get("graph_file", GRAPH_FILE),
             verify=self.verify,
         )
+        self._c_graph_loads.inc()
+        return graph
 
     def stored_ks(self, key: str) -> list[int]:
         """The ``k`` values with a persisted index under ``key``."""
@@ -475,6 +540,16 @@ class IndexStore:
         caller computes and typically re-saves — corrupt entries are
         rebuilt, never served.
         """
+        index = self._load_index(graph, k, key=key)
+        if index is None:
+            self._c_index_load_misses.inc()
+        else:
+            self._c_index_load_hits.inc()
+        return index
+
+    def _load_index(
+        self, graph: TemporalGraph, k: int, *, key: str | None = None
+    ) -> CoreIndex | None:
         if key is None:
             key = self.find(graph)
             if key is None:

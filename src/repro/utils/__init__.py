@@ -6,7 +6,7 @@ from repro.utils.order import (
     kth_smallest,
     merge_intervals,
 )
-from repro.utils.timer import Deadline, Stopwatch, time_call
+from repro.obs.timing import Deadline, Stopwatch, time_call
 
 __all__ = [
     "Deadline",

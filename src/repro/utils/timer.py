@@ -1,83 +1,22 @@
-"""Wall-clock timing helpers for the benchmark harness."""
+"""Deprecated shim — timing primitives moved to :mod:`repro.obs.timing`.
+
+This module kept the serving stack's stopwatch/deadline primitives
+until PR 7 unified all timing under the observability layer.  It now
+re-exports the same names from their new home and warns on import;
+update imports to ``repro.obs.timing`` (or ``repro.obs``).
+"""
 
 from __future__ import annotations
 
-import time
-from collections.abc import Callable
-from dataclasses import dataclass, field
-from typing import Any
+import warnings
 
+from repro.obs.timing import Deadline, Stopwatch, now, time_call
 
-@dataclass
-class Stopwatch:
-    """A restartable wall-clock stopwatch with named laps.
+__all__ = ["Deadline", "Stopwatch", "now", "time_call"]
 
-    >>> sw = Stopwatch()
-    >>> sw.start()
-    >>> _ = sum(range(1000))
-    >>> sw.lap("sum")
-    >>> sw.elapsed >= 0.0
-    True
-    """
-
-    _started_at: float | None = None
-    _accumulated: float = 0.0
-    laps: dict[str, float] = field(default_factory=dict)
-
-    def start(self) -> None:
-        if self._started_at is not None:
-            raise RuntimeError("stopwatch already running")
-        self._started_at = time.perf_counter()
-
-    def stop(self) -> float:
-        if self._started_at is None:
-            raise RuntimeError("stopwatch not running")
-        self._accumulated += time.perf_counter() - self._started_at
-        self._started_at = None
-        return self._accumulated
-
-    def lap(self, name: str) -> None:
-        """Record the elapsed time so far under ``name`` without stopping."""
-        self.laps[name] = self.elapsed
-
-    @property
-    def elapsed(self) -> float:
-        total = self._accumulated
-        if self._started_at is not None:
-            total += time.perf_counter() - self._started_at
-        return total
-
-    def reset(self) -> None:
-        self._started_at = None
-        self._accumulated = 0.0
-        self.laps.clear()
-
-
-def time_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> tuple[Any, float]:
-    """Run ``fn(*args, **kwargs)`` and return ``(result, seconds)``."""
-    t0 = time.perf_counter()
-    result = fn(*args, **kwargs)
-    return result, time.perf_counter() - t0
-
-
-class Deadline:
-    """A soft deadline used to emulate the paper's 6-hour time limit.
-
-    Algorithms poll :meth:`expired` at coarse-grained checkpoints (once per
-    start time, typically) and abort with a DNF marker instead of raising.
-    """
-
-    def __init__(self, seconds: float | None):
-        self._seconds = seconds
-        self._t0 = time.perf_counter()
-
-    def expired(self) -> bool:
-        if self._seconds is None:
-            return False
-        return time.perf_counter() - self._t0 > self._seconds
-
-    @property
-    def remaining(self) -> float | None:
-        if self._seconds is None:
-            return None
-        return max(0.0, self._seconds - (time.perf_counter() - self._t0))
+warnings.warn(
+    "repro.utils.timer moved to repro.obs.timing; "
+    "this re-export shim will be removed",
+    DeprecationWarning,
+    stacklevel=2,
+)

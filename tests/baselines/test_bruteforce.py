@@ -8,7 +8,7 @@ from repro.graph.validation import (
     is_k_core_subgraph,
     tightest_time_interval,
 )
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class TestBruteForce:

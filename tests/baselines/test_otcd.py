@@ -7,7 +7,7 @@ import pytest
 from repro.baselines.bruteforce import enumerate_bruteforce
 from repro.baselines.otcd import _CoreState, enumerate_otcd
 from repro.errors import InvalidParameterError
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class TestEquivalence:

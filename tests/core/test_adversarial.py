@@ -17,7 +17,7 @@ from repro.core.coretime import compute_core_times
 from repro.core.enumbase import enumerate_temporal_kcores_base
 from repro.core.enumerate import enumerate_temporal_kcores
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 def _clique(labels, t):

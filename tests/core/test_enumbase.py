@@ -9,7 +9,7 @@ from repro.core.coretime import compute_core_times
 from repro.core.enumbase import enumerate_temporal_kcores_base
 from repro.core.enumerate import enumerate_temporal_kcores
 from repro.errors import InvalidParameterError
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class TestEquivalence:

@@ -10,7 +10,7 @@ from repro.core.enumerate import enumerate_temporal_kcores
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.graph.validation import exact_core_edge_ids, tightest_time_interval
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class TestOracleEquivalence:

@@ -1,0 +1,39 @@
+"""Tests for the one-shot text report over a metrics registry."""
+
+from __future__ import annotations
+
+from repro.obs import report
+from repro.obs.metrics import MetricsRegistry
+
+
+def test_empty_registry():
+    assert report(MetricsRegistry()) == "no instruments registered\n"
+
+
+def test_sections_and_rows():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "events", ("k",)).labels("3").inc(5)
+    registry.gauge("g_size").set(2)
+    registry.histogram("h_seconds", "lat", buckets=(0.5, 1.0)).observe(0.25)
+    text = report(registry)
+    assert "== counters ==" in text
+    assert "c_total  # events" in text
+    assert "{k=3}" in text and " 5" in text
+    assert "== gauges ==" in text
+    assert "== latency histograms ==" in text
+    assert "count=1" in text
+    assert "p50<=500ms" in text
+
+
+def test_empty_histogram_series_are_skipped():
+    registry = MetricsRegistry()
+    registry.histogram("h_seconds", buckets=(0.5,)).labels()
+    text = report(registry)
+    assert "h_seconds" in text
+    assert "count=" not in text
+
+
+def test_default_registry_is_used_when_none_given():
+    # The process registry always has the built-in serving instruments.
+    text = report()
+    assert "repro_plan_requests_total" in text

@@ -1,0 +1,114 @@
+"""Span tracing tests: nesting, export, and the no-op default."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.obs.trace import NULL_TRACE, Trace, _NULL_SPAN
+
+
+class TestNesting:
+    def test_parent_and_depth_follow_enter_order(self):
+        trace = Trace("t")
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                pass
+        assert outer.parent is None and outer.depth == 0
+        assert inner.parent == outer.span_id and inner.depth == 1
+
+    def test_siblings_share_a_parent(self):
+        trace = Trace("t")
+        with trace.span("root") as root:
+            with trace.span("a") as a:
+                pass
+            with trace.span("b") as b:
+                pass
+        assert a.parent == b.parent == root.span_id
+
+    def test_finished_spans_complete_children_first(self):
+        trace = Trace("t")
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        assert [span.name for span in trace.spans()] == ["inner", "outer"]
+
+    def test_durations_are_monotonic_and_nested(self):
+        trace = Trace("t")
+        with trace.span("outer") as outer:
+            with trace.span("inner") as inner:
+                pass
+        assert inner.duration >= 0.0
+        assert outer.duration >= inner.duration
+        assert inner.start >= outer.start
+
+    def test_find_by_name(self):
+        trace = Trace("t")
+        with trace.span("a"):
+            pass
+        with trace.span("a"):
+            pass
+        with trace.span("b"):
+            pass
+        assert len(trace.find("a")) == 2
+        assert trace.find("absent") == []
+
+
+class TestAttributes:
+    def test_constructor_and_set_attrs(self):
+        trace = Trace("t")
+        with trace.span("s", k=3) as span:
+            span.set(windows=2)
+        event = trace.to_events()[0]
+        assert event["attrs"] == {"k": 3, "windows": 2}
+
+    def test_exception_recorded_and_span_closed(self):
+        trace = Trace("t")
+        with pytest.raises(ValueError):
+            with trace.span("s"):
+                raise ValueError("boom")
+        (span,) = trace.spans()
+        assert span.attrs["error"] == "ValueError"
+        assert span.duration is not None
+
+
+class TestExport:
+    def test_write_ndjson_one_parseable_object_per_span(self):
+        trace = Trace("t")
+        with trace.span("outer"):
+            with trace.span("inner", k=2):
+                pass
+        buffer = io.StringIO()
+        assert trace.write_ndjson(buffer) == 2
+        lines = buffer.getvalue().splitlines()
+        events = [json.loads(line) for line in lines]
+        assert [event["name"] for event in events] == ["inner", "outer"]
+        assert events[0]["parent"] == events[1]["span"]
+        assert events[0]["attrs"] == {"k": 2}
+
+    def test_render_tree_indents_children(self):
+        trace = Trace("demo")
+        with trace.span("outer"):
+            with trace.span("inner"):
+                pass
+        rendered = trace.render()
+        assert rendered.startswith("trace demo")
+        outer_line = next(l for l in rendered.splitlines() if "outer" in l)
+        inner_line = next(l for l in rendered.splitlines() if "inner" in l)
+        indent = lambda line: len(line) - len(line.lstrip())
+        assert indent(inner_line) > indent(outer_line)
+
+
+class TestNullTrace:
+    def test_null_trace_is_inert(self):
+        assert NULL_TRACE.enabled is False
+        span = NULL_TRACE.span("anything", k=3)
+        assert span is _NULL_SPAN
+        with span as entered:
+            assert entered.set(x=1) is span
+        assert NULL_TRACE.spans() == []
+
+    def test_real_trace_is_enabled(self):
+        assert Trace("t").enabled is True

@@ -17,7 +17,7 @@ from repro.core.enumerate import enumerate_temporal_kcores
 from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
 from repro.core.index import CoreIndex
 from repro.graph.generators import uniform_random_temporal
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 
 class ExpiresAfter:

@@ -229,7 +229,7 @@ class TestValidation:
 
 class TestDeadline:
     def test_expired_deadline_marks_all_requests_incomplete(self, paper_graph):
-        from repro.utils.timer import Deadline
+        from repro.obs.timing import Deadline
 
         index = CoreIndex(paper_graph, 2)
         results = index.query_batch(

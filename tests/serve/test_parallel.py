@@ -18,7 +18,7 @@ from repro.serve.executor import execute_plan
 from repro.serve.parallel import WorkerPool, _partition, open_pool
 from repro.serve.planner import CoveringWindow, QueryRequest, plan_queries
 from repro.store import IndexStore
-from repro.utils.timer import Deadline
+from repro.obs.timing import Deadline
 
 from tests.serve.test_executor import overlapping_ranges
 

@@ -135,6 +135,139 @@ class TestBatch:
         assert "no queries" in capsys.readouterr().err
 
 
+class TestObservabilitySurfaces:
+    @pytest.fixture()
+    def query_file(self, tmp_path):
+        path = tmp_path / "queries.txt"
+        path.write_text("2 1 4\n2 1 4\n2 2 6\n", encoding="utf-8")
+        return str(path)
+
+    def test_query_metrics_out_writes_registry_json(
+        self, graph_file, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--range", "1", "4", "--metrics-out", str(metrics)]) == 0
+        snap = json.loads(metrics.read_text(encoding="utf-8"))
+        assert snap["repro_plan_requests_total"]["kind"] == "counter"
+        assert "repro_execute_seconds" in snap
+
+    def test_query_metrics_out_respects_streaming_outputs(
+        self, graph_file, tmp_path, capsys
+    ):
+        # The count/ndjson paths return early; metrics must still land.
+        metrics = tmp_path / "metrics.json"
+        assert main(["query", "--input", graph_file, "-k", "2",
+                     "--output", "count", "--metrics-out", str(metrics)]) == 0
+        assert "repro_plan_requests_total" in json.loads(
+            metrics.read_text(encoding="utf-8")
+        )
+
+    def test_batch_metrics_and_trace_out(
+        self, graph_file, query_file, tmp_path, capsys
+    ):
+        metrics = tmp_path / "metrics.json"
+        trace = tmp_path / "trace.ndjson"
+        assert main(["batch", "--input", graph_file, "--queries", query_file,
+                     "--metrics-out", str(metrics),
+                     "--trace-out", str(trace)]) == 0
+        snap = json.loads(metrics.read_text(encoding="utf-8"))
+        assert "repro_plan_deduped_total" in snap
+        events = [
+            json.loads(line)
+            for line in trace.read_text(encoding="utf-8").splitlines()
+        ]
+        names = {event["name"] for event in events}
+        assert {"plan", "execute", "enumerate", "sink_flush"} <= names
+        (plan,) = (e for e in events if e["name"] == "plan")
+        assert plan["attrs"]["requests"] == 3
+
+    def test_batch_metrics_out_unwritable_path_errors(
+        self, graph_file, query_file, capsys
+    ):
+        assert main(["batch", "--input", graph_file, "--queries", query_file,
+                     "--metrics-out", "/nonexistent-dir/m.json"]) == 2
+        assert "cannot write metrics" in capsys.readouterr().err
+
+    def test_stats_store_reports_keys_sizes_and_free_lock(
+        self, graph_file, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2,3",
+                     "--save-store", str(store_dir), "--name", "demo"]) == 0
+        capsys.readouterr()
+        assert main(["stats", "--store", str(store_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "demo" in out
+        assert "k=2" in out and "k=3" in out
+        assert "lock: free" in out
+        assert "stale lock takeover" in out
+
+    def test_stats_store_json_reports_lock_liveness(
+        self, graph_file, tmp_path, capsys
+    ):
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2",
+                     "--save-store", str(store_dir), "--name", "demo"]) == 0
+        capsys.readouterr()
+        # Plant a lock file owned by a dead pid: liveness must read stale.
+        lock = store_dir / "demo" / ".lock"
+        lock.write_text(
+            json.dumps({"pid": 2 ** 22 + 1, "acquired_at": 1.0}),
+            encoding="utf-8",
+        )
+        assert main(["stats", "--store", str(store_dir),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        (entry,) = payload["keys"]
+        assert entry["key"] == "demo"
+        assert entry["indexes"][0]["k"] == 2
+        assert entry["lock"]["alive"] is False
+        assert payload["stale_takeovers"] == 0
+        # And the text rendering names the stale holder.
+        assert main(["stats", "--store", str(store_dir)]) == 0
+        assert "stale (holder dead)" in capsys.readouterr().out
+
+    def test_stats_store_live_lock_reads_alive(
+        self, graph_file, tmp_path, capsys
+    ):
+        import os
+
+        store_dir = tmp_path / "store"
+        assert main(["index", "--input", graph_file, "-k", "2",
+                     "--save-store", str(store_dir), "--name", "demo"]) == 0
+        capsys.readouterr()
+        lock = store_dir / "demo" / ".lock"
+        lock.write_text(
+            json.dumps({"pid": os.getpid(), "acquired_at": 1.0}),
+            encoding="utf-8",
+        )
+        assert main(["stats", "--store", str(store_dir),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["keys"][0]["lock"]["alive"] is True
+
+    def test_stats_metrics_reports_live_registry(self, capsys):
+        assert main(["stats", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "== counters ==" in out
+        assert "repro_plan_requests_total" in out
+
+    def test_stats_metrics_json_is_a_registry_snapshot(
+        self, graph_file, capsys
+    ):
+        assert main(["stats", "--input", graph_file, "--metrics",
+                     "--format", "json"]) == 0
+        snap = json.loads(capsys.readouterr().out)
+        assert snap["repro_plan_requests_total"]["kind"] == "counter"
+
+    def test_stats_store_needs_no_graph_source(self, tmp_path, capsys):
+        store_dir = tmp_path / "empty-store"
+        store_dir.mkdir()
+        assert main(["stats", "--store", str(store_dir)]) == 0
+        assert "0 graph(s)" in capsys.readouterr().out
+
+
 class TestStats:
     def test_text(self, graph_file, capsys):
         assert main(["stats", "--input", graph_file]) == 0

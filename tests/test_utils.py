@@ -13,6 +13,25 @@ from repro.utils.order import (
 from repro.utils.timer import Deadline, Stopwatch, time_call
 
 
+class TestTimerShim:
+    """``repro.utils.timer`` is a deprecated re-export of ``repro.obs.timing``."""
+
+    def test_shim_reexports_same_objects(self):
+        from repro.obs import timing
+
+        assert Deadline is timing.Deadline
+        assert Stopwatch is timing.Stopwatch
+        assert time_call is timing.time_call
+
+    def test_shim_warns_on_import(self):
+        import importlib
+
+        import repro.utils.timer as shim
+
+        with pytest.warns(DeprecationWarning, match="repro.obs.timing"):
+            importlib.reload(shim)
+
+
 class TestKthSmallest:
     def test_small_cases(self):
         values = [5, 1, 4, 2, 3]
