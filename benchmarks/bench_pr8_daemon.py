@@ -1,0 +1,258 @@
+"""PR 8 daemon benchmark: what does the socket hop cost?
+
+PR 8 puts the serving stack behind a long-lived asyncio daemon
+(``repro serve``): newline-delimited JSON in, streamed sink output
+out, admission control at the door.  The design bet is that serving
+over a socket costs wire serialisation and little else — the daemon
+answers a ``batch`` through exactly the same plan → execute → sink
+path, on an index it warmed from the store at boot.
+
+This benchmark prices the hop on the contended-batch workload the
+PR 4..7 benchmarks established (requests piling onto 8 hot regions):
+
+* **in-process** — ``index.query_batch`` on a prebuilt index, and
+* **daemon** — the same ranges as one ``batch`` op against a freshly
+  booted ``repro serve`` subprocess (store-warmed, in-process
+  execution lane), measured over the socket end to end.
+
+Per-range answers are asserted identical on both sides before
+anything is timed.  Gate: the daemon keeps >= 25% of the in-process
+qps (the batch is counter-only, so the wire cost is per-range
+constants, not per-core volume).
+
+Standalone script (not a pytest-benchmark module)::
+
+    PYTHONPATH=src python benchmarks/bench_pr8_daemon.py --smoke
+
+writes ``BENCH_PR8.json`` next to the repository root.  ``--smoke``
+runs 400 requests and one repetition (CI budget); the default runs
+1200 requests, three repetitions, best kept.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import random
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.core.index import CoreIndex  # noqa: E402
+from repro.graph.generators import BurstyConfig, generate_bursty  # noqa: E402
+from repro.serve.client import DaemonClient  # noqa: E402
+from repro.serve.planner import plan_for_index  # noqa: E402
+from repro.store.index_store import IndexStore  # noqa: E402
+
+#: Same shape as the PR 1..7 workload: >= 50k temporal edges.
+WORKLOAD = BurstyConfig(
+    num_vertices=3000,
+    background_edges=42000,
+    tmax=2000,
+    repeat_rate=0.25,
+    num_bursts=40,
+    burst_size=12,
+    burst_width=25,
+    edges_per_burst=220,
+    seed=1,
+    name="bench_pr8",
+)
+
+K = 3
+NUM_HOT = 8
+MIN_QPS_RATIO = 0.25  # daemon keeps >= 25% of the in-process qps
+
+
+def contended_ranges(rng: random.Random, tmax: int, count: int):
+    """The PR 6 contended batch: requests piling onto 8 hot regions."""
+    span = tmax // NUM_HOT
+    hots = [span // 2 + i * span for i in range(NUM_HOT)]
+    ranges = []
+    for _ in range(count):
+        mode = rng.random()
+        if mode < 0.25 and ranges:
+            ranges.append(rng.choice(ranges))  # exact repeat
+        else:
+            hot = rng.choice(hots)
+            lo = max(1, hot - span // 3 + rng.randint(-10, 10))
+            hi = min(tmax, lo + rng.randint(span // 2, span - 1))
+            ranges.append((lo, hi))
+    return ranges
+
+
+def counters(results):
+    return [(r.num_results, r.total_edges) for r in results]
+
+
+def best_of(repeats, fn):
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def start_daemon(store_root: pathlib.Path) -> tuple[subprocess.Popen, int]:
+    environ = dict(os.environ)
+    environ["PYTHONPATH"] = os.pathsep.join(
+        [str(REPO / "src")]
+        + ([environ["PYTHONPATH"]] if environ.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--store", str(store_root), "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True, env=environ,
+    )
+    line = proc.stdout.readline()
+    if not line:
+        _out, err = proc.communicate(timeout=10)
+        raise RuntimeError(f"daemon failed to start:\n{err}")
+    ready = json.loads(line)
+    assert ready["event"] == "ready"
+    return proc, ready["port"]
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="fewer requests and one repetition (CI budget)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=None,
+        help="repetitions per side, best kept (default: 1 smoke, 3 full)",
+    )
+    parser.add_argument(
+        "--out", type=pathlib.Path,
+        default=REPO / "BENCH_PR8.json",
+        help="output JSON path (default: <repo>/BENCH_PR8.json)",
+    )
+    args = parser.parse_args(argv)
+    repeats = args.repeats if args.repeats else (1 if args.smoke else 3)
+    batch_size = 400 if args.smoke else 1200
+
+    graph = generate_bursty(WORKLOAD)
+    tmax = graph.tmax
+    print(f"graph: n={graph.num_vertices} m={graph.num_edges} tmax={tmax} k={K}")
+
+    index = CoreIndex(graph, K)  # build once; both sides serve from it
+    index.ecs.window_eids()
+    index.ecs.start_cuts([1], [tmax])
+
+    rng = random.Random(42)
+    ranges = contended_ranges(rng, tmax, batch_size)
+    plan_stats = plan_for_index(index, ranges).stats
+    print(
+        f"batch: {plan_stats['requests']} requests -> "
+        f"{plan_stats['windows']} covering window(s) "
+        f"({plan_stats['deduped']} deduped, {plan_stats['merged']} merged)"
+    )
+
+    report = {
+        "benchmark": "bench_pr8_daemon",
+        "mode": "smoke" if args.smoke else "full",
+        "repeats": repeats,
+        "graph": {
+            "name": WORKLOAD.name,
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "tmax": tmax,
+        },
+        "k": K,
+        "plan": plan_stats,
+        "in_process": {},
+        "daemon": {},
+        "identical": True,
+    }
+    failures = []
+
+    with tempfile.TemporaryDirectory(prefix="bench-pr8-") as tmp:
+        store_root = pathlib.Path(tmp) / "store"
+        store = IndexStore(store_root)
+        store.save_graph(graph, name="g")
+        store.save_index(index, name="g")
+
+        proc, port = start_daemon(store_root)
+        try:
+            with DaemonClient("127.0.0.1", port, timeout=600.0) as client:
+                # ---- identity first: the socket must not change answers ----
+                want = counters(index.query_batch(ranges))
+                got = [
+                    (a["num_results"], a["total_edges"])
+                    for a in client.batch(ranges, k=K)
+                ]
+                if got != want:
+                    report["identical"] = False
+                    failures.append("daemon batch answers diverge")
+
+                # ---- in-process side ----
+                local_s = best_of(
+                    repeats, lambda: index.query_batch(ranges)
+                )
+
+                # ---- daemon side: same batch over the socket ----
+                daemon_s = best_of(
+                    repeats, lambda: client.batch(ranges, k=K)
+                )
+                daemon_stats = client.stats()["daemon"]
+                client.shutdown()
+        finally:
+            try:
+                proc.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait(timeout=10)
+            for stream in (proc.stdout, proc.stderr):
+                if stream is not None:
+                    stream.close()
+
+    report["in_process"] = {
+        "seconds": round(local_s, 4),
+        "qps": round(batch_size / local_s, 1),
+    }
+    report["daemon"] = {
+        "seconds": round(daemon_s, 4),
+        "qps": round(batch_size / daemon_s, 1),
+        "counters": {
+            key: daemon_stats[key]
+            for key in ("accepted", "completed", "cancelled", "failed")
+        },
+    }
+    ratio = local_s / daemon_s if daemon_s else 0.0
+    report["gate"] = {
+        "min_qps_ratio": MIN_QPS_RATIO,
+        "qps_ratio": round(ratio, 4),
+    }
+    print(f"in-process : {local_s:7.3f}s  {batch_size / local_s:8.1f} q/s")
+    print(f"daemon     : {daemon_s:7.3f}s  {batch_size / daemon_s:8.1f} q/s")
+    print(
+        f"gate: daemon keeps {ratio * 100:.1f}% of in-process qps "
+        f"(needs {MIN_QPS_RATIO * 100:.0f}%)"
+    )
+    if ratio < MIN_QPS_RATIO:
+        failures.append(
+            f"daemon qps ratio {ratio:.3f} below {MIN_QPS_RATIO}"
+        )
+    report["ok"] = not failures
+    if failures:
+        report["failures"] = failures
+
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"report: {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -110,18 +110,10 @@ def _query_via_store(args: argparse.Namespace, sink):
     if args.input or args.dataset:
         graph = _load_graph(args)
     else:
-        keys = store.keys()
-        key = args.store_graph
-        if key is None:
-            if len(keys) != 1:
-                raise ReproError(
-                    f"store holds {len(keys)} graphs; pass --store-graph "
-                    f"(available: {', '.join(keys) or 'none'})"
-                )
-            key = keys[0]
-        elif key not in keys:
-            raise ReproError(f"store has no graph {key!r} "
-                             f"(available: {', '.join(keys) or 'none'})")
+        try:
+            key = store.only_key(args.store_graph)
+        except ReproError as exc:
+            raise ReproError(f"{exc} (--store-graph NAME)") from None
         graph = store.load_graph(key)
     index = store.load_index(graph, args.k, key=key)
     if index is None:
@@ -466,6 +458,27 @@ def cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the serving daemon in the foreground until drained."""
+    import asyncio
+
+    from repro.serve.daemon import ServingDaemon
+
+    daemon = ServingDaemon(
+        args.store,
+        host=args.host,
+        port=args.port,
+        processes=args.processes or None,
+        queue_depth=args.queue_depth,
+        outbox_depth=args.outbox_depth,
+        capacity=args.capacity,
+        default_timeout=args.deadline,
+        pool_min_windows=args.pool_min_windows,
+        warm=not args.no_warm,
+    )
+    return asyncio.run(daemon.run(announce=True))
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -606,6 +619,49 @@ def build_parser() -> argparse.ArgumentParser:
                        "a fingerprint-derived key)",
     )
     warm.set_defaults(func=cmd_warm)
+
+    serve = sub.add_parser(
+        "serve", help="run the serving daemon (NDJSON protocol + /metrics)"
+    )
+    serve.add_argument("--store", required=True, metavar="DIR",
+                       help="index store to serve (see `repro warm`)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=7471,
+        help="TCP port (0 binds an ephemeral port; default: 7471)",
+    )
+    serve.add_argument(
+        "--processes", type=int, default=0, metavar="N",
+        help="worker-pool processes for intra-request parallelism "
+             "(default: 0, execute in-process)",
+    )
+    serve.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="admission-control bound; excess requests are rejected "
+             "with an `overloaded` error frame (default: 64)",
+    )
+    serve.add_argument(
+        "--outbox-depth", type=int, default=256, metavar="N",
+        help="per-connection send-buffer bound, in frames (default: 256)",
+    )
+    serve.add_argument(
+        "--capacity", type=int, default=16, metavar="N",
+        help="index-registry LRU capacity (default: 16)",
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline for requests without a "
+             "`timeout` field (default: none)",
+    )
+    serve.add_argument(
+        "--pool-min-windows", type=int, default=2, metavar="N",
+        help="smallest plan the worker pool dispatches (default: 2)",
+    )
+    serve.add_argument(
+        "--no-warm", action="store_true",
+        help="skip preloading stored indexes at boot",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

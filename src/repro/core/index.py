@@ -674,6 +674,39 @@ class CoreIndexRegistry:
             self._entries.clear()
             self._g_size.set(0)
 
+    def persist_all(self, store: "IndexStore | None" = None) -> int:
+        """Persist every resident index the store lacks; returns how many.
+
+        The graceful-shutdown counterpart of :meth:`warm`: a draining
+        daemon calls this to land whatever it built (or gap-filled)
+        during its lifetime before the process exits, so the next boot
+        warms instead of recomputing.  Uses the attached store when none
+        is passed.  Entries the store already holds (by fingerprint) are
+        skipped; unpersistable entries (label types the store rejects,
+        I/O errors) are skipped silently — shutdown must never fail
+        because one entry cannot be written.
+        """
+        if store is None:
+            store = self.store
+        if store is None:
+            raise InvalidParameterError(
+                "no store attached and none passed to persist_all()"
+            )
+        with self._lock:
+            resident = list(self._entries.values())
+        from repro.errors import StoreError
+
+        persisted = 0
+        for index in resident:
+            try:
+                if not store.has_index(index.graph, index.k):
+                    store.save_index(index)
+                    persisted += 1
+                self._persisted.add((id(index.graph), index.k))
+            except (StoreError, OSError):
+                pass
+        return persisted
+
     def stats(self) -> dict:
         """Hit/miss/size counters for observability.
 

@@ -35,7 +35,7 @@ safe because queries on a fresh index do not mutate state.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable
+from collections.abc import Hashable, Iterable, Sequence
 from typing import TYPE_CHECKING
 
 from repro.core.index import CoreIndex
@@ -219,6 +219,7 @@ class StreamingCoreService:
         k: int | None = None,
         strict: bool = False,
         collect: bool = False,
+        sinks: "Sequence[ResultSink | None] | None" = None,
         deadline: "Deadline | None" = None,
         parallel: "WorkerPool | None" = None,
     ) -> list[EnumerationResult]:
@@ -229,6 +230,9 @@ class StreamingCoreService:
         :meth:`CoreIndex.query_batch
         <repro.core.index.CoreIndex.query_batch>` — deduped, merged
         into covering windows, cut with one vectorised sweep.
+        ``sinks`` optionally streams per-range results through caller
+        sinks (one entry per range, ``None`` falling back to the
+        ``collect`` default), exactly as on ``CoreIndex.query_batch``.
         ``parallel`` fans the covering windows out over a
         :class:`~repro.serve.parallel.WorkerPool`; the service's
         current index is persisted into the pool store so workers mmap
@@ -237,7 +241,11 @@ class StreamingCoreService:
         """
         self._ensure_fresh(strict)
         return self._index_for(k).query_batch(
-            ranges, collect=collect, deadline=deadline, parallel=parallel
+            ranges,
+            collect=collect,
+            sinks=sinks,
+            deadline=deadline,
+            parallel=parallel,
         )
 
     def query_raw(

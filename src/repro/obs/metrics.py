@@ -54,6 +54,10 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 
 _INF = float("inf")
 
+#: HTTP ``Content-Type`` of :meth:`MetricsRegistry.render_prometheus`
+#: output — what a ``GET /metrics`` endpoint should answer with.
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
 
 def _frozen_labels(
     labelnames: Sequence[str], args: tuple, kwargs: dict

@@ -79,13 +79,32 @@ class Deadline:
 
     Algorithms poll :meth:`expired` at coarse-grained checkpoints (once per
     start time, typically) and abort with a DNF marker instead of raising.
+
+    ``cancelled`` optionally threads an external abort signal through the
+    same machinery: a zero-argument callable polled by :meth:`expired`
+    alongside the clock.  This is how the serving daemon turns a client
+    disconnect into a prompt enumeration abort — the executor needs no
+    second code path, it already polls the deadline per start time.  The
+    callable must be cheap and thread-safe to *read* (a ``bool`` flag,
+    an ``Event.is_set``); it is polled from whichever thread runs the
+    walk.  Cancellation does not travel across process boundaries: a
+    :class:`~repro.serve.parallel.WorkerPool` chunk carries only the
+    remaining seconds.
     """
 
-    def __init__(self, seconds: float | None):
+    def __init__(
+        self,
+        seconds: float | None,
+        *,
+        cancelled: Callable[[], bool] | None = None,
+    ):
         self._seconds = seconds
+        self._cancelled = cancelled
         self._t0 = now()
 
     def expired(self) -> bool:
+        if self._cancelled is not None and self._cancelled():
+            return True
         if self._seconds is None:
             return False
         return now() - self._t0 > self._seconds

@@ -19,9 +19,17 @@ A fourth, optional axis fans execution out across processes
 workers (mmap, zero copy) executes the plan's covering windows in
 parallel — ``execute_plan(parallel=pool)`` — and the parent stitches
 the columnar results back into input order through the same sinks.
+
+The network front door (:mod:`repro.serve.daemon`,
+:mod:`repro.serve.protocol`, :mod:`repro.serve.client`) puts the whole
+pipeline behind one socket: a long-lived asyncio daemon with admission
+control, streamed NDJSON-identical answers, graceful drain and an HTTP
+``/metrics`` endpoint — see ``docs/DAEMON.md``.
 """
 
+from repro.serve.client import DaemonClient
 from repro.serve.columnar import run_columnar_walk
+from repro.serve.daemon import ServingDaemon
 from repro.serve.executor import execute_plan
 from repro.serve.parallel import WorkerPool, open_pool
 from repro.serve.planner import (
@@ -46,6 +54,8 @@ __all__ = [
     "CallbackSink",
     "CountSink",
     "CoveringWindow",
+    "DaemonClient",
+    "ServingDaemon",
     "FlatArraySink",
     "MaterializingSink",
     "NDJSONSink",

@@ -1,0 +1,159 @@
+"""A minimal blocking client for the serving daemon's protocol.
+
+:class:`DaemonClient` is the reference consumer of
+:mod:`repro.serve.protocol` — one TCP connection, synchronous calls,
+frames demultiplexed by request id.  The test suite and the benchmark
+harness drive the daemon through it; production clients in other
+languages only need the protocol doc (``docs/DAEMON.md``), the wire
+format is plain newline-delimited JSON.
+
+>>> from repro.serve.client import DaemonClient   # doctest: +SKIP
+>>> with DaemonClient("127.0.0.1", 7471) as client:  # doctest: +SKIP
+...     client.ping()
+...     cores, done = client.query(k=2, ts=1, te=9)
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.errors import ReproError
+from repro.serve.protocol import MAX_LINE_BYTES, encode_frame
+
+
+class DaemonError(ReproError):
+    """The daemon answered an error frame; mirrors its ``code``/``message``."""
+
+    def __init__(self, code: str, message: str):
+        super().__init__(f"[{code}] {message}")
+        self.code = code
+
+
+class DaemonClient:
+    """One blocking protocol connection to a serving daemon."""
+
+    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rb")
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- raw frame I/O ---------------------------------------------------
+
+    def send(self, frame: dict) -> None:
+        self._sock.sendall(encode_frame(frame))
+
+    def recv(self) -> dict:
+        """The next response frame, whatever request it belongs to."""
+        line = self._file.readline(MAX_LINE_BYTES + 2)
+        if not line:
+            raise DaemonError("internal", "connection closed by daemon")
+        return json.loads(line)
+
+    def request(self, frame: dict) -> dict:
+        """Send one frame, return its first response frame (id-checked)."""
+        rid = frame.setdefault("id", self._take_id())
+        self.send(frame)
+        response = self.recv()
+        if response.get("id") != rid and response.get("id") is not None:
+            raise DaemonError(
+                "internal",
+                f"response for {response.get('id')!r}, expected {rid!r}",
+            )
+        return self._raise_on_error(response)
+
+    def _take_id(self) -> int:
+        self._next_id += 1
+        return self._next_id
+
+    @staticmethod
+    def _raise_on_error(frame: dict) -> dict:
+        if frame.get("ok") is False:
+            error = frame.get("error") or {}
+            raise DaemonError(
+                error.get("code", "internal"), error.get("message", "")
+            )
+        return frame
+
+    # -- verbs -----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> dict:
+        """Ask the daemon to drain; returns the acknowledgement frame."""
+        return self.request({"op": "shutdown"})
+
+    def query(
+        self,
+        *,
+        k: int,
+        ts: int,
+        te: int,
+        graph: str | None = None,
+        timeout: float | None = None,
+        edge_ids: bool = True,
+    ) -> tuple[list[dict], dict]:
+        """Run one streamed query; ``(cores, terminal_frame)``.
+
+        ``cores`` are the streamed ``core`` payloads in enumeration
+        order — each exactly the object an in-process NDJSON sink
+        would have written.
+        """
+        frame: dict = {"op": "query", "k": k, "ts": ts, "te": te}
+        if graph is not None:
+            frame["graph"] = graph
+        if timeout is not None:
+            frame["timeout"] = timeout
+        if not edge_ids:
+            frame["edge_ids"] = False
+        rid = self._take_id()
+        frame["id"] = rid
+        self.send(frame)
+        cores: list[dict] = []
+        while True:
+            response = self.recv()
+            if response.get("id") != rid:
+                raise DaemonError(
+                    "internal", f"interleaved response {response!r}"
+                )
+            if "core" in response:
+                cores.append(response["core"])
+                continue
+            return cores, self._raise_on_error(response)
+
+    def batch(
+        self,
+        ranges: list[tuple[int, int]],
+        *,
+        k: int,
+        graph: str | None = None,
+        timeout: float | None = None,
+    ) -> list[dict]:
+        """Run a count-only batch; one answer dict per range, in order."""
+        frame: dict = {
+            "op": "batch",
+            "k": k,
+            "ranges": [list(pair) for pair in ranges],
+        }
+        if graph is not None:
+            frame["graph"] = graph
+        if timeout is not None:
+            frame["timeout"] = timeout
+        return self.request(frame)["answers"]

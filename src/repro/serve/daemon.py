@@ -1,0 +1,723 @@
+"""The serving daemon — one socket in front of the whole stack.
+
+:class:`ServingDaemon` is a long-lived asyncio process that attaches an
+:class:`~repro.store.index_store.IndexStore`, warms a
+:class:`~repro.core.index.CoreIndexRegistry` from it, optionally opens
+a store-attached :class:`~repro.serve.parallel.WorkerPool`, and
+answers the newline-delimited JSON protocol of
+:mod:`repro.serve.protocol` (plus HTTP ``GET /metrics`` on the same
+port, sniffed per connection).
+
+Layout — three kinds of task around one execution lane:
+
+* **per-connection reader** — parses request lines.  Control ops
+  (``ping``/``stats``/``shutdown``) answer inline from the event loop;
+  work ops (``query``/``batch``) go through **admission control**: a
+  bounded :class:`asyncio.Queue` whose overflow is answered with an
+  ``overloaded`` error frame instead of unbounded buffering.
+* **per-connection sender** — the only writer of that socket.  Frames
+  travel through a *bounded* outbox, so a slow reader backpressures the
+  producer (an enumeration streaming cores blocks on the outbox rather
+  than buffering the result set in memory).
+* **one drain task** feeding a single execution thread — the
+  :class:`~repro.serve.parallel.WorkerPool` is single-dispatcher, so
+  requests execute one at a time in admission order; parallelism lives
+  *inside* a request (covering windows fan out across pool workers).
+
+Cancellation rides the executor's existing deadline machinery: each
+request's :class:`~repro.obs.timing.Deadline` carries the connection's
+``gone`` event as its ``cancelled`` probe, so a client disconnect
+aborts the walk at the next per-start-time poll — and the new
+prep-skip in the executor means even the un-walked windows stop
+paying index cuts or Algorithm-2 runs.
+
+Graceful drain (SIGTERM, SIGINT, or the ``shutdown`` op): stop
+accepting connections, reject new work with ``draining``, finish every
+admitted request in FIFO order, then persist the registry's resident
+indexes back to the store (:meth:`CoreIndexRegistry.persist_all
+<repro.core.index.CoreIndexRegistry.persist_all>`) so the next boot
+warms instead of recomputing.  See ``docs/DAEMON.md``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import sys
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.index import CoreIndexRegistry
+from repro.errors import ReproError
+from repro.obs.metrics import (
+    PROMETHEUS_CONTENT_TYPE,
+    get_registry,
+    next_instance,
+)
+from repro.obs.timing import Deadline, now
+from repro.serve.executor import execute_plan
+from repro.serve.planner import plan_for_index
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    batch_done_frame,
+    core_frame_prefix,
+    decode_frame,
+    done_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_request,
+)
+from repro.serve.sinks import NDJSONSink
+from repro.store.index_store import IndexStore
+
+#: Environment variable carrying a :class:`WorkerPool` ``_fault_path``
+#: into a daemon subprocess — the fault-injection tests' SIGKILL hook.
+FAULT_PATH_ENV = "REPRO_POOL_FAULT_PATH"
+
+_STOP = object()  # drain-task sentinel, queued behind all admitted work
+
+
+class _FrameWriter:
+    """Pseudo text stream turning NDJSON lines into ``core`` frames.
+
+    :class:`~repro.serve.sinks.NDJSONSink` writes one ``\\n``-terminated
+    line per core; this splices each line *verbatim* (byte-identical to
+    in-process NDJSON output) into a core frame for one request id and
+    hands it to the connection outbox.  Called from the execution
+    thread; the outbox put blocks when the client reads slowly, which
+    is exactly the backpressure the walk should feel.
+    """
+
+    def __init__(self, conn: "_Connection", rid):
+        self._conn = conn
+        self._prefix = core_frame_prefix(rid)
+
+    def write(self, line: str) -> None:
+        self._conn.send_text_threadsafe(self._prefix + line[:-1] + "}\n")
+
+
+class _BridgeSink(NDJSONSink):
+    """The async-bridge sink: stream a query's cores over the socket."""
+
+    def __init__(self, conn: "_Connection", rid, *, edge_ids: bool = True):
+        super().__init__(_FrameWriter(conn, rid), edge_ids=edge_ids)
+
+
+class _Connection:
+    """One protocol connection: reader state, outbox, liveness flag."""
+
+    def __init__(
+        self,
+        daemon: "ServingDaemon",
+        writer: asyncio.StreamWriter,
+        outbox_depth: int,
+    ):
+        self.daemon = daemon
+        self.writer = writer
+        self.loop = asyncio.get_running_loop()
+        self.outbox: asyncio.Queue = asyncio.Queue(maxsize=outbox_depth)
+        #: Set once the peer is unreachable (reset, broken pipe) — the
+        #: ``cancelled`` probe of every in-flight deadline on this
+        #: connection, and the drop switch for further sends.
+        self.gone = asyncio.Event()
+        self.pending = 0  # admitted jobs not yet finished
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self.sender_task = asyncio.ensure_future(self._sender())
+
+    # -- sending ---------------------------------------------------------
+
+    async def send(self, frame: dict) -> None:
+        """Queue a frame from the event loop (control responses)."""
+        if not self.gone.is_set():
+            await self.outbox.put(encode_frame(frame).decode("utf-8"))
+
+    def send_text_threadsafe(self, text: str) -> None:
+        """Queue raw frame text from the execution thread; blocks when
+        the outbox is full (slow-reader backpressure), drops when the
+        peer is gone."""
+        if self.gone.is_set():
+            return
+        try:
+            asyncio.run_coroutine_threadsafe(self._put(text), self.loop).result()
+        except RuntimeError:  # loop already closed (daemon teardown)
+            pass
+
+    def send_frame_threadsafe(self, frame: dict) -> None:
+        self.send_text_threadsafe(encode_frame(frame).decode("utf-8"))
+
+    async def _put(self, text: str) -> None:
+        if not self.gone.is_set():
+            await self.outbox.put(text)
+
+    # -- job accounting --------------------------------------------------
+
+    def job_started(self) -> None:
+        self.pending += 1
+        self._idle.clear()
+
+    def _job_finished(self) -> None:
+        self.pending -= 1
+        if self.pending == 0:
+            self._idle.set()
+
+    def job_finished_threadsafe(self) -> None:
+        self.loop.call_soon_threadsafe(self._job_finished)
+
+    async def wait_idle(self) -> None:
+        """Wait until every admitted job finished and the outbox drained."""
+        await self._idle.wait()
+        while not (self.outbox.empty() or self.gone.is_set()):
+            await asyncio.sleep(0.01)
+
+    # -- teardown --------------------------------------------------------
+
+    async def _sender(self) -> None:
+        try:
+            while True:
+                text = await self.outbox.get()
+                if text is None:
+                    break
+                self.writer.write(text.encode("utf-8"))
+                await self.writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self.mark_gone()
+
+    def mark_gone(self) -> None:
+        """Flag the peer unreachable and unblock any blocked producer."""
+        if self.gone.is_set():
+            return
+        self.gone.set()
+        while True:  # free a producer blocked on a full outbox
+            try:
+                self.outbox.get_nowait()
+            except asyncio.QueueEmpty:
+                break
+
+    async def close(self) -> None:
+        if not self.gone.is_set():
+            try:
+                self.outbox.put_nowait(None)
+            except asyncio.QueueFull:
+                self.mark_gone()
+        await self.sender_task
+        try:
+            self.writer.close()
+            await self.writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+
+
+class _Job:
+    """One admitted work request, queued for the execution lane."""
+
+    __slots__ = ("request", "conn", "admitted_at")
+
+    def __init__(self, request: Request, conn: _Connection):
+        self.request = request
+        self.conn = conn
+        self.admitted_at = now()
+
+
+class ServingDaemon:
+    """The long-lived serving process behind ``repro serve``.
+
+    ``processes`` opens a store-attached worker pool for intra-request
+    parallelism (``None``/``0`` executes in-process).  ``queue_depth``
+    bounds admission; ``outbox_depth`` bounds each connection's send
+    buffer (frames, not bytes).  ``default_timeout`` caps requests that
+    do not bring their own ``timeout``.  ``warm=True`` preloads every
+    stored index at boot.  ``port=0`` binds an ephemeral port —
+    :attr:`port` holds the real one after :meth:`start`.
+    """
+
+    def __init__(
+        self,
+        store: IndexStore | str | os.PathLike,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        processes: int | None = None,
+        queue_depth: int = 64,
+        outbox_depth: int = 256,
+        capacity: int = 16,
+        default_timeout: float | None = None,
+        pool_min_windows: int = 2,
+        warm: bool = True,
+    ):
+        self.store = store if isinstance(store, IndexStore) else IndexStore(store)
+        self.host = host
+        self.port = port
+        self.processes = processes or None
+        self.queue_depth = queue_depth
+        self.outbox_depth = outbox_depth
+        self.default_timeout = default_timeout
+        self.pool_min_windows = pool_min_windows
+        self.warm = warm
+        self.registry = CoreIndexRegistry(capacity=capacity, store=self.store)
+        self.pool = None
+        self._graphs: dict[str, object] = {}
+        self._graph_lock = threading.Lock()
+        self._conns: set[_Connection] = set()
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._drain_task: asyncio.Task | None = None
+        self._exec = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="repro-daemon-exec"
+        )
+        self._draining = False
+        self._stopped: asyncio.Event | None = None
+
+        m = get_registry()
+        self.instance = next_instance("daemon")
+        inst = self.instance
+        self._c_accepted = m.counter(
+            "repro_daemon_accepted_total",
+            "Work requests admitted to the queue",
+            ("daemon",),
+        ).labels(inst)
+        self._c_completed = m.counter(
+            "repro_daemon_completed_total",
+            "Admitted requests that produced a terminal ok frame",
+            ("daemon",),
+        ).labels(inst)
+        self._c_cancelled = m.counter(
+            "repro_daemon_cancelled_total",
+            "Admitted requests dropped because the client went away",
+            ("daemon",),
+        ).labels(inst)
+        self._c_failed = m.counter(
+            "repro_daemon_failed_total",
+            "Admitted requests that ended in an error frame",
+            ("daemon",),
+        ).labels(inst)
+        self._rejected = m.counter(
+            "repro_daemon_rejected_total",
+            "Requests refused before admission, by reason",
+            ("daemon", "reason"),
+        )
+        self._g_depth = m.gauge(
+            "repro_daemon_queue_depth",
+            "Admitted requests waiting for the execution lane",
+            ("daemon",),
+        ).labels(inst)
+        self._g_conns = m.gauge(
+            "repro_daemon_connections",
+            "Open protocol connections",
+            ("daemon",),
+        ).labels(inst)
+        self._h_request_seconds = m.histogram(
+            "repro_daemon_request_seconds",
+            "Admission-to-terminal-frame latency, by op",
+            ("daemon", "op"),
+        )
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the socket, warm the store, start the drain task."""
+        if self.warm:
+            await asyncio.get_running_loop().run_in_executor(
+                self._exec, self._boot_warm
+            )
+        if self.processes:
+            from repro.serve.parallel import WorkerPool
+
+            self.pool = WorkerPool(
+                self.store,
+                processes=self.processes,
+                min_parallel_windows=self.pool_min_windows,
+                _fault_path=os.environ.get(FAULT_PATH_ENV) or None,
+            )
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._stopped = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port, limit=MAX_LINE_BYTES
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, self.begin_shutdown)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        self._drain_task = asyncio.ensure_future(self._drain_requests())
+
+    async def run(self, *, announce: bool = False) -> int:
+        """Start, optionally announce readiness on stdout, serve until
+        drained; the ``repro serve`` entry point."""
+        await self.start()
+        if announce:
+            print(
+                json.dumps(
+                    {
+                        "event": "ready",
+                        "host": self.host,
+                        "port": self.port,
+                        "pid": os.getpid(),
+                    }
+                ),
+                flush=True,
+            )
+        await self.wait_stopped()
+        return 0
+
+    def begin_shutdown(self) -> None:
+        """Start the graceful drain; idempotent, loop-thread only."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        # The sentinel queues *behind* every admitted job (FIFO), so
+        # in-flight work finishes before the lane shuts down; admission
+        # is already closed, so the put always lands.
+        asyncio.ensure_future(self._queue.put(_STOP))
+
+    async def wait_stopped(self) -> None:
+        """Wait for the drain to finish, then tear everything down."""
+        await self._stopped.wait()
+        await self._drain_task
+        # Snapshot on the way down: everything the registry built (or
+        # gap-filled) lands in the store so the next boot warms.
+        await asyncio.get_running_loop().run_in_executor(
+            self._exec, self.registry.persist_all
+        )
+        if self.pool is not None:
+            self.pool.close()
+        for conn in list(self._conns):
+            await conn.close()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self._exec.shutdown(wait=True)
+
+    async def __aenter__(self) -> "ServingDaemon":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        self.begin_shutdown()
+        await self.wait_stopped()
+
+    # ------------------------------------------------------------------
+    # Store plumbing (execution thread)
+    # ------------------------------------------------------------------
+
+    def _boot_warm(self) -> None:
+        for key in self.store.keys():
+            graph = self._graph(key)
+            for k in self.store.stored_ks(key):
+                self.registry.get(graph, k, store=self.store)
+
+    def _graph(self, key: str | None):
+        key = self.store.only_key(key)
+        with self._graph_lock:
+            graph = self._graphs.get(key)
+            if graph is None:
+                graph = self.store.load_graph(key)
+                self._graphs[key] = graph
+        return graph
+
+    # ------------------------------------------------------------------
+    # Connection handling (event loop)
+    # ------------------------------------------------------------------
+
+    async def _handle_conn(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            first = await reader.readline()
+        except (ConnectionError, OSError):
+            writer.close()
+            return
+        except ValueError:  # oversized first line — answer and hang up
+            self._rejected.labels(self.instance, "protocol").inc()
+            try:
+                writer.write(
+                    encode_frame(
+                        error_frame(
+                            None,
+                            "too-large",
+                            f"request line exceeded {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                )
+                await writer.drain()
+            except (ConnectionError, OSError):
+                pass
+            writer.close()
+            return
+        if first.startswith((b"GET ", b"HEAD ")):
+            await self._serve_http(first, reader, writer)
+            return
+        conn = _Connection(self, writer, self.outbox_depth)
+        self._conns.add(conn)
+        self._g_conns.set(len(self._conns))
+        try:
+            line = first
+            while line:
+                await self._handle_line(conn, line)
+                if conn.gone.is_set():
+                    break
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line overran the reader limit: the boundary is
+                    # lost, report and hang up.
+                    self._rejected.labels(self.instance, "protocol").inc()
+                    await conn.send(
+                        error_frame(
+                            None,
+                            "too-large",
+                            f"request line exceeded {MAX_LINE_BYTES} bytes",
+                        )
+                    )
+                    break
+            # EOF (or give-up): let admitted jobs finish and the outbox
+            # flush before closing — a half-closed client still gets
+            # its answers.
+            await conn.wait_idle()
+        except (ConnectionError, OSError):
+            conn.mark_gone()
+        finally:
+            if conn.pending:
+                # Jobs still queued or running for a dead connection:
+                # flag it so they cancel instead of blocking the lane.
+                conn.mark_gone()
+            await conn.close()
+            self._conns.discard(conn)
+            self._g_conns.set(len(self._conns))
+
+    async def _handle_line(self, conn: _Connection, line: bytes) -> None:
+        if not line.strip():
+            return
+        try:
+            request = parse_request(decode_frame(line))
+        except ProtocolError as exc:
+            self._rejected.labels(self.instance, "protocol").inc()
+            await conn.send(error_frame(None, exc.code, str(exc)))
+            return
+        if not request.is_work:
+            await self._handle_control(conn, request)
+            return
+        if self._draining:
+            self._rejected.labels(self.instance, "draining").inc()
+            await conn.send(
+                error_frame(request.id, "draining", "daemon is shutting down")
+            )
+            return
+        job = _Job(request, conn)
+        try:
+            self._queue.put_nowait(job)
+        except asyncio.QueueFull:
+            self._rejected.labels(self.instance, "overloaded").inc()
+            await conn.send(
+                error_frame(
+                    request.id,
+                    "overloaded",
+                    f"request queue is full (depth {self.queue_depth}); back off",
+                )
+            )
+            return
+        conn.job_started()
+        self._c_accepted.inc()
+        self._g_depth.set(self._queue.qsize())
+
+    async def _handle_control(self, conn: _Connection, request: Request) -> None:
+        if request.op == "ping":
+            await conn.send(ok_frame(request.id, pong=True))
+        elif request.op == "stats":
+            await conn.send(ok_frame(request.id, stats=self.stats()))
+        elif request.op == "shutdown":
+            await conn.send(ok_frame(request.id, draining=True))
+            self.begin_shutdown()
+
+    async def _serve_http(
+        self,
+        first: bytes,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+    ) -> None:
+        """Answer one HTTP/1.0 request — the ``/metrics`` endpoint."""
+        try:
+            while True:  # drain request headers
+                line = await reader.readline()
+                if line in (b"\r\n", b"\n", b""):
+                    break
+        except (ValueError, ConnectionError, OSError):
+            pass
+        parts = first.decode("latin-1").split()
+        path = parts[1].split("?")[0] if len(parts) > 1 else "/"
+        if path == "/metrics":
+            status, ctype = "200 OK", PROMETHEUS_CONTENT_TYPE
+            body = get_registry().render_prometheus().encode("utf-8")
+        elif path in ("/health", "/ping"):
+            status, ctype = "200 OK", "text/plain; charset=utf-8"
+            body = b"ok\n"
+        else:
+            status, ctype = "404 Not Found", "text/plain; charset=utf-8"
+            body = b"not found (try /metrics)\n"
+        head = (
+            f"HTTP/1.0 {status}\r\nContent-Type: {ctype}\r\n"
+            f"Content-Length: {len(body)}\r\nConnection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("latin-1") + body)
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            writer.close()
+
+    # ------------------------------------------------------------------
+    # The execution lane
+    # ------------------------------------------------------------------
+
+    async def _drain_requests(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            job = await self._queue.get()
+            if job is _STOP:
+                break
+            self._g_depth.set(self._queue.qsize())
+            await loop.run_in_executor(self._exec, self._run_job, job)
+        self._stopped.set()
+
+    def _run_job(self, job: _Job) -> None:
+        """Execute one admitted request; runs in the execution thread.
+
+        Every admitted job ends in exactly one outcome counter:
+        ``completed`` (terminal ok frame), ``failed`` (error frame) or
+        ``cancelled`` (client gone — nothing to answer), so
+        ``accepted == completed + cancelled + failed`` always
+        reconciles.
+        """
+        request, conn = job.request, job.conn
+        try:
+            if conn.gone.is_set():
+                self._c_cancelled.inc()
+                return
+            try:
+                frame = self._answer(request, conn)
+            except ReproError as exc:
+                self._c_failed.inc()
+                conn.send_frame_threadsafe(
+                    error_frame(request.id, "invalid", str(exc))
+                )
+                return
+            except Exception as exc:  # noqa: BLE001 - the lane must survive
+                self._c_failed.inc()
+                conn.send_frame_threadsafe(
+                    error_frame(
+                        request.id, "internal", f"{type(exc).__name__}: {exc}"
+                    )
+                )
+                return
+            if conn.gone.is_set():
+                self._c_cancelled.inc()
+                return
+            self._c_completed.inc()
+            conn.send_frame_threadsafe(frame)
+        finally:
+            self._h_request_seconds.labels(self.instance, request.op).observe(
+                now() - job.admitted_at
+            )
+            conn.job_finished_threadsafe()
+
+    def _answer(self, request: Request, conn: _Connection) -> dict:
+        """Resolve, plan and execute one work request; the terminal frame."""
+        graph = self._graph(request.graph)
+        index = self.registry.get(graph, request.k, store=self.store)
+        deadline = Deadline(
+            request.timeout
+            if request.timeout is not None
+            else self.default_timeout,
+            cancelled=conn.gone.is_set,
+        )
+        ranges = list(request.ranges)
+        sinks = None
+        if request.op == "query":
+            sinks = [_BridgeSink(conn, request.id, edge_ids=request.edge_ids)]
+        plan = plan_for_index(index, ranges, sinks=sinks)
+        results = execute_plan(
+            plan,
+            registry=self.registry,
+            store=self.store,
+            deadline=deadline,
+            parallel=self.pool,
+        )
+        if request.op == "query":
+            result = results[0]
+            return done_frame(
+                request.id,
+                num_results=result.num_results,
+                total_edges=result.total_edges,
+                completed=result.completed,
+            )
+        return batch_done_frame(
+            request.id,
+            [
+                {
+                    "range": [ts, te],
+                    "num_results": result.num_results,
+                    "total_edges": result.total_edges,
+                    "completed": result.completed,
+                }
+                for (ts, te), result in zip(ranges, results)
+            ],
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def counters(self) -> dict:
+        """The daemon's outcome counters, as plain ints."""
+        depth = self._queue.qsize() if self._queue is not None else 0
+        return {
+            "accepted": int(self._c_accepted.value),
+            "completed": int(self._c_completed.value),
+            "cancelled": int(self._c_cancelled.value),
+            "failed": int(self._c_failed.value),
+            "rejected": {
+                key[1]: int(child.value)
+                for key, child in self._rejected.items()
+                if key[0] == self.instance
+            },
+            "queue_depth": depth,
+            "connections": len(self._conns),
+            "draining": self._draining,
+        }
+
+    def stats(self) -> dict:
+        """The ``stats`` op payload: daemon, registry, pool, store."""
+        return {
+            "daemon": self.counters(),
+            "registry": self.registry.stats(),
+            "pool": self.pool.stats() if self.pool is not None else None,
+            "store": {
+                "root": str(self.store.root),
+                "keys": self.store.keys(),
+            },
+        }
+
+
+def main(argv=None) -> int:  # pragma: no cover - thin module runner
+    """``python -m repro.serve.daemon`` — defers to the CLI."""
+    from repro.cli import main as cli_main
+
+    return cli_main(["serve", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -160,9 +160,27 @@ def _group_window_arrays(
     *,
     registry: "CoreIndexRegistry | None",
     store: "IndexStore | None",
+    deadline: Deadline | None = None,
 ):
-    """Yield ``(window, arrays)`` for every covering window of ``group``."""
+    """Yield ``(window, arrays)`` for every covering window of ``group``.
+
+    Window preparation is where the executor's *other* costs live — a
+    cold index resolve (possibly a build), the vectorised skyline cut,
+    or a full Algorithm-2 run per ``direct`` window.  An expired (or
+    cancelled) ``deadline`` therefore short-circuits *before* each
+    window's prep: the window is yielded with ``arrays=None`` and the
+    caller marks its requests ``completed=False`` without enumerating.
+    Without this, a deadline abort would keep paying per-window prep
+    for every remaining window — prompt cancellation (the daemon's
+    client-disconnect path) needs the skip here, not just inside the
+    walk.
+    """
+    expired = deadline.expired if deadline is not None else (lambda: False)
     if group.engine == "index":
+        if expired():
+            for window in group.windows:
+                yield window, None
+            return
         index = group.index
         if index is None:
             from repro.core.index import get_core_index
@@ -182,6 +200,9 @@ def _group_window_arrays(
             [window.te for window in group.windows],
         )
         for window, lo, hi in zip(group.windows, los.tolist(), his.tolist()):
+            if expired():
+                yield window, None
+                continue
             selected = index.ecs.selection_from_cut(lo, hi, window.ts, window.te)
             yield window, index.ecs.active_arrays_from_selection(
                 selected, window.ts
@@ -190,6 +211,9 @@ def _group_window_arrays(
         from repro.core.coretime import compute_core_times
 
         for window in group.windows:
+            if expired():
+                yield window, None
+                continue
             skyline = compute_core_times(
                 group.graph, group.k, window.ts, window.te
             ).ecs
@@ -273,7 +297,7 @@ def _execute_sequential(
     ]
     for group in plan.groups:
         for window, arrays in _group_window_arrays(
-            group, registry=registry, store=store
+            group, registry=registry, store=store, deadline=deadline
         ):
             if window.is_shared:
                 target: ResultSink = _SliceRouter(
@@ -288,6 +312,13 @@ def _execute_sequential(
                 )
             else:
                 target = sinks[window.requests[0]]
+            if arrays is None:
+                # Deadline expired (or the request was cancelled) before
+                # this window's prep — skip the walk entirely, the sink
+                # just learns it did not complete.
+                _WINDOWS_EXECUTED.labels("skipped").inc()
+                target.finish(False)
+                continue
             _WINDOWS_EXECUTED.labels(
                 "shared" if window.is_shared else "single"
             ).inc()

@@ -143,7 +143,7 @@ def _run_chunk(
     ]
     group = PlanGroup(graph, chunk.k, chunk.engine, local_windows, index=index)
     for window, arrays in _group_window_arrays(
-        group, registry=registry, store=store
+        group, registry=registry, store=store, deadline=deadline
     ):
         if window.is_shared:
             target: ResultSink = _SliceRouter(
@@ -154,6 +154,9 @@ def _run_chunk(
             )
         else:
             target = sinks[window.requests[0]]
+        if arrays is None:
+            target.finish(False)
+            continue
         completed = run_columnar_walk(
             window.ts, window.te, arrays, target, deadline=deadline
         )
@@ -205,6 +208,16 @@ def _worker_init(
 ) -> None:
     """Pool initialiser: attach to the store, pre-open the warm set."""
     global _WORKER, _FAULT_PATH
+    # Workers are forked from whatever process owns the pool.  An
+    # asyncio parent (the serving daemon) has a signal wakeup fd and
+    # Python-level SIGTERM/SIGINT handlers installed; both survive the
+    # fork, so a signal delivered to a *worker* (e.g. the executor
+    # terminating siblings after a broken-pool event) would write into
+    # the parent's shared wakeup pipe and masquerade as a parent
+    # shutdown request.  Sever that inheritance before doing anything.
+    signal.set_wakeup_fd(-1)
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
     _WORKER = _WorkerState(root, verify, capacity)
     _FAULT_PATH = fault_path
     for key, k in warm:

@@ -205,6 +205,30 @@ class IndexStore:
             if entry.is_dir() and self._read_manifest(entry.name) is not None
         )
 
+    def only_key(self, key: str | None = None) -> str:
+        """Resolve ``key``, defaulting to the store's sole graph.
+
+        The serving front ends (CLI ``query --store``, the daemon) let
+        callers omit the graph key when the store holds exactly one
+        graph.  Passing a key validates it exists; passing ``None``
+        against an empty or multi-graph store raises a
+        :class:`StoreError` naming the available keys.
+        """
+        keys = self.keys()
+        if key is not None:
+            if key not in keys:
+                raise StoreError(
+                    f"no stored graph under key {key!r} in {self.root} "
+                    f"(available: {keys})"
+                )
+            return key
+        if len(keys) != 1:
+            raise StoreError(
+                f"store {self.root} holds {len(keys)} graphs "
+                f"(available: {keys}); pass an explicit key"
+            )
+        return keys[0]
+
     def manifest(self, key: str) -> dict:
         """The manifest of ``key`` (raises :class:`StoreError` if absent)."""
         manifest = self._read_manifest(key)

@@ -1,0 +1,12 @@
+"""Shared serve-layer fixtures.
+
+The daemon launcher and its session store live in
+``tests/serve/daemon/conftest.py``; re-importing them here registers
+the fixtures for the whole ``tests/serve`` tree (the fault, protocol
+and soak suites drive daemon subprocesses too).
+"""
+
+from tests.serve.daemon.conftest import (  # noqa: F401
+    daemon_store,
+    start_daemon,
+)

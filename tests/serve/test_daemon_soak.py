@@ -1,0 +1,131 @@
+"""Concurrency soak: many async clients against a tiny admission queue.
+
+Eight clients burst simultaneously (a start gate holds them until all
+are connected) at a daemon whose request queue holds only two entries,
+so admission control *must* reject some of the burst with
+``overloaded``.  Clients retry rejected requests until they land.  At
+the end every accepted request completed with the correct answer, the
+client-observed rejection count equals the daemon's
+``rejected{reason="overloaded"}`` counter, and
+``accepted == completed + cancelled + failed`` reconciles exactly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.index import CoreIndex
+from repro.serve.client import DaemonClient
+
+CLIENTS = 8
+QUERIES_PER_CLIENT = 5
+
+
+async def soak_client(
+    port: int,
+    gate: asyncio.Event,
+    windows: list[tuple[int, int]],
+) -> tuple[int, list[dict]]:
+    """Run one client's queries; ``(rejections_seen, done frames)``."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    await gate.wait()
+    rejections = 0
+    done_frames = []
+    try:
+        for rid, (ts, te) in enumerate(windows):
+            while True:
+                writer.write(
+                    json.dumps(
+                        {"op": "query", "id": rid, "k": 2, "ts": ts,
+                         "te": te, "edge_ids": False}
+                    ).encode()
+                    + b"\n"
+                )
+                await writer.drain()
+                frame = json.loads(await reader.readline())
+                if frame.get("ok") is False:
+                    assert frame["error"]["code"] == "overloaded", frame
+                    rejections += 1
+                    await asyncio.sleep(0.01)
+                    continue
+                while "core" in frame:
+                    frame = json.loads(await reader.readline())
+                assert frame["ok"] is True, frame
+                assert frame["id"] == rid
+                done_frames.append(frame)
+                break
+    finally:
+        writer.close()
+        await writer.wait_closed()
+    return rejections, done_frames
+
+
+def test_soak_small_queue_rejects_cleanly_and_reconciles(
+    start_daemon, daemon_store
+):
+    _root, graph = daemon_store
+    handle = start_daemon("--queue-depth", "2")
+    index = CoreIndex(graph, 2)
+
+    # Per-client windows, chosen deterministically so the expected
+    # counters are computable up front.
+    plans = []
+    for client_id in range(CLIENTS):
+        windows = []
+        for j in range(QUERIES_PER_CLIENT):
+            ts = 1 + (client_id + j) % (graph.tmax // 2)
+            te = min(graph.tmax, ts + 4 + 2 * j)
+            windows.append((ts, te))
+        plans.append(windows)
+    expected = {
+        window: index.query(*window, collect=False)
+        for windows in plans
+        for window in set(windows)
+    }
+
+    async def run_soak():
+        gate = asyncio.Event()
+        tasks = [
+            asyncio.create_task(soak_client(handle.port, gate, windows))
+            for windows in plans
+        ]
+        # Everyone is connected (open_connection returned before the
+        # gate); release the burst at once.
+        await asyncio.sleep(0.05)
+        gate.set()
+        return await asyncio.gather(*tasks)
+
+    results = asyncio.run(asyncio.wait_for(run_soak(), timeout=120))
+
+    total_rejections = sum(rejections for rejections, _frames in results)
+    total_done = sum(len(frames) for _rejections, frames in results)
+    assert total_done == CLIENTS * QUERIES_PER_CLIENT
+
+    # Every completed answer is correct.
+    for windows, (_rejections, frames) in zip(plans, results):
+        for (ts, te), frame in zip(windows, frames):
+            want = expected[(ts, te)]
+            assert frame["completed"] is True
+            assert frame["num_results"] == want.num_results
+            assert frame["total_edges"] == want.total_edges
+
+    with DaemonClient("127.0.0.1", handle.port) as client:
+        counters = client.stats()["daemon"]
+    # With a queue this small and a simultaneous 8-way burst, admission
+    # control must have fired at least once.
+    assert total_rejections >= 1
+    assert counters["rejected"].get("overloaded", 0) == total_rejections
+    assert counters["accepted"] == total_done
+    assert counters["completed"] == total_done
+    assert counters["cancelled"] == 0 and counters["failed"] == 0
+    assert counters["accepted"] == (
+        counters["completed"] + counters["cancelled"] + counters["failed"]
+    )
+
+    # And the daemon shuts down clean after the storm.
+    with DaemonClient("127.0.0.1", handle.port) as client:
+        assert client.shutdown()["draining"] is True
+    assert handle.wait(timeout=30) == 0

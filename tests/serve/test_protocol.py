@@ -1,0 +1,287 @@
+"""Wire protocol: frame codecs, request validation, and byte-identity.
+
+The first half exercises :mod:`repro.serve.protocol` in isolation —
+round-trips over randomized payloads and the full validation error
+matrix.  The second half proves the strongest end-to-end property the
+daemon offers: the core lines it streams over a socket are **byte
+identical** to what an in-process :class:`NDJSONSink` writes for the
+same query, and its counters match :func:`run_query_batch` and the
+seed oracle on randomized graphs, ks and windows.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import random
+import socket
+
+import pytest
+
+from repro.bench.batch import run_query_batch
+from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
+from repro.core.index import CoreIndex
+from repro.graph.generators import uniform_random_temporal
+from repro.serve.client import DaemonClient
+from repro.serve.executor import execute_plan
+from repro.serve.planner import plan_for_index
+from repro.serve.protocol import (
+    MAX_LINE_BYTES,
+    ProtocolError,
+    Request,
+    batch_done_frame,
+    core_frame_prefix,
+    decode_frame,
+    done_frame,
+    encode_frame,
+    error_frame,
+    ok_frame,
+    parse_request,
+)
+from repro.serve.sinks import NDJSONSink
+from repro.store.index_store import IndexStore
+
+
+def random_payload(rng: random.Random, depth: int = 0):
+    """A random JSON-representable value (nested up to two levels)."""
+    choices = ["int", "float", "str", "bool", "none"]
+    if depth < 2:
+        choices += ["list", "dict"]
+    kind = rng.choice(choices)
+    if kind == "int":
+        return rng.randint(-(10**12), 10**12)
+    if kind == "float":
+        return rng.uniform(-1e6, 1e6)
+    if kind == "str":
+        return "".join(
+            rng.choice("abc λμν \"\\\n\t0123") for _ in range(rng.randint(0, 12))
+        )
+    if kind == "bool":
+        return rng.random() < 0.5
+    if kind == "none":
+        return None
+    if kind == "list":
+        return [random_payload(rng, depth + 1) for _ in range(rng.randint(0, 4))]
+    return {
+        f"key{i}": random_payload(rng, depth + 1)
+        for i in range(rng.randint(0, 4))
+    }
+
+
+class TestFrameCodec:
+    def test_round_trips_randomized_payloads(self):
+        rng = random.Random(4242)
+        for _ in range(200):
+            frame = {
+                f"field{i}": random_payload(rng)
+                for i in range(rng.randint(1, 6))
+            }
+            wire = encode_frame(frame)
+            assert wire.endswith(b"\n")
+            assert wire.count(b"\n") == 1  # newline-delimited framing holds
+            assert decode_frame(wire) == frame
+            assert decode_frame(wire.decode("utf-8")) == frame
+
+    def test_builder_frames_round_trip(self):
+        for frame in (
+            ok_frame(7, pong=True),
+            error_frame("x", "overloaded", "queue full"),
+            done_frame(None, num_results=3, total_edges=9, completed=False),
+            batch_done_frame(2, [{"range": [1, 5], "num_results": 0}]),
+        ):
+            assert decode_frame(encode_frame(frame)) == frame
+
+    def test_oversized_line_rejected(self):
+        line = b'{"pad": "' + b"y" * MAX_LINE_BYTES + b'"}'
+        with pytest.raises(ProtocolError) as err:
+            decode_frame(line)
+        assert err.value.code == "too-large"
+
+    def test_bad_json_rejected(self):
+        for line in (b"nope", b"{truncated", b"\xff\xfe"):
+            with pytest.raises(ProtocolError) as err:
+                decode_frame(line)
+            assert err.value.code == "bad-json"
+
+    def test_non_object_rejected(self):
+        for line in (b"[1, 2]", b'"str"', b"42", b"null"):
+            with pytest.raises(ProtocolError) as err:
+                decode_frame(line)
+            assert err.value.code == "bad-request"
+
+    def test_core_frame_splice_is_valid_json(self):
+        # The daemon splices NDJSON lines verbatim between this prefix
+        # and "}\n"; the result must parse back to the original core.
+        core_line = '{"tti": [2, 5], "num_edges": 3, "edge_ids": [0, 4, 7]}\n'
+        wire = core_frame_prefix(17) + core_line[:-1] + "}\n"
+        frame = json.loads(wire)
+        assert frame["id"] == 17
+        assert frame["core"] == json.loads(core_line)
+
+
+class TestParseRequest:
+    def test_control_ops_parse_minimal(self):
+        for op in ("ping", "stats", "shutdown"):
+            request = parse_request({"op": op, "id": 3})
+            assert request == Request(op=op, id=3)
+            assert not request.is_work
+
+    def test_query_parses_fields(self):
+        request = parse_request(
+            {"op": "query", "id": "q1", "k": 3, "ts": 2, "te": 9,
+             "graph": "g", "timeout": 1.5, "edge_ids": False}
+        )
+        assert request.is_work
+        assert request.k == 3
+        assert request.ranges == ((2, 9),)
+        assert request.graph == "g"
+        assert request.timeout == 1.5
+        assert request.edge_ids is False
+
+    def test_batch_parses_ranges_in_order(self):
+        request = parse_request(
+            {"op": "batch", "id": 1, "k": 2, "ranges": [[1, 5], [3, 3]]}
+        )
+        assert request.ranges == ((1, 5), (3, 3))
+
+    @pytest.mark.parametrize(
+        "frame, code",
+        [
+            ({"id": 1}, "bad-request"),                      # missing op
+            ({"op": 5, "id": 1}, "bad-request"),             # non-string op
+            ({"op": "frobnicate", "id": 1}, "unknown-op"),
+            ({"op": "ping", "id": [1]}, "bad-request"),      # non-scalar id
+            ({"op": "query", "id": 1, "ts": 1, "te": 5}, "bad-request"),
+            ({"op": "query", "id": 1, "k": True, "ts": 1, "te": 5},
+             "bad-request"),                                 # bool-as-int k
+            ({"op": "query", "id": 1, "k": 2, "ts": 1.5, "te": 5},
+             "bad-request"),                                 # float ts
+            ({"op": "query", "id": 1, "k": 2, "ts": 1, "te": 5, "graph": 7},
+             "bad-request"),
+            ({"op": "query", "id": 1, "k": 2, "ts": 1, "te": 5,
+              "timeout": "fast"}, "bad-request"),
+            ({"op": "query", "id": 1, "k": 2, "ts": 1, "te": 5,
+              "timeout": 0}, "bad-request"),
+            ({"op": "query", "id": 1, "k": 2, "ts": 1, "te": 5,
+              "edge_ids": 1}, "bad-request"),
+            ({"op": "batch", "id": 1, "k": 2}, "bad-request"),
+            ({"op": "batch", "id": 1, "k": 2, "ranges": []}, "bad-request"),
+            ({"op": "batch", "id": 1, "k": 2, "ranges": [[1]]}, "bad-request"),
+            ({"op": "batch", "id": 1, "k": 2, "ranges": [[1, 2.5]]},
+             "bad-request"),
+            ({"op": "batch", "id": 1, "k": 2, "ranges": [[1, True]]},
+             "bad-request"),
+        ],
+    )
+    def test_invalid_frames_map_to_codes(self, frame, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == code
+
+    def test_semantic_errors_are_not_protocol_errors(self):
+        # k=0 and inverted windows are wire-valid; the daemon rejects
+        # them against the store with an "invalid" response instead.
+        assert parse_request(
+            {"op": "query", "id": 1, "k": 0, "ts": 9, "te": 1}
+        ).k == 0
+
+
+def stream_query_raw(port: int, request: dict) -> tuple[list[bytes], dict]:
+    """Send one query over a raw socket; ``(core line bytes, done frame)``.
+
+    Core payloads are recovered exactly as the daemon spliced them:
+    everything between :func:`core_frame_prefix` and the closing
+    ``}\\n`` is the untouched NDJSON line (minus its newline).
+    """
+    prefix = core_frame_prefix(request["id"]).encode("utf-8")
+    cores: list[bytes] = []
+    with socket.create_connection(("127.0.0.1", port), timeout=60) as sock:
+        reader = sock.makefile("rb")
+        sock.sendall(json.dumps(request).encode() + b"\n")
+        while True:
+            line = reader.readline()
+            assert line, "daemon hung up mid-stream"
+            if line.startswith(prefix):
+                cores.append(line[len(prefix) : -2] + b"\n")
+                continue
+            frame = json.loads(line)
+            assert "core" not in frame  # the prefix match is exhaustive
+            reader.close()
+            return cores, frame
+
+
+class TestDaemonByteIdentity:
+    @pytest.fixture(scope="class")
+    def multi_store(self, tmp_path_factory):
+        """Two distinct random graphs in one store, keys ``a`` and ``b``."""
+        root = tmp_path_factory.mktemp("protocol") / "store"
+        store = IndexStore(root)
+        graphs = {}
+        for name, seed in (("a", 101), ("b", 202)):
+            graph = uniform_random_temporal(22, 600, tmax=40, seed=seed)
+            store.save_graph(graph, name=name)
+            store.save_index(CoreIndex(graph, 2), name=name)
+            graphs[name] = graph
+        return root, graphs
+
+    def in_process_ndjson(self, graph, k, ts, te, *, edge_ids=True) -> bytes:
+        """The NDJSON bytes the serving core writes for this query."""
+        buffer = io.StringIO()
+        index = CoreIndex(graph, k)
+        plan = plan_for_index(
+            index, [(ts, te)], sinks=[NDJSONSink(buffer, edge_ids=edge_ids)]
+        )
+        execute_plan(plan)
+        return buffer.getvalue().encode("utf-8")
+
+    def test_streamed_cores_byte_identical(self, start_daemon, multi_store):
+        root, graphs = multi_store
+        handle = start_daemon(store=root)
+        rng = random.Random(31337)
+        for trial in range(6):
+            name, graph = rng.choice(sorted(graphs.items()))
+            k = rng.choice([2, 3])
+            a, b = rng.randint(1, graph.tmax), rng.randint(1, graph.tmax)
+            ts, te = min(a, b), max(a, b)
+            edge_ids = trial % 3 != 2
+            cores, done = stream_query_raw(
+                handle.port,
+                {"op": "query", "id": trial, "k": k, "ts": ts, "te": te,
+                 "graph": name, "edge_ids": edge_ids},
+            )
+            want = self.in_process_ndjson(graph, k, ts, te, edge_ids=edge_ids)
+            assert b"".join(cores) == want
+            assert done["ok"] is True and done["completed"] is True
+            assert done["num_results"] == len(cores)
+
+    def test_counters_match_run_query_batch(self, start_daemon, multi_store):
+        root, graphs = multi_store
+        handle = start_daemon(store=root)
+        rng = random.Random(55)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            for name, graph in sorted(graphs.items()):
+                ranges = []
+                for _ in range(8):
+                    a = rng.randint(1, graph.tmax)
+                    b = rng.randint(1, graph.tmax)
+                    ranges.append((min(a, b), max(a, b)))
+                answers = client.batch(ranges, k=2, graph=name)
+                want = run_query_batch(graph, 2, ranges)
+                assert len(answers) == len(want)
+                for answer, result in zip(answers, want):
+                    assert tuple(answer["range"]) == result.time_range
+                    assert answer["num_results"] == result.num_results
+                    assert answer["total_edges"] == result.total_edges
+
+    def test_spot_check_against_seed_oracle(self, start_daemon, multi_store):
+        root, graphs = multi_store
+        handle = start_daemon(store=root)
+        graph = graphs["a"]
+        ts, te = 3, graph.tmax - 5
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            cores, done = client.query(k=2, ts=ts, te=te, graph="a")
+        want = enumerate_temporal_kcores_ref(graph, 2, ts, te)
+        assert done["num_results"] == want.num_results
+        assert done["total_edges"] == want.total_edges
+        got = {(tuple(c["tti"]), frozenset(c["edge_ids"])) for c in cores}
+        assert got == {(c.tti, frozenset(c.edge_ids)) for c in want.cores}
