@@ -473,6 +473,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         outbox_depth=args.outbox_depth,
         capacity=args.capacity,
         default_timeout=args.deadline,
+        terminal_grace=args.terminal_grace,
         pool_min_windows=args.pool_min_windows,
         warm=not args.no_warm,
     )
@@ -652,6 +653,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--deadline", type=float, default=None, metavar="SECONDS",
         help="default per-request deadline for requests without a "
              "`timeout` field (default: none)",
+    )
+    serve.add_argument(
+        "--terminal-grace", type=float, default=5.0, metavar="SECONDS",
+        help="after a request's deadline expires, how long a client "
+             "gets to accept the terminal frame before the daemon "
+             "hangs up on it (default: 5)",
     )
     serve.add_argument(
         "--pool-min-windows", type=int, default=2, metavar="N",

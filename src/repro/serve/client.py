@@ -57,10 +57,24 @@ class DaemonClient:
         self._sock.sendall(encode_frame(frame))
 
     def recv(self) -> dict:
-        """The next response frame, whatever request it belongs to."""
+        """The next response frame, whatever request it belongs to.
+
+        Response frames are not size-bounded server-side (a single
+        core's ``edge_ids`` list can push a frame past the request-line
+        limit), so the line is reassembled chunk by chunk until its
+        terminating newline rather than trusting one bounded
+        ``readline`` not to truncate mid-frame.
+        """
         line = self._file.readline(MAX_LINE_BYTES + 2)
         if not line:
             raise DaemonError("internal", "connection closed by daemon")
+        while not line.endswith(b"\n"):
+            chunk = self._file.readline(MAX_LINE_BYTES + 2)
+            if not chunk:
+                raise DaemonError(
+                    "internal", "connection closed mid-frame by daemon"
+                )
+            line += chunk
         return json.loads(line)
 
     def request(self, frame: dict) -> dict:

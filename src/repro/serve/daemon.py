@@ -18,7 +18,10 @@ Layout — three kinds of task around one execution lane:
 * **per-connection sender** — the only writer of that socket.  Frames
   travel through a *bounded* outbox, so a slow reader backpressures the
   producer (an enumeration streaming cores blocks on the outbox rather
-  than buffering the result set in memory).
+  than buffering the result set in memory) — but only within the
+  request's time budget: past its deadline the walk aborts, and the
+  terminal frame waits at most ``terminal_grace`` longer before the
+  daemon hangs up, so one stalled reader cannot pin the execution lane.
 * **one drain task** feeding a single execution thread — the
   :class:`~repro.serve.parallel.WorkerPool` is single-dispatcher, so
   requests execute one at a time in admission order; parallelism lives
@@ -81,6 +84,11 @@ FAULT_PATH_ENV = "REPRO_POOL_FAULT_PATH"
 
 _STOP = object()  # drain-task sentinel, queued behind all admitted work
 
+#: Granularity of a bounded outbox put from the execution thread — how
+#: long each wait slice lasts before the peer's liveness and the
+#: request's deadline are re-checked.
+_PUT_WAIT_SECONDS = 0.05
+
 
 class _FrameWriter:
     """Pseudo text stream turning NDJSON lines into ``core`` frames.
@@ -90,22 +98,35 @@ class _FrameWriter:
     in-process NDJSON output) into a core frame for one request id and
     hands it to the connection outbox.  Called from the execution
     thread; the outbox put blocks when the client reads slowly, which
-    is exactly the backpressure the walk should feel.
+    is exactly the backpressure the walk should feel — but only up to
+    the request's ``deadline``: past it frames are dropped so the walk
+    aborts at its next deadline poll instead of letting a stalled
+    reader pin the execution lane.
     """
 
-    def __init__(self, conn: "_Connection", rid):
+    def __init__(self, conn: "_Connection", rid, deadline: Deadline | None = None):
         self._conn = conn
         self._prefix = core_frame_prefix(rid)
+        self._deadline = deadline
 
     def write(self, line: str) -> None:
-        self._conn.send_text_threadsafe(self._prefix + line[:-1] + "}\n")
+        self._conn.send_text_threadsafe(
+            self._prefix + line[:-1] + "}\n", self._deadline
+        )
 
 
 class _BridgeSink(NDJSONSink):
     """The async-bridge sink: stream a query's cores over the socket."""
 
-    def __init__(self, conn: "_Connection", rid, *, edge_ids: bool = True):
-        super().__init__(_FrameWriter(conn, rid), edge_ids=edge_ids)
+    def __init__(
+        self,
+        conn: "_Connection",
+        rid,
+        *,
+        edge_ids: bool = True,
+        deadline: Deadline | None = None,
+    ):
+        super().__init__(_FrameWriter(conn, rid, deadline), edge_ids=edge_ids)
 
 
 class _Connection:
@@ -137,23 +158,55 @@ class _Connection:
         if not self.gone.is_set():
             await self.outbox.put(encode_frame(frame).decode("utf-8"))
 
-    def send_text_threadsafe(self, text: str) -> None:
-        """Queue raw frame text from the execution thread; blocks when
-        the outbox is full (slow-reader backpressure), drops when the
-        peer is gone."""
+    def send_text_threadsafe(
+        self, text: str, deadline: Deadline | None = None
+    ) -> bool:
+        """Queue raw frame text from the execution thread.
+
+        A full outbox blocks the caller (slow-reader backpressure), but
+        in bounded slices: between waits the peer's liveness and the
+        request's ``deadline`` are re-checked, so a stalled reader can
+        hold the execution lane only until the request's time budget
+        runs out.  Returns ``True`` once the frame is queued, ``False``
+        when it was dropped (peer gone, deadline expired, or the loop
+        already torn down)."""
+        while True:
+            if self.gone.is_set():
+                return False
+            if deadline is not None and deadline.expired():
+                return False
+            try:
+                outcome = asyncio.run_coroutine_threadsafe(
+                    self._offer(text), self.loop
+                ).result()
+            except RuntimeError:  # loop already closed (daemon teardown)
+                return False
+            if outcome is not None:
+                return outcome
+
+    def send_frame_threadsafe(
+        self, frame: dict, deadline: Deadline | None = None
+    ) -> bool:
+        return self.send_text_threadsafe(
+            encode_frame(frame).decode("utf-8"), deadline
+        )
+
+    async def _offer(self, text: str) -> bool | None:
+        """One bounded outbox put: ``True`` queued, ``False`` dropped
+        (peer gone), ``None`` still full — the caller re-checks its
+        deadline and retries."""
         if self.gone.is_set():
-            return
+            return False
         try:
-            asyncio.run_coroutine_threadsafe(self._put(text), self.loop).result()
-        except RuntimeError:  # loop already closed (daemon teardown)
+            self.outbox.put_nowait(text)
+            return True
+        except asyncio.QueueFull:
             pass
-
-    def send_frame_threadsafe(self, frame: dict) -> None:
-        self.send_text_threadsafe(encode_frame(frame).decode("utf-8"))
-
-    async def _put(self, text: str) -> None:
-        if not self.gone.is_set():
-            await self.outbox.put(text)
+        try:
+            await asyncio.wait_for(self.outbox.put(text), _PUT_WAIT_SECONDS)
+            return True
+        except asyncio.TimeoutError:
+            return None
 
     # -- job accounting --------------------------------------------------
 
@@ -191,7 +244,7 @@ class _Connection:
             self.mark_gone()
 
     def mark_gone(self) -> None:
-        """Flag the peer unreachable and unblock any blocked producer."""
+        """Flag the peer unreachable, unblock producers *and* the sender."""
         if self.gone.is_set():
             return
         self.gone.set()
@@ -200,15 +253,56 @@ class _Connection:
                 self.outbox.get_nowait()
             except asyncio.QueueEmpty:
                 break
+        # Wake a sender parked on the now-empty outbox: close() skips
+        # its own sentinel once ``gone`` is set, so without this the
+        # sender would wait forever and close() would await it forever
+        # (leaking the handler and hanging the SIGTERM drain).  When
+        # the sender already exited the sentinel just stays queued,
+        # which is harmless.
+        self.outbox.put_nowait(None)
+
+    def abort_threadsafe(self) -> None:
+        """Give up on this peer from the execution thread: mark it gone
+        and reset the transport, so the connection's reader unblocks
+        and the client sees a hangup rather than silence."""
+        def _abort() -> None:
+            self.mark_gone()
+            transport = self.writer.transport
+            if transport is not None:
+                transport.abort()
+
+        try:
+            self.loop.call_soon_threadsafe(_abort)
+        except RuntimeError:  # pragma: no cover - loop torn down
+            pass
 
     async def close(self) -> None:
-        if not self.gone.is_set():
+        # The sender's own teardown sets ``gone`` after a normal
+        # sentinel exit, so sample the peer's state *now*: only a peer
+        # already known unreachable gets the abortive path below.
+        peer_gone = self.gone.is_set()
+        if peer_gone:
+            # mark_gone() already queued the stop sentinel; the cancel
+            # covers the one remaining way the sender can hang — blocked
+            # in drain() against a peer that stopped reading.
+            self.sender_task.cancel()
+        else:
             try:
                 self.outbox.put_nowait(None)
             except asyncio.QueueFull:
+                peer_gone = True
                 self.mark_gone()
-        await self.sender_task
+                self.sender_task.cancel()
         try:
+            await self.sender_task
+        except asyncio.CancelledError:  # pragma: no cover - close cancelled
+            pass
+        try:
+            if peer_gone and self.writer.transport is not None:
+                # Don't wait for buffered frames to flush to a peer that
+                # is gone (or refused to read them): reset instead, or
+                # wait_closed() below could block the drain forever.
+                self.writer.transport.abort()
             self.writer.close()
             await self.writer.wait_closed()
         except (ConnectionError, OSError):
@@ -233,9 +327,13 @@ class ServingDaemon:
     parallelism (``None``/``0`` executes in-process).  ``queue_depth``
     bounds admission; ``outbox_depth`` bounds each connection's send
     buffer (frames, not bytes).  ``default_timeout`` caps requests that
-    do not bring their own ``timeout``.  ``warm=True`` preloads every
-    stored index at boot.  ``port=0`` binds an ephemeral port —
-    :attr:`port` holds the real one after :meth:`start`.
+    do not bring their own ``timeout``.  ``terminal_grace`` is how long
+    past a request's expired deadline the daemon keeps offering the
+    terminal frame to a full outbox before hanging up on the client
+    (a request's deadline bounds the lane's total occupancy, delivery
+    backpressure included).  ``warm=True`` preloads every stored index
+    at boot.  ``port=0`` binds an ephemeral port — :attr:`port` holds
+    the real one after :meth:`start`.
     """
 
     def __init__(
@@ -249,6 +347,7 @@ class ServingDaemon:
         outbox_depth: int = 256,
         capacity: int = 16,
         default_timeout: float | None = None,
+        terminal_grace: float = 5.0,
         pool_min_windows: int = 2,
         warm: bool = True,
     ):
@@ -259,6 +358,7 @@ class ServingDaemon:
         self.queue_depth = queue_depth
         self.outbox_depth = outbox_depth
         self.default_timeout = default_timeout
+        self.terminal_grace = terminal_grace
         self.pool_min_windows = pool_min_windows
         self.warm = warm
         self.registry = CoreIndexRegistry(capacity=capacity, store=self.store)
@@ -537,7 +637,13 @@ class ServingDaemon:
         if request.op == "ping":
             await conn.send(ok_frame(request.id, pong=True))
         elif request.op == "stats":
-            await conn.send(ok_frame(request.id, stats=self.stats()))
+            # stats() scans the store on disk (keys + manifests); keep
+            # that I/O off the loop thread — and off the execution lane,
+            # so stats stay answerable while a long query runs.
+            payload = await asyncio.get_running_loop().run_in_executor(
+                None, self.stats
+            )
+            await conn.send(ok_frame(request.id, stats=payload))
         elif request.op == "shutdown":
             await conn.send(ok_frame(request.id, draining=True))
             self.begin_shutdown()
@@ -607,47 +713,87 @@ class ServingDaemon:
             if conn.gone.is_set():
                 self._c_cancelled.inc()
                 return
+            deadline = Deadline(
+                request.timeout
+                if request.timeout is not None
+                else self.default_timeout,
+                cancelled=conn.gone.is_set,
+            )
             try:
-                frame = self._answer(request, conn)
+                frame = self._answer(request, conn, deadline)
             except ReproError as exc:
                 self._c_failed.inc()
-                conn.send_frame_threadsafe(
-                    error_frame(request.id, "invalid", str(exc))
+                self._send_terminal(
+                    conn, error_frame(request.id, "invalid", str(exc)), deadline
                 )
                 return
             except Exception as exc:  # noqa: BLE001 - the lane must survive
                 self._c_failed.inc()
-                conn.send_frame_threadsafe(
+                self._send_terminal(
+                    conn,
                     error_frame(
                         request.id, "internal", f"{type(exc).__name__}: {exc}"
-                    )
+                    ),
+                    deadline,
                 )
                 return
             if conn.gone.is_set():
                 self._c_cancelled.inc()
                 return
+            # Count before queuing: a client that reads its terminal
+            # frame and immediately asks for stats must see the request
+            # already counted.
             self._c_completed.inc()
-            conn.send_frame_threadsafe(frame)
+            self._send_terminal(conn, frame, deadline)
         finally:
             self._h_request_seconds.labels(self.instance, request.op).observe(
                 now() - job.admitted_at
             )
             conn.job_finished_threadsafe()
 
-    def _answer(self, request: Request, conn: _Connection) -> dict:
+    def _send_terminal(
+        self, conn: _Connection, frame: dict, deadline: Deadline
+    ) -> bool:
+        """Deliver a request's terminal frame from the execution thread.
+
+        The put feels backpressure like any other frame, but never past
+        the request's time budget: the client gets until the deadline
+        plus :attr:`terminal_grace` to drain one outbox slot, after
+        which the daemon hangs up on it (a reader that will not even
+        take the abort notice is indistinguishable from a dead one) so
+        the lane can move on.  Requests without a timeout keep pure
+        backpressure.  The caller counts the outcome *before* this runs
+        (delivery does not change what the request produced); returns
+        whether the frame was queued."""
+        grace = Deadline(
+            None
+            if deadline.remaining is None
+            else deadline.remaining + self.terminal_grace,
+            cancelled=conn.gone.is_set,
+        )
+        if conn.send_frame_threadsafe(frame, deadline=grace):
+            return True
+        if not conn.gone.is_set():
+            conn.abort_threadsafe()
+        return False
+
+    def _answer(
+        self, request: Request, conn: _Connection, deadline: Deadline
+    ) -> dict:
         """Resolve, plan and execute one work request; the terminal frame."""
         graph = self._graph(request.graph)
         index = self.registry.get(graph, request.k, store=self.store)
-        deadline = Deadline(
-            request.timeout
-            if request.timeout is not None
-            else self.default_timeout,
-            cancelled=conn.gone.is_set,
-        )
         ranges = list(request.ranges)
         sinks = None
         if request.op == "query":
-            sinks = [_BridgeSink(conn, request.id, edge_ids=request.edge_ids)]
+            sinks = [
+                _BridgeSink(
+                    conn,
+                    request.id,
+                    edge_ids=request.edge_ids,
+                    deadline=deadline,
+                )
+            ]
         plan = plan_for_index(index, ranges, sinks=sinks)
         results = execute_plan(
             plan,

@@ -1,8 +1,10 @@
 """Wire protocol of the serving daemon — newline-delimited JSON frames.
 
 One connection carries a sequence of **frames**, each a single JSON
-object on its own ``\\n``-terminated line (UTF-8, at most
-:data:`MAX_LINE_BYTES` per line).  Requests flow client → daemon,
+object on its own ``\\n``-terminated line (UTF-8; request lines are
+capped at :data:`MAX_LINE_BYTES`, response frames are unbounded — a
+streamed core's ``edge_ids`` list can exceed the cap, so clients
+reassemble lines to their newline).  Requests flow client → daemon,
 responses daemon → client; every request carries a client-chosen ``id``
 that tags every response frame it produces, so a client may pipeline
 requests and demultiplex answers by ``id``.
@@ -60,9 +62,10 @@ from dataclasses import dataclass, field
 
 from repro.errors import ReproError
 
-#: Hard per-line byte ceiling, both directions.  A request line longer
-#: than this is rejected with ``too-large`` and the connection closed
-#: (the line boundary is unrecoverable once the limit is overrun).
+#: Hard byte ceiling for *request* lines.  A request line longer than
+#: this is rejected with ``too-large`` and the connection closed (the
+#: line boundary is unrecoverable once the limit is overrun).
+#: Response frames are not bounded by it.
 MAX_LINE_BYTES = 1 << 20
 
 #: The request verbs.

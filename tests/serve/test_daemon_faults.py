@@ -131,6 +131,45 @@ class TestClientDisconnect:
             )
             assert client.stats()["daemon"]["cancelled"] >= 1
 
+    def test_drain_completes_after_disconnect_while_queued(
+        self, start_daemon, heavy_store
+    ):
+        """Regression: a connection reset while its job was still queued
+        used to leak its handler (nothing woke the sender, so close()
+        awaited it forever), and the next SIGTERM drain then hung at
+        that connection instead of exiting 0."""
+        root, graph = heavy_store
+        handle = start_daemon(store=root)
+        busy = socket.create_connection(("127.0.0.1", handle.port), timeout=30)
+        busy.sendall(
+            json.dumps(
+                {"op": "query", "id": 1, "k": 2, "ts": 1, "te": graph.tmax}
+            ).encode()
+            + b"\n"
+        )
+        quitter = socket.create_connection(
+            ("127.0.0.1", handle.port), timeout=30
+        )
+        quitter.sendall(
+            json.dumps(
+                {"op": "query", "id": 2, "k": 2, "ts": 1, "te": graph.tmax}
+            ).encode()
+            + b"\n"
+        )
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            wait_for(lambda: client.stats()["daemon"]["accepted"] >= 2)
+            quitter.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+            )
+            quitter.close()
+            busy.close()
+            wait_for(
+                lambda: reconciled(client.stats()["daemon"])
+                and client.stats()["daemon"]["accepted"] == 2
+            )
+        handle.sigterm()
+        assert handle.wait(timeout=30) == 0
+
 
 class TestSlowReader:
     def test_slow_reader_backpressure_stays_correct(
@@ -165,6 +204,74 @@ class TestSlowReader:
             counters = client.stats()["daemon"]
             assert counters["completed"] == 1
             assert reconciled(counters)
+
+
+class TestDeadlineUnderBackpressure:
+    def test_expired_deadline_frees_lane_despite_stalled_reader(
+        self, start_daemon, heavy_store
+    ):
+        """Regression: a slow-but-alive reader used to pin the execution
+        lane indefinitely — the bridge sink blocked on the full outbox
+        and the deadline was only polled between sink writes.  Now the
+        put waits in bounded slices, the walk aborts once the request's
+        timeout passes, and after ``--terminal-grace`` the daemon hangs
+        up on a client that will not even take the terminal frame, so
+        other connections' admitted work proceeds."""
+        root, graph = heavy_store
+        handle = start_daemon(
+            "--outbox-depth", "4", "--terminal-grace", "1", store=root
+        )
+        # A tiny receive buffer (set before connect) keeps the TCP
+        # window small, so the daemon-side buffers fill fast and the
+        # walk really blocks on the outbox.
+        stalled = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        stalled.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4096)
+        stalled.settimeout(30)
+        stalled.connect(("127.0.0.1", handle.port))
+        reader = stalled.makefile("rb")
+        stalled.sendall(
+            json.dumps(
+                {
+                    "op": "query",
+                    "id": 1,
+                    "k": 2,
+                    "ts": 1,
+                    "te": graph.tmax,
+                    "timeout": 0.3,
+                }
+            ).encode()
+            + b"\n"
+        )
+        # Confirm the stream started, then stop reading entirely.
+        first = json.loads(reader.readline())
+        assert "core" in first
+
+        # A second client's query must complete while the first one is
+        # still stalled: the lane frees at timeout + grace (~1.3s),
+        # far within this client's 30s socket timeout.
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            _cores, done = client.query(k=2, ts=1, te=10)
+            assert done["completed"] is True
+            wait_for(
+                lambda: reconciled(client.stats()["daemon"])
+                and client.stats()["daemon"]["accepted"] == 2
+            )
+            counters = client.stats()["daemon"]
+            # Both requests ran to a terminal frame (the stalled one as
+            # a deadline abort whose delivery was then abandoned).
+            assert counters["completed"] == 2
+            assert counters["cancelled"] == 0
+        # The stalled client was hung up on at grace: it may still read
+        # early buffered core frames, but never a terminal frame.
+        try:
+            for line in reader:
+                if not line.endswith(b"\n"):
+                    break  # truncated by the reset
+                assert b'"done"' not in line
+        except OSError:
+            pass
+        reader.close()
+        stalled.close()
 
 
 class TestWireGarbage:

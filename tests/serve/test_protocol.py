@@ -22,7 +22,7 @@ from repro.bench.batch import run_query_batch
 from repro.core.enumerate_ref import enumerate_temporal_kcores_ref
 from repro.core.index import CoreIndex
 from repro.graph.generators import uniform_random_temporal
-from repro.serve.client import DaemonClient
+from repro.serve.client import DaemonClient, DaemonError
 from repro.serve.executor import execute_plan
 from repro.serve.planner import plan_for_index
 from repro.serve.protocol import (
@@ -285,3 +285,44 @@ class TestDaemonByteIdentity:
         assert done["total_edges"] == want.total_edges
         got = {(tuple(c["tti"]), frozenset(c["edge_ids"])) for c in cores}
         assert got == {(c.tti, frozenset(c.edge_ids)) for c in want.cores}
+
+
+class TestClientFraming:
+    def test_recv_reassembles_frames_larger_than_the_request_limit(self):
+        """Response frames are not size-bounded server-side — a single
+        core's ``edge_ids`` list can push a frame past
+        ``MAX_LINE_BYTES`` — so the client must reassemble a long line
+        across bounded reads instead of returning it truncated (which
+        used to surface as a confusing ``json.loads`` error)."""
+        import threading
+
+        big = {
+            "id": 7,
+            "core": {
+                "tti": [1, 2],
+                "num_edges": 1,
+                "edge_ids": list(range(MAX_LINE_BYTES // 4)),
+            },
+        }
+        server = socket.create_server(("127.0.0.1", 0))
+        port = server.getsockname()[1]
+        assert len(encode_frame(big)) > MAX_LINE_BYTES
+
+        def serve() -> None:
+            conn, _addr = server.accept()
+            with conn:
+                conn.sendall(encode_frame(big))
+
+        thread = threading.Thread(target=serve)
+        thread.start()
+        try:
+            client = DaemonClient("127.0.0.1", port)
+            try:
+                assert client.recv() == big
+                with pytest.raises(DaemonError, match="closed"):
+                    client.recv()
+            finally:
+                client.close()
+        finally:
+            thread.join()
+            server.close()
