@@ -458,6 +458,22 @@ def cmd_warm(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_fsck(args: argparse.Namespace) -> int:
+    """Scrub a store: verify checksums, quarantine corruption, repair."""
+    import json as _json
+
+    from repro.store.fsck import scrub_store
+
+    report = scrub_store(
+        args.store, repair=not args.dry_run, verify=not args.no_verify
+    )
+    if args.format == "json":
+        print(_json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render())
+    return 0 if report.clean else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the serving daemon in the foreground until drained."""
     import asyncio
@@ -669,6 +685,26 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip preloading stored indexes at boot",
     )
     serve.set_defaults(func=cmd_serve)
+
+    fsck = sub.add_parser(
+        "fsck",
+        help="scrub a store: verify checksums and manifest consistency, "
+             "quarantine corrupt files to *.corrupt, repair what is "
+             "rebuildable (exit 1 when issues were found)",
+    )
+    fsck.add_argument(
+        "--store", required=True, metavar="DIR", help="store directory to scrub"
+    )
+    fsck.add_argument(
+        "--dry-run", action="store_true",
+        help="report issues without changing anything on disk",
+    )
+    fsck.add_argument(
+        "--no-verify", action="store_true",
+        help="skip payload checksum passes (structure/consistency only)",
+    )
+    fsck.add_argument("--format", choices=("text", "json"), default="text")
+    fsck.set_defaults(func=cmd_fsck)
 
     experiments = sub.add_parser(
         "experiments", help="regenerate the paper's tables and figures"

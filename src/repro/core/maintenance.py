@@ -47,6 +47,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.parallel import WorkerPool
     from repro.serve.sinks import ResultSink
     from repro.store.index_store import IndexStore
+    from repro.store.wal import WriteAheadLog
     from repro.obs.timing import Deadline
 
 
@@ -77,6 +78,15 @@ class StreamingCoreService:
     max_pending:
         Staleness budget: a non-``strict`` query tolerates up to this
         many pending appends before forcing a rebuild.
+    wal:
+        Optional :class:`~repro.store.wal.WriteAheadLog` making appends
+        durable: every :meth:`append`/:meth:`extend` is written (and,
+        in the log's ``sync="always"`` mode, fsynced) to the log
+        *before* it reaches the in-memory edge list, so an
+        acknowledged append survives any crash — :meth:`restore`
+        replays the log past the last snapshot.  ``initial_edges``
+        are **not** written to the log (they are assumed to predate
+        it or to have come *from* it via recovery).
     """
 
     def __init__(
@@ -85,12 +95,14 @@ class StreamingCoreService:
         initial_edges: Iterable[tuple[Hashable, Hashable, int]] = (),
         *,
         max_pending: int = 1_000,
+        wal: "WriteAheadLog | None" = None,
     ):
         self.ks = _normalise_ks(k)
         self.k = self.ks[0]
         if max_pending < 0:
             raise InvalidParameterError("max_pending must be non-negative")
         self.max_pending = max_pending
+        self.wal = wal
         self._edges: list[tuple[Hashable, Hashable, int]] = list(initial_edges)
         self._pending = len(self._edges)
         self._last_raw_time = max((t for _, _, t in self._edges), default=None)
@@ -102,26 +114,74 @@ class StreamingCoreService:
     # Ingestion
     # ------------------------------------------------------------------
 
-    def append(self, u: Hashable, v: Hashable, raw_t: int) -> None:
+    def append(
+        self, u: Hashable, v: Hashable, raw_t: int, *, token: str | None = None
+    ) -> int | None:
         """Append one interaction; timestamps must be non-decreasing.
 
         Appending never rebuilds anything — it only grows the pending
         backlog, which invalidates the current indexes lazily (they keep
         serving until a query decides freshness matters; see
         :meth:`query`).
-        """
-        if self._last_raw_time is not None and raw_t < self._last_raw_time:
-            raise InvalidParameterError(
-                f"out-of-order append: {raw_t} < last seen {self._last_raw_time}"
-            )
-        self._edges.append((u, v, raw_t))
-        self._last_raw_time = raw_t
-        self._pending += 1
 
-    def extend(self, edges: Iterable[tuple[Hashable, Hashable, int]]) -> None:
-        """Append many interactions (same ordering rule as :meth:`append`)."""
-        for u, v, t in edges:
-            self.append(u, v, t)
+        With a write-ahead log attached the edge is made durable
+        *before* it enters memory, and the assigned LSN is returned
+        (``None`` otherwise); an ``OSError`` from the log (disk full)
+        leaves the in-memory state untouched — nothing was
+        acknowledged, nothing is half-applied.  ``token`` passes a
+        dedupe token through to the log; a duplicate token is absorbed
+        without growing the edge list and answers with the *original*
+        LSN, so a retried acknowledgement is byte-identical.
+        """
+        first, _count = self._ingest([(u, v, raw_t)], token=token)
+        return first
+
+    def extend(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable, int]],
+        *,
+        token: str | None = None,
+    ) -> int:
+        """Append many interactions (same ordering rule as :meth:`append`).
+
+        The whole batch is validated up front and — with a WAL attached
+        — written as **one** durable record (one fsync), so a crash
+        admits all of the batch or none of it.  Returns the number of
+        edges applied (0 when ``token`` deduplicated the batch).
+        """
+        _first, count = self._ingest(edges, token=token)
+        return count
+
+    def _ingest(
+        self,
+        edges: Iterable[tuple[Hashable, Hashable, int]],
+        *,
+        token: str | None = None,
+    ) -> tuple[int | None, int]:
+        batch = [(u, v, t) for u, v, t in edges]
+        if not batch:
+            return None, 0
+        last = self._last_raw_time
+        for _, _, t in batch:
+            if last is not None and t < last:
+                raise InvalidParameterError(
+                    f"out-of-order append: {t} < last seen {last}"
+                )
+            last = t
+        first: int | None = None
+        if self.wal is not None:
+            before = self.wal.last_lsn
+            first, _n = self.wal.append_edges(batch, token=token)
+            if first <= before:
+                # The log already held this token: the original append
+                # was acknowledged and is (or will be) in our edge list
+                # via that acknowledgement — applying it again would
+                # double-count the edges.
+                return first, 0
+        self._edges.extend(batch)
+        self._last_raw_time = batch[-1][2]
+        self._pending += len(batch)
+        return first, len(batch)
 
     @property
     def num_edges(self) -> int:
@@ -286,13 +346,32 @@ class StreamingCoreService:
         *all* registered ``k`` values.  Blob and manifest writes are
         atomic — a crash mid-snapshot leaves the previous snapshot
         intact.  Returns the store key.
+
+        With a write-ahead log attached, the snapshot also advances the
+        durable *recovery point*: the graph is committed together with
+        the log position it covers (one atomic manifest replace — see
+        :meth:`IndexStore.save_graph
+        <repro.store.index_store.IndexStore.save_graph>`), and log
+        segments the snapshot now covers are trimmed.  A crash anywhere
+        in between is safe: before the manifest commit, recovery
+        replays against the *old* snapshot; after it, replay starts
+        past the new position; before the trim, replay simply filters
+        out the already-covered records.
         """
+        from repro.testing.crashpoints import crashpoint
+
         if self.is_stale:
             self.refresh()
-        key = name
+        assert self._graph is not None
+        covered = self.wal.last_lsn if self.wal is not None else None
+        crashpoint("snapshot.pre-graph")
+        key = store.save_graph(self._graph, name=name, stream_lsn=covered)
+        crashpoint("snapshot.post-graph.pre-indexes")
         for k in self.ks:
-            key = store.save_index(self._indexes[k], name=name)
-        assert key is not None
+            store.save_index(self._indexes[k], name=key)
+        crashpoint("snapshot.post-indexes.pre-trim")
+        if self.wal is not None and covered is not None:
+            self.wal.trim(covered)
         return key
 
     @classmethod
@@ -303,8 +382,10 @@ class StreamingCoreService:
         *,
         name: str | None = None,
         max_pending: int = 1_000,
+        wal: "bool | str" = "auto",
+        wal_segment_bytes: int | None = None,
     ) -> "StreamingCoreService":
-        """Resume a service from the last snapshot in ``store``.
+        """Resume a service from the last durable state in ``store``.
 
         ``name`` selects the stored graph; when omitted the store must
         hold exactly one.  The ingested edge log is reconstructed from
@@ -315,6 +396,19 @@ class StreamingCoreService:
         corrupt index leaves the restored service stale: the next query
         folds everything in with one shared rebuild, never serving bad
         data.
+
+        ``wal`` controls the write-ahead log: ``"auto"`` (default)
+        attaches and replays one iff the key already has log segments;
+        ``True`` always attaches (creating an empty log — how a fresh
+        service opts into durability); ``False`` never touches it.
+        Replayed records past the snapshot's recovery point re-enter
+        the edge list as *pending* edges — they are **not** re-written
+        to the log (they are already durable there) — so a restored
+        service with attached indexes answers immediately at the
+        snapshot's freshness and folds the replayed tail in under the
+        usual staleness budget.  A key that has log segments but no
+        snapshot yet (a crash before the first snapshot) restores to a
+        service holding exactly the replayed edges.
         """
         keys = store.keys()
         if name is None:
@@ -323,21 +417,50 @@ class StreamingCoreService:
                     f"store holds {len(keys)} graphs; pass name= to choose one"
                 )
             name = keys[0]
-        elif name not in keys:
+        elif name not in keys and not (wal is not False and store.has_wal(name)):
             raise InvalidParameterError(f"store has no graph named {name!r}")
-        graph = store.load_graph(name)
-        edges = [
-            (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
-            for u, v, t in graph.edges
-        ]
-        service = cls(k, edges, max_pending=max_pending)
-        loaded: dict[int, CoreIndex] = {}
-        for wanted in service.ks:
-            index = store.load_index(graph, wanted, key=name)
-            if index is not None:
-                loaded[wanted] = index
-        if len(loaded) == len(service.ks):
-            service._graph = graph
-            service._indexes = loaded
-            service._pending = 0
+
+        attach = wal is True or (wal == "auto" and store.has_wal(name))
+        if not attach:
+            graph = store.load_graph(name)
+            edges = [
+                (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
+                for u, v, t in graph.edges
+            ]
+            service = cls(k, edges, max_pending=max_pending)
+            loaded: dict[int, CoreIndex] = {}
+            for wanted in service.ks:
+                index = store.load_index(graph, wanted, key=name)
+                if index is not None:
+                    loaded[wanted] = index
+            if len(loaded) == len(service.ks):
+                service._graph = graph
+                service._indexes = loaded
+                service._pending = 0
+            return service
+
+        recovery = store.recover(name, segment_bytes=wal_segment_bytes)
+        graph = recovery.graph
+        base_edges: list[tuple[Hashable, Hashable, int]] = []
+        if graph is not None:
+            base_edges = [
+                (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
+                for u, v, t in graph.edges
+            ]
+        replayed = [(e.u, e.v, e.t) for e in recovery.events]
+        service = cls(
+            k, base_edges + replayed, max_pending=max_pending, wal=recovery.wal
+        )
+        if graph is not None:
+            loaded = {}
+            for wanted in service.ks:
+                index = store.load_index(graph, wanted, key=name)
+                if index is not None:
+                    loaded[wanted] = index
+            if len(loaded) == len(service.ks):
+                # Serve from the snapshot immediately; the replayed tail
+                # stays pending under the normal staleness contract.
+                service._graph = graph
+                service._indexes = loaded
+                service._pending = len(replayed)
         return service

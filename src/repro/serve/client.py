@@ -7,16 +7,32 @@ harness drive the daemon through it; production clients in other
 languages only need the protocol doc (``docs/DAEMON.md``), the wire
 format is plain newline-delimited JSON.
 
+Retries: ``retries=`` enables reconnect-and-retry with exponential
+backoff and jitter (``backoff=`` seconds doubling per attempt, capped
+at ``backoff_max=``) for connect failures, dropped connections and
+``overloaded`` pushback.  Retry discipline follows idempotency:
+queries, batches, pings, stats and flushes are safe to repeat
+verbatim; an ``append`` is retried **only** when its frame carries a
+dedupe token (the client generates one per call by default), because a
+retried append without a token could be applied twice — once by the
+crashed exchange, once by the retry.  With a token the daemon's
+write-ahead log recognises the duplicate and answers the original
+acknowledgement, byte-identical, even across a daemon restart.
+
 >>> from repro.serve.client import DaemonClient   # doctest: +SKIP
->>> with DaemonClient("127.0.0.1", 7471) as client:  # doctest: +SKIP
-...     client.ping()
+>>> with DaemonClient("127.0.0.1", 7471, retries=3) as client:  # doctest: +SKIP
+...     client.append([("a", "b", 7)])
+...     client.flush()
 ...     cores, done = client.query(k=2, ts=1, te=9)
 """
 
 from __future__ import annotations
 
 import json
+import random
 import socket
+import time
+import uuid
 
 from repro.errors import ReproError
 from repro.serve.protocol import MAX_LINE_BYTES, encode_frame
@@ -30,20 +46,97 @@ class DaemonError(ReproError):
         self.code = code
 
 
+class DaemonConnectionError(DaemonError):
+    """The transport failed mid-exchange (closed, reset, unreachable).
+
+    Distinct from a daemon-sent error frame: the daemon said nothing —
+    whether the request took effect is unknown, which is exactly the
+    ambiguity the retry discipline (and append dedupe tokens) resolve.
+    """
+
+    def __init__(self, message: str):
+        super().__init__("connection", message)
+
+
 class DaemonClient:
-    """One blocking protocol connection to a serving daemon."""
+    """One blocking protocol connection to a serving daemon.
 
-    def __init__(self, host: str, port: int, *, timeout: float | None = 30.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._file = self._sock.makefile("rb")
+    Parameters
+    ----------
+    retries:
+        How many times a failed exchange is retried (0 = never).  Each
+        retry reconnects if the transport dropped.
+    backoff:
+        First retry delay in seconds; doubles per attempt (exponential)
+        with ±50% jitter, capped at ``backoff_max``.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float | None = 30.0,
+        retries: int = 0,
+        backoff: float = 0.1,
+        backoff_max: float = 2.0,
+    ):
+        if retries < 0:
+            raise ReproError(f"retries must be >= 0, got {retries}")
+        if backoff <= 0 or backoff_max < backoff:
+            raise ReproError(
+                f"need 0 < backoff <= backoff_max, got {backoff}/{backoff_max}"
+            )
+        self.host = host
+        self.port = port
+        self.retries = retries
+        self.backoff = backoff
+        self.backoff_max = backoff_max
+        self._timeout = timeout
+        self._sock: socket.socket | None = None
+        self._file = None
         self._next_id = 0
+        self._connect_retrying()
 
-    def close(self) -> None:
+    # -- connection lifecycle --------------------------------------------
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self.host, self.port), timeout=self._timeout
+        )
+        self._file = self._sock.makefile("rb")
+
+    def _connect_retrying(self) -> None:
+        for attempt in range(self.retries + 1):
+            try:
+                self._connect()
+                return
+            except OSError:
+                self._drop()
+                if attempt == self.retries:
+                    raise
+            self._sleep(attempt)
+
+    def _drop(self) -> None:
+        """Tear the transport down; the next exchange reconnects."""
         try:
-            self._file.close()
-            self._sock.close()
+            if self._file is not None:
+                self._file.close()
+            if self._sock is not None:
+                self._sock.close()
         except OSError:
             pass
+        self._file = None
+        self._sock = None
+
+    def _sleep(self, attempt: int) -> None:
+        delay = min(self.backoff_max, self.backoff * (2 ** attempt))
+        # Full ±50% jitter: concurrent clients that failed together
+        # should not retry in lockstep.
+        time.sleep(delay * (0.5 + random.random()))
+
+    def close(self) -> None:
+        self._drop()
 
     def __enter__(self) -> "DaemonClient":
         return self
@@ -54,7 +147,12 @@ class DaemonClient:
     # -- raw frame I/O ---------------------------------------------------
 
     def send(self, frame: dict) -> None:
-        self._sock.sendall(encode_frame(frame))
+        if self._sock is None:
+            self._connect()
+        try:
+            self._sock.sendall(encode_frame(frame))
+        except OSError as exc:
+            raise DaemonConnectionError(f"send failed: {exc}") from exc
 
     def recv(self) -> dict:
         """The next response frame, whatever request it belongs to.
@@ -65,21 +163,22 @@ class DaemonClient:
         terminating newline rather than trusting one bounded
         ``readline`` not to truncate mid-frame.
         """
-        line = self._file.readline(MAX_LINE_BYTES + 2)
-        if not line:
-            raise DaemonError("internal", "connection closed by daemon")
-        while not line.endswith(b"\n"):
-            chunk = self._file.readline(MAX_LINE_BYTES + 2)
-            if not chunk:
-                raise DaemonError(
-                    "internal", "connection closed mid-frame by daemon"
-                )
-            line += chunk
+        try:
+            line = self._file.readline(MAX_LINE_BYTES + 2)
+            if not line:
+                raise DaemonConnectionError("connection closed by daemon")
+            while not line.endswith(b"\n"):
+                chunk = self._file.readline(MAX_LINE_BYTES + 2)
+                if not chunk:
+                    raise DaemonConnectionError(
+                        "connection closed mid-frame by daemon"
+                    )
+                line += chunk
+        except OSError as exc:
+            raise DaemonConnectionError(f"recv failed: {exc}") from exc
         return json.loads(line)
 
-    def request(self, frame: dict) -> dict:
-        """Send one frame, return its first response frame (id-checked)."""
-        rid = frame.setdefault("id", self._take_id())
+    def _exchange(self, frame: dict, rid) -> dict:
         self.send(frame)
         response = self.recv()
         if response.get("id") != rid and response.get("id") is not None:
@@ -88,6 +187,40 @@ class DaemonClient:
                 f"response for {response.get('id')!r}, expected {rid!r}",
             )
         return self._raise_on_error(response)
+
+    def _retrying(self, attempt_fn, *, idempotent: bool):
+        """Run one exchange with the retry/backoff/jitter policy.
+
+        Transport failures reconnect before retrying; ``overloaded``
+        frames back off on the live connection.  ``idempotent=False``
+        disables retry after a transport failure mid-exchange — the
+        request may already have been applied — but still retries
+        connect-time failures (nothing was sent yet) and ``overloaded``
+        (the daemon explicitly did not accept the work).
+        """
+        for attempt in range(self.retries + 1):
+            sent = False
+            try:
+                if self._sock is None:
+                    self._connect()
+                sent = True
+                return attempt_fn()
+            except (DaemonConnectionError, OSError) as exc:
+                self._drop()
+                if attempt == self.retries or (sent and not idempotent):
+                    raise DaemonConnectionError(str(exc)) from exc
+            except DaemonError as exc:
+                if exc.code != "overloaded" or attempt == self.retries:
+                    raise
+            self._sleep(attempt)
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def request(self, frame: dict, *, idempotent: bool = True) -> dict:
+        """Send one frame, return its first response frame (id-checked)."""
+        rid = frame.setdefault("id", self._take_id())
+        return self._retrying(
+            lambda: self._exchange(frame, rid), idempotent=idempotent
+        )
 
     def _take_id(self) -> int:
         self._next_id += 1
@@ -111,8 +244,58 @@ class DaemonClient:
         return self.request({"op": "stats"})["stats"]
 
     def shutdown(self) -> dict:
-        """Ask the daemon to drain; returns the acknowledgement frame."""
-        return self.request({"op": "shutdown"})
+        """Ask the daemon to drain; returns the acknowledgement frame.
+
+        Never retried: a dropped connection right after a shutdown is
+        the expected shape of success.
+        """
+        rid = self._take_id()
+        return self._exchange({"op": "shutdown", "id": rid}, rid)
+
+    def append(
+        self,
+        edges: list[tuple],
+        *,
+        graph: str | None = None,
+        dedupe: str | None = None,
+        timeout: float | None = None,
+    ) -> dict:
+        """Durably append edge events; returns the acknowledgement frame.
+
+        The returned frame's ``lsn``/``appended`` are final only
+        because the daemon fsynced the write-ahead log before
+        answering.  ``dedupe`` defaults to a fresh random token, which
+        is what makes the call safely retryable: if the connection
+        dies after the daemon applied the append but before the
+        acknowledgement arrived, the retry presents the same token and
+        receives the original answer instead of appending twice.  Pass
+        an explicit token to make *application-level* retries (a whole
+        job re-run) idempotent too.
+        """
+        token = dedupe if dedupe is not None else uuid.uuid4().hex
+        frame: dict = {
+            "op": "append",
+            "edges": [list(triple) for triple in edges],
+            "dedupe": token,
+        }
+        if graph is not None:
+            frame["graph"] = graph
+        if timeout is not None:
+            frame["timeout"] = timeout
+        # Idempotent precisely because the frame carries a dedupe token;
+        # request() would double-apply without one.
+        return self.request(frame, idempotent=True)
+
+    def flush(
+        self, *, graph: str | None = None, timeout: float | None = None
+    ) -> dict:
+        """Fold appended events into a queryable snapshot; the ack frame."""
+        frame: dict = {"op": "flush"}
+        if graph is not None:
+            frame["graph"] = graph
+        if timeout is not None:
+            frame["timeout"] = timeout
+        return self.request(frame)
 
     def query(
         self,
@@ -128,7 +311,9 @@ class DaemonClient:
 
         ``cores`` are the streamed ``core`` payloads in enumeration
         order — each exactly the object an in-process NDJSON sink
-        would have written.
+        would have written.  A retry rediscards any partially streamed
+        cores and reruns the query from scratch (queries are
+        read-only, so a wholesale rerun is safe).
         """
         frame: dict = {"op": "query", "k": k, "ts": ts, "te": te}
         if graph is not None:
@@ -137,20 +322,23 @@ class DaemonClient:
             frame["timeout"] = timeout
         if not edge_ids:
             frame["edge_ids"] = False
-        rid = self._take_id()
-        frame["id"] = rid
-        self.send(frame)
-        cores: list[dict] = []
-        while True:
-            response = self.recv()
-            if response.get("id") != rid:
-                raise DaemonError(
-                    "internal", f"interleaved response {response!r}"
-                )
-            if "core" in response:
-                cores.append(response["core"])
-                continue
-            return cores, self._raise_on_error(response)
+        frame["id"] = self._take_id()
+
+        def attempt() -> tuple[list[dict], dict]:
+            self.send(frame)
+            cores: list[dict] = []
+            while True:
+                response = self.recv()
+                if response.get("id") != frame["id"]:
+                    raise DaemonError(
+                        "internal", f"interleaved response {response!r}"
+                    )
+                if "core" in response:
+                    cores.append(response["core"])
+                    continue
+                return cores, self._raise_on_error(response)
+
+        return self._retrying(attempt, idempotent=True)
 
     def batch(
         self,

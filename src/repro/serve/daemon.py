@@ -47,13 +47,15 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import re
 import signal
 import sys
 import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.index import CoreIndexRegistry
-from repro.errors import ReproError
+from repro.errors import ReproError, StoreError
+from repro.graph.temporal_graph import TemporalGraph
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
     get_registry,
@@ -66,12 +68,14 @@ from repro.serve.protocol import (
     MAX_LINE_BYTES,
     ProtocolError,
     Request,
+    append_done_frame,
     batch_done_frame,
     core_frame_prefix,
     decode_frame,
     done_frame,
     encode_frame,
     error_frame,
+    flush_done_frame,
     ok_frame,
     parse_request,
 )
@@ -83,6 +87,33 @@ from repro.store.index_store import IndexStore
 FAULT_PATH_ENV = "REPRO_POOL_FAULT_PATH"
 
 _STOP = object()  # drain-task sentinel, queued behind all admitted work
+
+#: Store keys an ``append`` may create: plain path-component names only
+#: (no separators, no traversal) — the wire must not name arbitrary
+#: filesystem locations.
+_SAFE_KEY = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]*$")
+
+
+class _ReadOnlyError(ReproError):
+    """Durable ingestion is disabled; answered with a ``read-only`` frame."""
+
+
+class _IngestState:
+    """Per-key durable-ingestion state held by the daemon.
+
+    Lives entirely on the single execution lane (work ops run one at a
+    time), so it needs no lock of its own.  ``last_raw_time`` is the
+    ordering watermark — the max of the WAL's last event time and the
+    snapshot's raw span — that out-of-order appends are rejected
+    against.
+    """
+
+    __slots__ = ("key", "wal", "last_raw_time")
+
+    def __init__(self, key: str, wal, last_raw_time: int | None):
+        self.key = key
+        self.wal = wal
+        self.last_raw_time = last_raw_time
 
 #: Granularity of a bounded outbox put from the execution thread — how
 #: long each wait slice lasts before the peer's liveness and the
@@ -365,6 +396,11 @@ class ServingDaemon:
         self.pool = None
         self._graphs: dict[str, object] = {}
         self._graph_lock = threading.Lock()
+        #: Per-key durable ingestion state; touched only on the
+        #: execution lane.  ``_read_only`` holds the reason ingestion
+        #: was disabled (a WAL disk error), ``None`` while writable.
+        self._ingests: dict[str, _IngestState] = {}
+        self._read_only: str | None = None
         self._conns: set[_Connection] = set()
         self._queue: asyncio.Queue | None = None
         self._server: asyncio.base_events.Server | None = None
@@ -411,6 +447,21 @@ class ServingDaemon:
         self._g_conns = m.gauge(
             "repro_daemon_connections",
             "Open protocol connections",
+            ("daemon",),
+        ).labels(inst)
+        self._g_read_only = m.gauge(
+            "repro_daemon_read_only",
+            "1 while durable ingestion is disabled after a WAL disk error",
+            ("daemon",),
+        ).labels(inst)
+        self._c_appended = m.counter(
+            "repro_daemon_appended_edges_total",
+            "Edge events durably acknowledged",
+            ("daemon",),
+        ).labels(inst)
+        self._c_flushes = m.counter(
+            "repro_daemon_flushes_total",
+            "Flush requests that advanced a snapshot",
             ("daemon",),
         ).labels(inst)
         self._h_request_seconds = m.histogram(
@@ -491,6 +542,11 @@ class ServingDaemon:
         # gap-filled) lands in the store so the next boot warms.
         await asyncio.get_running_loop().run_in_executor(
             self._exec, self.registry.persist_all
+        )
+        # Seal the ingestion logs on the lane's own thread (appends ran
+        # there, so this orders after the last acknowledged write).
+        await asyncio.get_running_loop().run_in_executor(
+            self._exec, self._close_wals
         )
         if self.pool is not None:
             self.pool.close()
@@ -721,6 +777,12 @@ class ServingDaemon:
             )
             try:
                 frame = self._answer(request, conn, deadline)
+            except _ReadOnlyError as exc:
+                self._c_failed.inc()
+                self._send_terminal(
+                    conn, error_frame(request.id, "read-only", str(exc)), deadline
+                )
+                return
             except ReproError as exc:
                 self._c_failed.inc()
                 self._send_terminal(
@@ -781,6 +843,10 @@ class ServingDaemon:
         self, request: Request, conn: _Connection, deadline: Deadline
     ) -> dict:
         """Resolve, plan and execute one work request; the terminal frame."""
+        if request.op == "append":
+            return self._answer_append(request)
+        if request.op == "flush":
+            return self._answer_flush(request)
         graph = self._graph(request.graph)
         index = self.registry.get(graph, request.k, store=self.store)
         ranges = list(request.ranges)
@@ -824,6 +890,138 @@ class ServingDaemon:
         )
 
     # ------------------------------------------------------------------
+    # Durable ingestion (execution thread)
+    # ------------------------------------------------------------------
+
+    def _ingest_key(self, requested: str | None) -> str:
+        """Resolve the store key an ``append``/``flush`` targets.
+
+        An explicit key may name a graph that does not exist yet — that
+        is how a fresh stream starts (WAL first, snapshot on flush) —
+        but only with a plain path-component name; the wire must never
+        choose arbitrary filesystem paths.  Without an explicit key the
+        store must hold exactly one graph, as for queries.
+        """
+        if requested is None:
+            return self.store.only_key(None)
+        if not _SAFE_KEY.match(requested):
+            raise StoreError(
+                f"invalid store key {requested!r}: keys are plain names "
+                f"(letters, digits, '.', '_', '-')"
+            )
+        return requested
+
+    def _ingest_state(self, key: str) -> _IngestState:
+        state = self._ingests.get(key)
+        if state is None:
+            wal = self.store.wal(key)
+            last = wal.last_event_time
+            try:
+                span = self.store.manifest(key).get("fingerprint", {}).get("raw_span")
+            except StoreError:
+                span = None
+            if span:
+                last = span[1] if last is None else max(last, span[1])
+            state = _IngestState(key, wal, last)
+            self._ingests[key] = state
+        return state
+
+    def _require_writable(self) -> None:
+        if self._read_only is not None:
+            raise _ReadOnlyError(
+                f"daemon is read-only ({self._read_only}); "
+                f"queries keep serving, ingestion is disabled"
+            )
+
+    def _enter_read_only(self, reason: str) -> None:
+        self._read_only = reason
+        self._g_read_only.set(1)
+
+    def _answer_append(self, request: Request) -> dict:
+        self._require_writable()
+        state = self._ingest_state(self._ingest_key(request.graph))
+        if request.dedupe is not None:
+            # A retried append must answer the original acknowledgement
+            # *before* any ordering validation: its own first delivery
+            # already advanced the watermark, so re-validating would
+            # reject every legitimate retry as out of order.
+            known = state.wal.lookup_token(request.dedupe)
+            if known is not None:
+                return append_done_frame(
+                    request.id, lsn=known[0], appended=known[1]
+                )
+        last = state.last_raw_time
+        for _, _, t in request.edges:
+            if last is not None and t < last:
+                raise ReproError(
+                    f"out-of-order append: {t} < last seen {last} "
+                    f"(streams are raw-timestamp ordered)"
+                )
+            last = t
+        try:
+            lsn, appended = state.wal.append_edges(
+                request.edges, token=request.dedupe
+            )
+        except OSError as exc:
+            # The record may or may not have reached the disk, but it
+            # was never acknowledged — the client's retry (same dedupe
+            # token) resolves the ambiguity after recovery.  Serving
+            # continues; ingestion stops signalling durable when it
+            # is not.
+            self._enter_read_only(f"WAL write failed: {exc}")
+            raise _ReadOnlyError(
+                f"append not acknowledged, daemon is now read-only: {exc}"
+            ) from exc
+        state.last_raw_time = state.wal.last_event_time
+        self._c_appended.inc(appended)
+        return append_done_frame(request.id, lsn=lsn, appended=appended)
+
+    def _answer_flush(self, request: Request) -> dict:
+        """Fold the WAL into a fresh snapshot: graph, indexes, trim.
+
+        Until a flush, appended edges are durable but not *queryable* —
+        queries answer from the last snapshot.  Flush rebuilds the
+        graph from (snapshot ∪ replayed log), persists it with the
+        covered LSN in one atomic manifest commit, rebuilds every
+        previously stored ``k`` against it, trims covered log segments
+        and swaps the daemon's cached graph — after which queries see
+        the appended edges.
+        """
+        self._require_writable()
+        key = self._ingest_key(request.graph)
+        state = self._ingest_state(key)
+        snapshot_lsn = self.store.stream_lsn(key)
+        try:
+            events = state.wal.replay(after=snapshot_lsn)
+            edges: list = []
+            stored: list[int] = []
+            if key in self.store.keys():
+                graph = self.store.load_graph(key)
+                stored = self.store.stored_ks(key)
+                edges = [
+                    (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
+                    for u, v, t in graph.edges
+                ]
+            edges.extend((e.u, e.v, e.t) for e in events)
+            if not edges:
+                raise ReproError(f"nothing to flush for key {key!r}")
+            covered = state.wal.last_lsn
+            new_graph = TemporalGraph(edges)
+            self.store.save_graph(new_graph, name=key, stream_lsn=covered)
+            if stored:
+                self.store.build_all(new_graph, stored, name=key)
+            state.wal.trim(covered)
+        except OSError as exc:
+            self._enter_read_only(f"flush failed: {exc}")
+            raise _ReadOnlyError(
+                f"flush not completed, daemon is now read-only: {exc}"
+            ) from exc
+        with self._graph_lock:
+            self._graphs[key] = new_graph
+        self._c_flushes.inc()
+        return flush_done_frame(request.id, lsn=covered, applied=len(events))
+
+    # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
@@ -845,6 +1043,13 @@ class ServingDaemon:
             "draining": self._draining,
         }
 
+    def _close_wals(self) -> None:
+        for state in self._ingests.values():
+            try:
+                state.wal.close()
+            except OSError:  # pragma: no cover - best-effort seal
+                pass
+
     def stats(self) -> dict:
         """The ``stats`` op payload: daemon, registry, pool, store."""
         return {
@@ -854,6 +1059,22 @@ class ServingDaemon:
             "store": {
                 "root": str(self.store.root),
                 "keys": self.store.keys(),
+            },
+            "ingest": {
+                "read_only": self._read_only,
+                "appended_edges": int(self._c_appended.value),
+                "flushes": int(self._c_flushes.value),
+                "keys": {
+                    key: {
+                        "last_lsn": state.wal.last_lsn,
+                        "stream_lsn": self.store.stream_lsn(key),
+                        "segments": len(state.wal.segment_paths()),
+                    }
+                    # stats() runs off-lane; snapshot the dict so a
+                    # concurrent first-append insert cannot resize it
+                    # mid-iteration.
+                    for key, state in list(self._ingests.items())
+                },
             },
         }
 

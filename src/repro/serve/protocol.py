@@ -15,7 +15,9 @@ Request frames (``op`` selects the verb)::
     {"op": "stats", "id": 2}
     {"op": "query", "id": 3, "k": 2, "ts": 1, "te": 9}
     {"op": "batch", "id": 4, "k": 2, "ranges": [[1, 5], [2, 8]]}
-    {"op": "shutdown", "id": 5}
+    {"op": "append", "id": 5, "edges": [["a", "b", 7]], "dedupe": "tok"}
+    {"op": "flush", "id": 6}
+    {"op": "shutdown", "id": 7}
 
 ``query`` and ``batch`` accept optional ``graph`` (a store key —
 defaults to the store's sole graph), ``timeout`` (a per-request
@@ -35,9 +37,19 @@ Response frames:
 * ``batch`` answers with a single terminal frame whose ``answers``
   list carries ``{"range", "num_results", "total_edges", "completed"}``
   per input range, in input order.
+* ``append`` ingests edge events durably: ``edges`` is a non-empty
+  list of ``[u, v, raw_t]`` triples (labels string or int, timestamps
+  non-decreasing), ``dedupe`` an optional client token making the
+  request idempotent.  The single answer frame — ``{"id": 5, "ok":
+  true, "done": true, "lsn": L, "appended": N}`` — is sent only after
+  the write-ahead log record is **fsynced**; a retried token answers
+  with the byte-identical frame.  ``flush`` folds the logged events
+  into a fresh snapshot (graph + indexes rebuilt and persisted, log
+  trimmed) → ``{"id": 6, "ok": true, "done": true, "lsn": L,
+  "applied": N}``.
 * ``ping`` → ``{"id": 1, "ok": true, "pong": true}``;
   ``stats`` → ``{"id": 2, "ok": true, "stats": {...}}``;
-  ``shutdown`` → ``{"id": 5, "ok": true, "draining": true}``.
+  ``shutdown`` → ``{"id": 7, "ok": true, "draining": true}``.
 * Any failure → ``{"id": ..., "ok": false, "error": {"code": ...,
   "message": ...}}``.  ``id`` is ``null`` when the request line never
   parsed far enough to have one.  Codes are the :data:`ERROR_CODES`
@@ -69,7 +81,7 @@ from repro.errors import ReproError
 MAX_LINE_BYTES = 1 << 20
 
 #: The request verbs.
-OPS = ("ping", "stats", "query", "batch", "shutdown")
+OPS = ("ping", "stats", "query", "batch", "append", "flush", "shutdown")
 
 #: Every ``error.code`` a response frame may carry.
 ERROR_CODES = (
@@ -80,8 +92,13 @@ ERROR_CODES = (
     "overloaded",    # admission control: request queue full, back off
     "draining",      # daemon is shutting down, not accepting work
     "invalid",       # query parameters rejected (bad k/range/graph key)
+    "read-only",     # durable ingestion disabled after a WAL disk error
     "internal",      # execution failed; message carries the error
 )
+
+#: Ceiling on edges per ``append`` frame — keeps one WAL record (and
+#: the request line) bounded; clients chunk larger loads.
+MAX_APPEND_EDGES = 10_000
 
 
 class ProtocolError(ReproError):
@@ -103,11 +120,18 @@ class Request:
     graph: str | None = None
     timeout: float | None = None
     edge_ids: bool = field(default=True)
+    edges: tuple[tuple[object, object, int], ...] = ()
+    dedupe: str | None = None
 
     @property
     def is_work(self) -> bool:
-        """Whether this op goes through the request queue (vs inline)."""
-        return self.op in ("query", "batch")
+        """Whether this op goes through the request queue (vs inline).
+
+        ``append`` and ``flush`` ride the same single execution lane as
+        queries — which is also what serialises all mutation of one
+        store key without a dedicated ingestion lock.
+        """
+        return self.op in ("query", "batch", "append", "flush")
 
 
 def encode_frame(frame: dict) -> bytes:
@@ -165,10 +189,9 @@ def parse_request(frame: dict) -> Request:
     rid = frame.get("id")
     if rid is not None and not isinstance(rid, (str, int, float)):
         raise ProtocolError("bad-request", "'id' must be a JSON scalar")
-    if op not in ("query", "batch"):
+    if op not in ("query", "batch", "append", "flush"):
         return Request(op=op, id=rid)
 
-    k = _require_int(frame, "k")
     graph = frame.get("graph")
     if graph is not None and not isinstance(graph, str):
         raise ProtocolError("bad-request", "'graph' must be a string store key")
@@ -179,6 +202,52 @@ def parse_request(frame: dict) -> Request:
         timeout = float(timeout)
         if timeout <= 0:
             raise ProtocolError("bad-request", "'timeout' must be > 0")
+
+    if op == "flush":
+        return Request(op=op, id=rid, graph=graph, timeout=timeout)
+    if op == "append":
+        raw_edges = frame.get("edges")
+        if not isinstance(raw_edges, list) or not raw_edges:
+            raise ProtocolError(
+                "bad-request", "'append' needs a non-empty 'edges' list"
+            )
+        if len(raw_edges) > MAX_APPEND_EDGES:
+            raise ProtocolError(
+                "too-large",
+                f"'append' carries {len(raw_edges)} edges "
+                f"(limit {MAX_APPEND_EDGES}); chunk the load",
+            )
+        edges = []
+        for triple in raw_edges:
+            if (
+                not isinstance(triple, (list, tuple))
+                or len(triple) != 3
+                or not all(
+                    isinstance(label, (str, int)) and not isinstance(label, bool)
+                    for label in triple[:2]
+                )
+                or not isinstance(triple[2], int)
+                or isinstance(triple[2], bool)
+            ):
+                raise ProtocolError(
+                    "bad-request",
+                    "'edges' entries must be [u, v, raw_t] with string or "
+                    "integer labels and an integer timestamp",
+                )
+            edges.append((triple[0], triple[1], triple[2]))
+        dedupe = frame.get("dedupe")
+        if dedupe is not None and not isinstance(dedupe, str):
+            raise ProtocolError("bad-request", "'dedupe' must be a string token")
+        return Request(
+            op=op,
+            id=rid,
+            graph=graph,
+            timeout=timeout,
+            edges=tuple(edges),
+            dedupe=dedupe,
+        )
+
+    k = _require_int(frame, "k")
     edge_ids = frame.get("edge_ids", True)
     if not isinstance(edge_ids, bool):
         raise ProtocolError("bad-request", "'edge_ids' must be a boolean")
@@ -247,6 +316,22 @@ def done_frame(rid, *, num_results: int, total_edges: int, completed: bool) -> d
 def batch_done_frame(rid, answers: list[dict]) -> dict:
     """The terminal frame of a ``batch`` (one answer dict per range)."""
     return ok_frame(rid, done=True, answers=answers)
+
+
+def append_done_frame(rid, *, lsn: int, appended: int) -> dict:
+    """The acknowledgement of an ``append`` — only built post-fsync.
+
+    ``lsn`` is the WAL sequence number of the *first* edge in the
+    request, ``appended`` how many edges the request carried.  A
+    deduplicated retry rebuilds exactly this frame from the log's token
+    map, so the answer is byte-stable across daemon restarts.
+    """
+    return ok_frame(rid, done=True, lsn=lsn, appended=appended)
+
+
+def flush_done_frame(rid, *, lsn: int, applied: int) -> dict:
+    """The terminal frame of a ``flush`` (snapshot advanced to ``lsn``)."""
+    return ok_frame(rid, done=True, lsn=lsn, applied=applied)
 
 
 def core_frame_prefix(rid) -> str:

@@ -13,7 +13,13 @@ indexes are opened from disk in milliseconds —
   straight off the file mapping;
 * :mod:`repro.store.index_store` — the :class:`IndexStore` directory
   abstraction (JSON manifest, one directory per graph, one index file
-  per ``k``).
+  per ``k``);
+* :mod:`repro.store.wal` — the per-key write-ahead edge log behind
+  durable streaming ingestion (crc32-framed segments, group-commit
+  fsync, torn-tail recovery);
+* :mod:`repro.store.fsck` — the scrubber behind ``repro fsck``
+  (verify checksums and manifest↔file consistency, quarantine to
+  ``<name>.corrupt``, repair what is rebuildable).
 
 Typical use::
 
@@ -37,20 +43,29 @@ from repro.store.codec import (
     load_index,
 )
 from repro.store.format import FORMAT_VERSION, Blob, read_blob, write_blob
-from repro.store.index_store import IndexStore
+from repro.store.fsck import FsckIssue, FsckReport, scrub_store
+from repro.store.index_store import IndexStore, StreamRecovery
 from repro.store.views import FlatEdgeSkyline, FlatVertexCoreTimes
+from repro.store.wal import WalEvent, WriteAheadLog, scan_segment
 
 __all__ = [
     "Blob",
     "FORMAT_VERSION",
     "FlatEdgeSkyline",
     "FlatVertexCoreTimes",
+    "FsckIssue",
+    "FsckReport",
     "IndexStore",
+    "StreamRecovery",
+    "WalEvent",
+    "WriteAheadLog",
     "dump_graph",
     "dump_index",
     "graph_fingerprint",
     "load_graph",
     "load_index",
     "read_blob",
+    "scan_segment",
+    "scrub_store",
     "write_blob",
 ]

@@ -44,6 +44,7 @@ from collections.abc import Mapping, Sequence
 import numpy as np
 
 from repro.errors import StoreCorruptionError, StoreError
+from repro.testing.crashpoints import crashpoint
 
 #: First eight bytes of every store blob.
 MAGIC = b"RPROSTOR"
@@ -135,8 +136,31 @@ def write_blob(
         handle.write(blob)
         handle.flush()
         os.fsync(handle.fileno())
+    crashpoint("blob.post-temp.pre-rename")
     os.replace(tmp, final)
+    crashpoint("blob.post-rename")
+    _fsync_parent_dir(final)
     return len(blob)
+
+
+def _fsync_parent_dir(final: str) -> None:
+    """Durably record the rename in the directory entry.
+
+    Without this a crash after ``os.replace`` can roll the directory
+    back to the temp name (or to nothing) on some filesystems; with it
+    the rename is as durable as the blob bytes.
+    """
+    parent = os.path.dirname(final) or "."
+    try:
+        fd = os.open(parent, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
 
 
 def read_blob(path: str | os.PathLike[str], *, verify: bool = True) -> Blob:

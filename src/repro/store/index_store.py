@@ -32,11 +32,13 @@ from __future__ import annotations
 
 import contextlib
 import json
+import logging
 import os
 import pathlib
 import time
 import zlib
 from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
 
 try:  # POSIX advisory locking; absent on some platforms
     import fcntl
@@ -45,16 +47,21 @@ except ImportError:  # pragma: no cover - non-POSIX fallback
 
 from repro.core.index import CoreIndex
 from repro.core.multik import _validated_ks, build_core_indexes
-from repro.errors import StoreError
+from repro.errors import StoreCorruptionError, StoreError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.obs.metrics import MetricsRegistry, get_registry, next_instance, timing_enabled
 from repro.obs.timing import now
 from repro.store import codec
-from repro.store.format import FORMAT_VERSION
+from repro.store.format import FORMAT_VERSION, _fsync_parent_dir
+from repro.store.wal import WalEvent, WriteAheadLog
+from repro.testing.crashpoints import crashpoint
 
 MANIFEST_NAME = "manifest.json"
 GRAPH_FILE = "graph.bin"
 LOCK_NAME = ".lock"
+WAL_DIR = "wal"
+
+log = logging.getLogger("repro.store")
 
 #: Seconds between contention polls while waiting for a directory lock.
 LOCK_POLL_SECONDS = 0.05
@@ -84,6 +91,29 @@ def _read_lock_owner(path: pathlib.Path) -> dict | None:
     if not isinstance(payload, dict) or "pid" not in payload:
         return None
     return payload
+
+
+@dataclass
+class StreamRecovery:
+    """What :meth:`IndexStore.recover` reassembled for one key.
+
+    ``graph`` is the last durably snapshotted graph (``None`` when the
+    key has only WAL records, no snapshot yet); ``snapshot_lsn`` is the
+    stream LSN that snapshot covers (0 when none); ``events`` are the
+    durable WAL records *past* the snapshot, oldest first — exactly the
+    appends a rebuilt service must re-apply; ``wal`` is the opened log,
+    ready for further appends at the right LSN.
+    """
+
+    key: str
+    graph: TemporalGraph | None
+    snapshot_lsn: int
+    events: list[WalEvent] = field(default_factory=list)
+    wal: WriteAheadLog | None = None
+
+    @property
+    def replayed(self) -> int:
+        return len(self.events)
 
 
 class IndexStore:
@@ -172,6 +202,13 @@ class IndexStore:
             "Time spent acquiring a graph directory's writer lock",
             ("store",),
         ).labels(inst)
+        corrupt = m.counter(
+            "repro_store_corrupt_blobs_total",
+            "Blob opens that failed integrity checks, by blob kind",
+            ("store", "kind"),
+        )
+        self._c_corrupt_graph = corrupt.labels(inst, "graph")
+        self._c_corrupt_index = corrupt.labels(inst, "index")
 
     def __repr__(self) -> str:
         return f"IndexStore({str(self.root)!r}, graphs={len(self.keys())})"
@@ -249,9 +286,14 @@ class IndexStore:
     def _write_manifest(self, key: str, manifest: dict) -> None:
         final = self.root / key / MANIFEST_NAME
         tmp = final.with_suffix(f".tmp.{os.getpid()}")
-        tmp.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n",
-                       encoding="utf-8")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        crashpoint("manifest.post-temp.pre-rename")
         os.replace(tmp, final)
+        crashpoint("manifest.post-rename")
+        _fsync_parent_dir(os.fspath(final))
 
     @contextlib.contextmanager
     def _dir_lock(self, key: str):
@@ -417,13 +459,28 @@ class IndexStore:
     # Saving
     # ------------------------------------------------------------------
 
-    def save_graph(self, graph: TemporalGraph, *, name: str | None = None) -> str:
+    def save_graph(
+        self,
+        graph: TemporalGraph,
+        *,
+        name: str | None = None,
+        stream_lsn: int | None = None,
+    ) -> str:
         """Persist ``graph`` (idempotent), returning its key.
 
         A directory whose fingerprint already matches is reused as-is.
         Reusing a ``name`` for a *different* graph resets the directory:
         the graph blob is rewritten and all index entries are dropped
         (their files deleted), since they describe the old graph.
+
+        ``stream_lsn`` records which WAL position this graph covers —
+        the streaming snapshot path passes the log's last LSN so
+        recovery replays only records past it.  The graph blob is then
+        written under an LSN-stamped name (``graph-<lsn>.bin``) and the
+        manifest — carrying *both* the file name and the LSN — commits
+        them in one ``os.replace``: there is no instant where a crash
+        could pair the new graph with the old replay point (which would
+        double-apply appends) or vice versa (which would lose them).
         """
         fingerprint = codec.graph_fingerprint(graph)
         key = name if name is not None else None
@@ -433,20 +490,41 @@ class IndexStore:
         with self._dir_lock(key):
             manifest = self._read_manifest(key)
             if manifest is not None and manifest.get("fingerprint") == fingerprint:
+                if (
+                    stream_lsn is not None
+                    and manifest.get("stream", {}).get("lsn") != stream_lsn
+                ):
+                    manifest["stream"] = {"lsn": stream_lsn}
+                    self._write_manifest(key, manifest)
                 return key
+            old_graph_file = (
+                manifest.get("graph_file", GRAPH_FILE) if manifest is not None else None
+            )
             if manifest is not None:
                 for entry in manifest.get("indexes", {}).values():
                     try:
                         os.unlink(directory / entry["file"])
                     except OSError:
                         pass
-            codec.dump_graph(directory / GRAPH_FILE, graph)
-            self._write_manifest(key, {
+            graph_file = (
+                f"graph-{stream_lsn:016d}.bin" if stream_lsn is not None else GRAPH_FILE
+            )
+            codec.dump_graph(directory / graph_file, graph)
+            new_manifest = {
                 "format_version": FORMAT_VERSION,
                 "fingerprint": fingerprint,
-                "graph_file": GRAPH_FILE,
+                "graph_file": graph_file,
                 "indexes": {},
-            })
+            }
+            if stream_lsn is not None:
+                new_manifest["stream"] = {"lsn": stream_lsn}
+            self._write_manifest(key, new_manifest)
+            if old_graph_file is not None and old_graph_file != graph_file:
+                # The old blob is unreferenced once the manifest commits;
+                # a crash before this unlink leaves an orphan that fsck
+                # reports — never a dangling reference.
+                with contextlib.suppress(OSError):
+                    os.unlink(directory / old_graph_file)
             self._c_graph_saves.inc()
         return key
 
@@ -518,16 +596,107 @@ class IndexStore:
         return out
 
     # ------------------------------------------------------------------
+    # Write-ahead log and recovery
+    # ------------------------------------------------------------------
+
+    def wal(
+        self,
+        key: str,
+        *,
+        segment_bytes: int | None = None,
+        sync: str = "always",
+    ) -> WriteAheadLog:
+        """Open (creating if needed) the write-ahead log of ``key``.
+
+        Lives in ``<root>/<key>/wal/``; opening scans the segments and
+        truncates a torn tail, so the returned log is always ready to
+        append at the correct next LSN.  One WAL per key per process —
+        callers keep the instance rather than reopening per append.
+        """
+        kwargs: dict = {"sync": sync, "metrics": self.metrics}
+        if segment_bytes is not None:
+            kwargs["segment_bytes"] = segment_bytes
+        return WriteAheadLog(self.root / key / WAL_DIR, **kwargs)
+
+    def has_wal(self, key: str) -> bool:
+        """Whether ``key`` has a WAL directory with at least one segment."""
+        wal_dir = self.root / key / WAL_DIR
+        return wal_dir.is_dir() and any(
+            entry.name.startswith("wal-") and entry.name.endswith(".seg")
+            for entry in wal_dir.iterdir()
+        )
+
+    def stream_lsn(self, key: str) -> int:
+        """The WAL position the stored snapshot of ``key`` covers (0 if none)."""
+        manifest = self._read_manifest(key)
+        if manifest is None:
+            return 0
+        lsn = manifest.get("stream", {}).get("lsn", 0)
+        return lsn if isinstance(lsn, int) and lsn >= 0 else 0
+
+    def set_stream_lsn(self, key: str, lsn: int) -> None:
+        """Record that the stored snapshot of ``key`` covers ``lsn``.
+
+        For callers that advanced the durable state without rewriting
+        the graph blob (e.g. a snapshot that found the fingerprint
+        unchanged).  Raises if the key has no manifest — a bare LSN
+        with no snapshot to anchor it would corrupt recovery.
+        """
+        with self._dir_lock(key):
+            manifest = self.manifest(key)
+            manifest["stream"] = {"lsn": int(lsn)}
+            self._write_manifest(key, manifest)
+
+    def recover(self, key: str, *, segment_bytes: int | None = None) -> StreamRecovery:
+        """Reassemble the durable state of ``key``: snapshot + WAL replay.
+
+        The boot path after any shutdown, clean or not: opens the WAL
+        (truncating a torn tail), loads the last snapshotted graph if
+        one exists, and replays every durable record past the
+        snapshot's ``stream_lsn``.  The result carries everything a
+        :class:`~repro.core.maintenance.StreamingCoreService` needs to
+        resume exactly where the acknowledged stream ended.
+
+        A corrupt graph blob raises :class:`StoreCorruptionError` (run
+        ``repro fsck``) — recovery never silently drops a snapshot,
+        because the WAL past it cannot reconstruct what came before.
+        """
+        wal = self.wal(key, segment_bytes=segment_bytes)
+        manifest = self._read_manifest(key)
+        graph: TemporalGraph | None = None
+        snapshot_lsn = 0
+        if manifest is not None:
+            graph = self.load_graph(key)
+            snapshot_lsn = self.stream_lsn(key)
+        events = wal.replay(after=snapshot_lsn)
+        return StreamRecovery(
+            key=key,
+            graph=graph,
+            snapshot_lsn=snapshot_lsn,
+            events=events,
+            wal=wal,
+        )
+
+    # ------------------------------------------------------------------
     # Loading
     # ------------------------------------------------------------------
 
     def load_graph(self, key: str) -> TemporalGraph:
-        """Open the graph blob of ``key`` (raises on absence/corruption)."""
+        """Open the graph blob of ``key`` (raises on absence/corruption).
+
+        Corruption is counted (``repro_store_corrupt_blobs_total``) and
+        logged with the offending path before the error propagates —
+        an operator grepping one warning line can go straight to the
+        file ``repro fsck`` will quarantine.
+        """
         manifest = self.manifest(key)
-        graph = codec.load_graph(
-            self.root / key / manifest.get("graph_file", GRAPH_FILE),
-            verify=self.verify,
-        )
+        path = self.root / key / manifest.get("graph_file", GRAPH_FILE)
+        try:
+            graph = codec.load_graph(path, verify=self.verify)
+        except StoreCorruptionError:
+            self._c_corrupt_graph.inc()
+            log.warning("corrupt graph blob at %s (quarantine with `repro fsck`)", path)
+            raise
         self._c_graph_loads.inc()
         return graph
 
@@ -584,10 +753,17 @@ class IndexStore:
         entry = manifest.get("indexes", {}).get(str(k))
         if entry is None:
             return None
+        path = self.root / key / entry["file"]
         try:
-            return codec.load_index(
-                self.root / key / entry["file"], graph, verify=self.verify
+            return codec.load_index(path, graph, verify=self.verify)
+        except StoreCorruptionError:
+            # Treated as absent (the caller rebuilds), but never
+            # silently: rot should show up in metrics and one log line.
+            self._c_corrupt_index.inc()
+            log.warning(
+                "corrupt index blob at %s (quarantine with `repro fsck`)", path
             )
+            return None
         except (StoreError, OSError):
             return None
 

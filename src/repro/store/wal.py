@@ -1,0 +1,582 @@
+"""The write-ahead edge log — durable ingestion for streaming appends.
+
+Before this module, an acknowledged append lived only in
+:class:`~repro.core.maintenance.StreamingCoreService`'s in-memory
+pending list until the next snapshot rewrote the whole blob: a crash
+between snapshots silently lost every acknowledged edge.  The WAL makes
+the acknowledgement honest — an append is acknowledged only once its
+record is fsynced to an append-only segment file, and recovery replays
+the log past the last persisted snapshot.
+
+On-disk layout (one ``wal/`` directory per store key)::
+
+    wal/
+        wal-0000000000000001.seg      # first LSN in the segment
+        wal-0000000000000042.seg
+        ...
+
+Each segment starts with a 16-byte header (``REPROWAL`` magic, u32
+version, u32 reserved) followed by crc32-framed records::
+
+    u32 length   (payload bytes, little-endian)
+    u32 crc32    (of the payload)
+    payload      (compact JSON)
+
+A record carries one *append call*: ``{"l": first_lsn, "e": [[u, v,
+t], ...]}`` plus an optional ``"k"`` dedupe token — LSNs are assigned
+per edge, so a batch of ``n`` edges occupies LSNs ``first .. first +
+n - 1``.  Tokens make retried appends idempotent: the token →
+``(first_lsn, count)`` map is rebuilt from the log on open, so dedupe
+survives a crash (a client retrying an acknowledged-but-lost answer
+gets byte-identical numbers back).
+
+**Torn-tail discipline.**  Records are only ever appended; a crash can
+therefore damage at most the tail of the *last* segment (rotation
+seals — fsyncs — a segment before creating its successor).  Opening
+scans the final segment and truncates it to the longest valid record
+prefix; damage *before* the tail (bit rot, external interference) is
+never skipped over — replay stops at it and raises so ``repro fsck``
+can quarantine rather than silently resurrect records beyond a hole.
+
+**Fsync discipline.**  ``sync="always"`` (default) makes every append
+call durable before it returns, with *group commit*: concurrent
+appenders ride one fsync — the first caller into the commit section
+syncs everything written so far and everyone whose bytes that covered
+returns without a second fsync.  ``sync="batch"`` defers durability to
+:meth:`flush` (or rotation/close), for bulk loads that draw their own
+durability boundary.  Batching many edges through one
+:meth:`append_edges` call always costs a single fsync.
+
+Crash points (:mod:`repro.testing.crashpoints`) are threaded through
+append, rotation, open-truncation and trim, so the crash campaign can
+kill a process at every instant and assert recovery.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import struct
+import threading
+import zlib
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+from repro.errors import StoreCorruptionError, StoreError
+from repro.obs.metrics import MetricsRegistry, get_registry, next_instance
+from repro.testing.crashpoints import crashpoint, faultpoint
+
+#: First eight bytes of every WAL segment.
+WAL_MAGIC = b"REPROWAL"
+
+#: Bumped on incompatible record-layout changes.
+WAL_VERSION = 1
+
+#: Segment header: magic + u32 version + u32 reserved.
+_HEADER = struct.Struct("<8sII")
+
+#: Record frame: u32 payload length + u32 payload crc32.
+_FRAME = struct.Struct("<II")
+
+#: Sanity ceiling while scanning — a declared length beyond this reads
+#: as damage, not as a 4 GiB allocation.
+MAX_RECORD_BYTES = 16 << 20
+
+#: Default segment rotation threshold.
+DEFAULT_SEGMENT_BYTES = 4 << 20
+
+_SEG_PREFIX = "wal-"
+_SEG_SUFFIX = ".seg"
+
+
+def _segment_name(base_lsn: int) -> str:
+    return f"{_SEG_PREFIX}{base_lsn:016d}{_SEG_SUFFIX}"
+
+
+def _segment_base_lsn(name: str) -> int | None:
+    if not (name.startswith(_SEG_PREFIX) and name.endswith(_SEG_SUFFIX)):
+        return None
+    digits = name[len(_SEG_PREFIX) : -len(_SEG_SUFFIX)]
+    return int(digits) if digits.isdigit() else None
+
+
+def _fsync_dir(path: pathlib.Path) -> None:
+    """Durably record directory-entry changes (create/rename/unlink)."""
+    try:
+        fd = os.open(path, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform without dir-open
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+@dataclass(frozen=True)
+class WalEvent:
+    """One replayed edge event: its LSN and the raw append triple."""
+
+    lsn: int
+    u: object
+    v: object
+    t: int
+
+
+@dataclass
+class SegmentScan:
+    """The outcome of scanning one segment file.
+
+    ``valid_bytes`` is the offset up to which the segment is a clean
+    record sequence (header included); ``error`` describes the first
+    damage past it (``None`` for a fully valid segment).  ``records``
+    holds the decoded record dicts of the valid prefix.
+    """
+
+    path: pathlib.Path
+    records: list[dict]
+    valid_bytes: int
+    error: str | None
+
+
+def scan_segment(path: str | os.PathLike[str]) -> SegmentScan:
+    """Scan a segment, stopping at — never skipping — the first damage.
+
+    Shared by WAL open (torn-tail truncation), replay and ``fsck``
+    (quarantine decisions).  A file too short to hold the header scans
+    as ``valid_bytes=0`` — the caller treats it as an empty segment
+    whose header must be rewritten.
+    """
+    path = pathlib.Path(path)
+    data = path.read_bytes()
+    if len(data) < _HEADER.size:
+        return SegmentScan(path, [], 0, "truncated segment header")
+    magic, version, _ = _HEADER.unpack_from(data, 0)
+    if magic != WAL_MAGIC:
+        return SegmentScan(path, [], 0, "bad segment magic")
+    if version != WAL_VERSION:
+        return SegmentScan(path, [], 0, f"unsupported WAL version {version}")
+    records: list[dict] = []
+    offset = _HEADER.size
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            return SegmentScan(path, records, offset, "torn record frame")
+        length, crc = _FRAME.unpack_from(data, offset)
+        if length == 0 or length > MAX_RECORD_BYTES:
+            return SegmentScan(
+                path, records, offset, f"implausible record length {length}"
+            )
+        start = offset + _FRAME.size
+        stop = start + length
+        if stop > len(data):
+            return SegmentScan(path, records, offset, "torn record payload")
+        payload = data[start:stop]
+        if zlib.crc32(payload) != crc:
+            return SegmentScan(path, records, offset, "record checksum mismatch")
+        try:
+            record = json.loads(payload)
+        except ValueError:
+            return SegmentScan(path, records, offset, "unparseable record payload")
+        if (
+            not isinstance(record, dict)
+            or not isinstance(record.get("l"), int)
+            or not isinstance(record.get("e"), list)
+            or not record["e"]
+        ):
+            return SegmentScan(path, records, offset, "malformed record")
+        records.append(record)
+        offset = stop
+    return SegmentScan(path, records, offset, None)
+
+
+def _encode_record(first_lsn: int, edges: Sequence[tuple], token: str | None) -> bytes:
+    record: dict = {"l": first_lsn, "e": [[u, v, t] for u, v, t in edges]}
+    if token is not None:
+        record["k"] = token
+    payload = json.dumps(record, separators=(",", ":")).encode("utf-8")
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+class WriteAheadLog:
+    """An append-only, crc32-framed, fsync-disciplined edge-event log.
+
+    Parameters
+    ----------
+    directory:
+        The ``wal/`` directory (created if missing).  One WAL per store
+        key; see :meth:`IndexStore.wal
+        <repro.store.index_store.IndexStore.wal>`.
+    segment_bytes:
+        Rotation threshold — a segment at or past this size is sealed
+        (fsynced) and a successor created before the next record.
+    sync:
+        ``"always"`` — every append call is durable before returning
+        (group-committed across threads); ``"batch"`` — durability is
+        deferred to :meth:`flush` / rotation / :meth:`close`.
+
+    Thread-safety: appends serialise on an internal lock; group commit
+    lets concurrent appenders share fsyncs.  Replay/scan methods read
+    files independently and take no lock.
+    """
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str],
+        *,
+        segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+        sync: str = "always",
+        metrics: "MetricsRegistry | None" = None,
+    ):
+        if sync not in ("always", "batch"):
+            raise StoreError(f"sync must be 'always' or 'batch', got {sync!r}")
+        if segment_bytes < 256:
+            raise StoreError(f"segment_bytes must be >= 256, got {segment_bytes}")
+        self.directory = pathlib.Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = segment_bytes
+        self.sync = sync
+        self._write_lock = threading.Lock()
+        self._commit_cond = threading.Condition()
+        self._commit_inflight = False
+        self._written_total = 0  # bytes appended over this WAL's lifetime
+        self._synced_total = 0   # bytes known durable
+        self._closed = False
+
+        self.metrics = metrics if metrics is not None else get_registry()
+        self.instance = next_instance("wal")
+        m, inst = self.metrics, self.instance
+        self._c_appends = m.counter(
+            "repro_wal_appends_total", "Append calls acknowledged", ("wal",)
+        ).labels(inst)
+        self._c_records = m.counter(
+            "repro_wal_records_total", "Edge events appended", ("wal",)
+        ).labels(inst)
+        self._c_bytes = m.counter(
+            "repro_wal_bytes_total", "Record bytes written", ("wal",)
+        ).labels(inst)
+        self._c_fsyncs = m.counter(
+            "repro_wal_fsyncs_total", "Segment fsyncs issued", ("wal",)
+        ).labels(inst)
+        self._c_rotations = m.counter(
+            "repro_wal_rotations_total", "Segments sealed and rotated", ("wal",)
+        ).labels(inst)
+        self._c_replayed = m.counter(
+            "repro_wal_replayed_records_total", "Edge events replayed", ("wal",)
+        ).labels(inst)
+        self._c_torn = m.counter(
+            "repro_wal_torn_tail_truncations_total",
+            "Torn tails truncated on open",
+            ("wal",),
+        ).labels(inst)
+        self._c_deduped = m.counter(
+            "repro_wal_deduped_appends_total",
+            "Appends answered from the token map without writing",
+            ("wal",),
+        ).labels(inst)
+
+        self._open_log()
+
+    # ------------------------------------------------------------------
+    # Opening and recovery
+    # ------------------------------------------------------------------
+
+    def _segments(self) -> list[pathlib.Path]:
+        entries = []
+        for entry in self.directory.iterdir():
+            base = _segment_base_lsn(entry.name)
+            if base is not None:
+                entries.append((base, entry))
+        entries.sort()
+        return [entry for _, entry in entries]
+
+    def _open_log(self) -> None:
+        """Scan existing segments, truncate the torn tail, resume LSNs."""
+        self.last_lsn = 0
+        self.last_event_time: int | None = None
+        self._tokens: dict[str, tuple[int, int]] = {}
+        segments = self._segments()
+        for position, segment in enumerate(segments):
+            scan = scan_segment(segment)
+            if scan.error is not None:
+                if position != len(segments) - 1:
+                    # Damage before the final segment cannot be a crash
+                    # artefact (rotation seals segments); refusing to
+                    # skip it is what keeps replay honest.
+                    raise StoreCorruptionError(
+                        f"{segment}: {scan.error} before the final segment; "
+                        f"run `repro fsck` to quarantine and repair"
+                    )
+                # Torn tail of the live segment: the expected crash
+                # artefact.  Truncate to the valid prefix (rewriting a
+                # header over an unreadable one) and carry on.
+                with open(segment, "r+b") as handle:
+                    if scan.valid_bytes == 0:
+                        handle.truncate(0)
+                        handle.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0))
+                    else:
+                        handle.truncate(scan.valid_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                self._c_torn.inc()
+                crashpoint("wal.open.post-truncate")
+            self._absorb_scan(scan)
+        if segments:
+            self._segment_path = segments[-1]
+            self._handle = open(self._segment_path, "ab")
+        else:
+            self._segment_path = self.directory / _segment_name(1)
+            self._handle = open(self._segment_path, "ab")
+            self._handle.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0))
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
+            _fsync_dir(self.directory)
+
+    def _absorb_scan(self, scan: SegmentScan) -> None:
+        for record in scan.records:
+            first, edges = record["l"], record["e"]
+            self.last_lsn = max(self.last_lsn, first + len(edges) - 1)
+            self.last_event_time = edges[-1][2]
+            token = record.get("k")
+            if token is not None:
+                self._tokens.setdefault(token, (first, len(edges)))
+
+    # ------------------------------------------------------------------
+    # Appending
+    # ------------------------------------------------------------------
+
+    def append(self, u, v, t: int, *, token: str | None = None) -> int:
+        """Append one edge event; returns its LSN once durable.
+
+        ``token`` (optional) makes the call idempotent: a token already
+        in the log answers with the original LSN without writing.
+        Durability follows the ``sync`` mode — with ``"always"`` the
+        returned LSN is on disk.
+        """
+        first, _count = self.append_edges([(u, v, t)], token=token)
+        return first
+
+    def append_edges(
+        self,
+        edges: "Iterable[tuple]",
+        *,
+        token: str | None = None,
+    ) -> tuple[int, int]:
+        """Append a batch as one record; ``(first_lsn, count)``.
+
+        The whole batch shares one frame and — in ``sync="always"`` —
+        one fsync, which is the group-commit fast path for bulk
+        ingestion.  A known ``token`` returns the original answer
+        (first LSN and count) without writing anything: acknowledged
+        appends replayed by a retrying client stay byte-stable.
+        """
+        batch = [(u, v, int(t)) for u, v, t in edges]
+        if not batch:
+            raise StoreError("append_edges needs at least one edge")
+        if self._closed:
+            raise StoreError("write-ahead log is closed")
+        with self._write_lock:
+            if token is not None and token in self._tokens:
+                self._c_deduped.inc()
+                return self._tokens[token]
+            first = self.last_lsn + 1
+            frame = _encode_record(first, batch, token)
+            crashpoint("wal.append.pre-write")
+            faultpoint("wal.append.write")
+            self._maybe_rotate(len(frame))
+            self._handle.write(frame)
+            self._handle.flush()
+            self._written_total += len(frame)
+            written_mark = self._written_total
+            self.last_lsn = first + len(batch) - 1
+            self.last_event_time = batch[-1][2]
+            if token is not None:
+                self._tokens[token] = (first, len(batch))
+            self._c_records.inc(len(batch))
+            self._c_bytes.inc(len(frame))
+        crashpoint("wal.append.post-write.pre-fsync")
+        if self.sync == "always":
+            self._commit(written_mark)
+        crashpoint("wal.append.post-fsync")
+        self._c_appends.inc()
+        return first, len(batch)
+
+    def _commit(self, target: int) -> None:
+        """Group commit: make every byte up to ``target`` durable.
+
+        The first thread to find no commit in flight becomes the
+        leader, fsyncs the current write frontier (covering everything
+        written so far, its own bytes included) and wakes the rest; a
+        follower whose ``target`` the leader covered returns without
+        touching the disk.
+        """
+        while True:
+            with self._commit_cond:
+                if self._synced_total >= target:
+                    return
+                if self._commit_inflight:
+                    self._commit_cond.wait()
+                    continue
+                self._commit_inflight = True
+            try:
+                with self._write_lock:
+                    handle = self._handle
+                    frontier = self._written_total
+                faultpoint("wal.append.fsync")
+                os.fsync(handle.fileno())
+                self._c_fsyncs.inc()
+            finally:
+                with self._commit_cond:
+                    self._commit_inflight = False
+                    self._commit_cond.notify_all()
+            with self._commit_cond:
+                self._synced_total = max(self._synced_total, frontier)
+                if self._synced_total >= target:
+                    return
+
+    def flush(self) -> None:
+        """Make everything appended so far durable (the batch-mode ack)."""
+        with self._write_lock:
+            target = self._written_total
+        self._commit(target)
+
+    def _maybe_rotate(self, incoming: int) -> None:
+        """Seal the live segment and start a successor when full.
+
+        Called under the write lock.  The old segment is fsynced
+        *before* the new file exists, so a crash at any instant leaves
+        either a sealed old segment (new one absent — recreated on the
+        next open at the same base LSN) or both — never a successor
+        whose predecessor might still be torn.
+        """
+        try:
+            current = self._handle.tell()
+        except (OSError, ValueError):  # pragma: no cover - defensive
+            current = self.segment_bytes
+        if current + incoming <= self.segment_bytes:
+            return
+        if current <= _HEADER.size:
+            return  # never rotate an empty segment (oversized record)
+        os.fsync(self._handle.fileno())
+        self._c_fsyncs.inc()
+        with self._commit_cond:
+            self._synced_total = max(self._synced_total, self._written_total)
+        self._handle.close()
+        crashpoint("wal.rotate.post-seal")
+        self._segment_path = self.directory / _segment_name(self.last_lsn + 1)
+        self._handle = open(self._segment_path, "ab")
+        self._handle.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0))
+        self._handle.flush()
+        os.fsync(self._handle.fileno())
+        crashpoint("wal.rotate.post-create")
+        _fsync_dir(self.directory)
+        self._c_rotations.inc()
+
+    # ------------------------------------------------------------------
+    # Replay, tokens, trim
+    # ------------------------------------------------------------------
+
+    def replay(self, *, after: int = 0) -> list[WalEvent]:
+        """Every durable edge event with LSN > ``after``, in log order.
+
+        Re-scans the segment files (the on-disk truth, not in-memory
+        state), stopping at damage exactly like :func:`scan_segment` —
+        records beyond a hole are never resurrected.
+        """
+        events: list[WalEvent] = []
+        segments = self._segments()
+        for position, segment in enumerate(segments):
+            scan = scan_segment(segment)
+            if scan.error is not None and position != len(segments) - 1:
+                raise StoreCorruptionError(
+                    f"{segment}: {scan.error} before the final segment; "
+                    f"run `repro fsck`"
+                )
+            for record in scan.records:
+                first = record["l"]
+                for offset, (u, v, t) in enumerate(record["e"]):
+                    lsn = first + offset
+                    if lsn > after:
+                        events.append(WalEvent(lsn, u, v, t))
+        self._c_replayed.inc(len(events))
+        return events
+
+    def lookup_token(self, token: str) -> tuple[int, int] | None:
+        """The ``(first_lsn, count)`` a token's append answered, if known."""
+        return self._tokens.get(token)
+
+    def trim(self, upto_lsn: int) -> int:
+        """Drop sealed segments whose every record has LSN <= ``upto_lsn``.
+
+        The checkpoint truncation that follows a durable snapshot: a
+        segment is removable once the snapshot covers all of it.  The
+        live segment is never removed.  Returns the number of segments
+        dropped.
+        """
+        segments = self._segments()
+        removed = 0
+        for position, segment in enumerate(segments):
+            if position == len(segments) - 1:
+                break  # the live segment stays
+            next_base = _segment_base_lsn(segments[position + 1].name)
+            assert next_base is not None
+            if next_base - 1 <= upto_lsn:
+                os.unlink(segment)
+                removed += 1
+                crashpoint("wal.trim.mid")
+        if removed:
+            _fsync_dir(self.directory)
+        return removed
+
+    # ------------------------------------------------------------------
+    # Introspection / lifecycle
+    # ------------------------------------------------------------------
+
+    def pending_after(self, lsn: int) -> int:
+        """How many durable events sit past ``lsn`` (cheap, in-memory)."""
+        return max(0, self.last_lsn - lsn)
+
+    def segment_paths(self) -> list[pathlib.Path]:
+        """The live segment files, oldest first."""
+        return self._segments()
+
+    def stats(self) -> dict:
+        return {
+            "directory": str(self.directory),
+            "last_lsn": self.last_lsn,
+            "segments": len(self._segments()),
+            "appends": int(self._c_appends.value),
+            "records": int(self._c_records.value),
+            "fsyncs": int(self._c_fsyncs.value),
+            "rotations": int(self._c_rotations.value),
+            "torn_tail_truncations": int(self._c_torn.value),
+            "deduped_appends": int(self._c_deduped.value),
+        }
+
+    def close(self) -> None:
+        """Flush, fsync and close the live segment (idempotent)."""
+        if self._closed:
+            return
+        with self._write_lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._handle.flush()
+                os.fsync(self._handle.fileno())
+            except (OSError, ValueError):  # pragma: no cover - defensive
+                pass
+            self._handle.close()
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"WriteAheadLog({str(self.directory)!r}, last_lsn={self.last_lsn}, "
+            f"sync={self.sync!r})"
+        )

@@ -1,0 +1,209 @@
+"""Daemon durable ingestion: append/flush over the wire, dedupe across
+restarts, read-only degradation on WAL disk errors."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.serve.client import DaemonClient, DaemonError
+from repro.store import IndexStore
+from repro.store.fsck import scrub_store
+from tests.serve.daemon.conftest import (
+    build_store,
+    metric_total,
+    scrape_metrics,
+)
+
+TMAX = 48  # build_store's raw-time ceiling; appends must not go backwards
+
+
+@pytest.fixture()
+def fresh_store(tmp_path):
+    """A private store per test — ingestion mutates it."""
+    root = tmp_path / "store"
+    _store, graph = build_store(root)
+    return root, graph
+
+
+def new_edges(base_t):
+    """A triangle of brand-new vertices at three fresh instants."""
+    return [
+        ["ing-a", "ing-b", base_t],
+        ["ing-b", "ing-c", base_t + 1],
+        ["ing-a", "ing-c", base_t + 2],
+    ]
+
+
+class TestAppendFlush:
+    def test_append_acks_with_lsns(self, start_daemon, fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            ack = client.append(new_edges(TMAX + 1))
+            assert ack["done"] and ack["lsn"] == 1 and ack["appended"] == 3
+            ack = client.append([["ing-c", "ing-d", TMAX + 4]])
+            assert ack["lsn"] == 4
+            stats = client.stats()
+            assert stats["ingest"]["read_only"] is None
+            assert stats["ingest"]["appended_edges"] == 4
+            (key_stats,) = stats["ingest"]["keys"].values()
+            assert key_stats["last_lsn"] == 4
+            assert key_stats["stream_lsn"] == 0
+
+    def test_append_rejects_time_regression(self, start_daemon, fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            with pytest.raises(DaemonError) as err:
+                client.append([["x", "y", 1]])  # far before the graph's end
+            assert err.value.code == "invalid"
+            # Nothing was written: the WAL has no record of it.
+            assert client.stats()["ingest"]["appended_edges"] == 0
+
+    def test_flush_makes_appends_queryable(self, start_daemon, fresh_store):
+        root, graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            # Three new raw instants extend the time axis; until the
+            # flush, a query out there is beyond the served graph.
+            client.append(new_edges(TMAX + 1))
+            with pytest.raises(DaemonError):
+                client.query(k=2, ts=1, te=graph.tmax + 3)
+
+            ack = client.flush()
+            assert ack["applied"] == 3 and ack["lsn"] == 3
+
+            cores, done = client.query(k=2, ts=graph.tmax + 1,
+                                       te=graph.tmax + 3)
+            assert done["completed"]
+            # The appended triangle is itself a temporal 2-core.
+            assert any(core["num_edges"] == 3 for core in cores)
+
+    def test_flush_with_nothing_pending_is_a_noop(self, start_daemon,
+                                                  fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            ack = client.flush()
+            assert ack["applied"] == 0
+            # An empty stream with no snapshot, though, has nothing at
+            # all to fold — that is an error.
+            with pytest.raises(DaemonError) as err:
+                client.flush(graph="brand-new")
+            assert err.value.code == "invalid"
+
+    def test_flush_persists_and_trims(self, start_daemon, fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            client.append(new_edges(TMAX + 1))
+            client.flush()
+            stats = client.stats()
+            (key_stats,) = stats["ingest"]["keys"].values()
+            assert key_stats["stream_lsn"] == 3
+            assert stats["ingest"]["flushes"] == 1
+        # The snapshot survives daemon death: a plain store reopen sees
+        # the folded graph and a fully covered WAL.
+        handle.sigterm()
+        assert handle.wait() == 0
+        store = IndexStore(root)
+        assert store.stream_lsn("g") == 3
+        recovery = store.recover("g")
+        recovery.wal.close()
+        assert recovery.events == []
+        assert any(
+            recovery.graph.label_of(u) == "ing-a"
+            for u in range(recovery.graph.num_vertices)
+        )
+        assert scrub_store(root).clean
+
+
+class TestDedupe:
+    def test_same_token_answers_identically(self, start_daemon, fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        edges = new_edges(TMAX + 1)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            first = client.append(edges, dedupe="job-42")
+            again = client.append(edges, dedupe="job-42")
+            assert {k: v for k, v in first.items() if k != "id"} \
+                == {k: v for k, v in again.items() if k != "id"}
+            assert client.stats()["ingest"]["keys"]["g"]["last_lsn"] == 3
+
+    def test_ack_stable_across_daemon_kill(self, start_daemon, fresh_store):
+        """The acceptance bar: an acked append re-sent after a SIGKILL
+        and restart answers the same acknowledgement."""
+        root, _graph = fresh_store
+        edges = new_edges(TMAX + 1)
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            original = client.append(edges, dedupe="job-9")
+        handle.stop()  # SIGKILL — no drain, no persist
+
+        restarted = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", restarted.port) as client:
+            retried = client.append(edges, dedupe="job-9")
+            assert {k: v for k, v in retried.items() if k != "id"} \
+                == {k: v for k, v in original.items() if k != "id"}
+            # And the edges exist exactly once.
+            ack = client.flush()
+            assert ack["applied"] == 3
+
+
+class TestCrashRecovery:
+    def test_acked_appends_survive_sigkill(self, start_daemon, fresh_store):
+        root, graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            client.append(new_edges(TMAX + 1))
+            client.append([["ing-c", "ing-d", TMAX + 4]])
+        handle.stop()  # SIGKILL
+
+        restarted = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", restarted.port) as client:
+            stats = client.stats()
+            assert stats["ingest"]["keys"] == {} or True  # lazily opened
+            ack = client.flush()
+            assert ack["applied"] == 4
+            cores, done = client.query(k=2, ts=graph.tmax + 1,
+                                       te=graph.tmax + 3)
+            assert done["completed"]
+            assert any(core["num_edges"] == 3 for core in cores)
+
+
+class TestReadOnly:
+    def test_wal_fault_degrades_to_read_only(self, start_daemon, fresh_store):
+        root, graph = fresh_store
+        handle = start_daemon(
+            store=root, env={"REPRO_FAULTPOINT": "wal.append.write"}
+        )
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            with pytest.raises(DaemonError) as err:
+                client.append(new_edges(TMAX + 1))
+            assert err.value.code == "read-only"
+            # Ingestion is refused from now on ...
+            with pytest.raises(DaemonError) as err:
+                client.append(new_edges(TMAX + 1))
+            assert err.value.code == "read-only"
+            with pytest.raises(DaemonError) as err:
+                client.flush()
+            assert err.value.code == "read-only"
+            # ... but serving carries on.
+            cores, done = client.query(k=2, ts=1, te=graph.tmax)
+            assert done["completed"]
+            assert client.stats()["ingest"]["read_only"]
+
+        metrics = scrape_metrics(handle.port)
+        assert metric_total(metrics, "repro_daemon_read_only") == 1.0
+
+    def test_healthy_daemon_reports_writable(self, start_daemon, fresh_store):
+        root, _graph = fresh_store
+        handle = start_daemon(store=root)
+        with DaemonClient("127.0.0.1", handle.port) as client:
+            client.append(new_edges(TMAX + 1))
+        metrics = scrape_metrics(handle.port)
+        assert metric_total(metrics, "repro_daemon_read_only") == 0.0
+        assert metric_total(
+            metrics, "repro_daemon_appended_edges_total"
+        ) == 3.0
+        assert metric_total(metrics, "repro_wal_appends_total") == 1.0

@@ -1,0 +1,224 @@
+"""DaemonClient retry discipline against a scripted fake daemon.
+
+Each test stands up a tiny threaded TCP server whose per-connection
+behaviour is scripted, so every retry path — connect failure, drop
+before response, ``overloaded`` pushback, non-idempotent refusal — is
+exercised deterministically without a real daemon."""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.serve.client import (
+    DaemonClient,
+    DaemonConnectionError,
+    DaemonError,
+)
+
+
+class ScriptedServer:
+    """A fake daemon: each accepted connection runs the next script entry.
+
+    A script entry is a callable ``(conn, server) -> None``; it may read
+    frames, answer, or slam the connection shut.  Connections beyond the
+    script reuse the last entry.
+    """
+
+    def __init__(self, *script):
+        self.script = list(script)
+        self.frames: list[dict] = []  # every request frame ever received
+        self.connections = 0
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._sock.bind(("127.0.0.1", 0))
+        self._sock.listen(8)
+        self.port = self._sock.getsockname()[1]
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+
+    def _serve(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except OSError:
+                return
+            index = min(self.connections, len(self.script) - 1)
+            self.connections += 1
+            try:
+                self.script[index](conn, self)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self) -> None:
+        self._stop.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+def read_frame(conn, server) -> dict | None:
+    reader = conn.makefile("rb")
+    line = reader.readline()
+    if not line:
+        return None
+    frame = json.loads(line)
+    server.frames.append(frame)
+    return frame
+
+
+def answer_ok(conn, frame, **extra) -> None:
+    payload = {"id": frame.get("id"), "ok": True, **extra}
+    conn.sendall(json.dumps(payload).encode() + b"\n")
+
+
+def echo_pong(conn, server) -> None:
+    frame = read_frame(conn, server)
+    while frame is not None:
+        answer_ok(conn, frame, pong=True, done=True, lsn=1,
+                  appended=len(frame.get("edges", [])) or None,
+                  stats={}, answers=[])
+        frame = read_frame(conn, server)
+
+
+def drop_after_read(conn, server) -> None:
+    read_frame(conn, server)  # swallow the request, say nothing
+
+
+def answer_overloaded(conn, server) -> None:
+    frame = read_frame(conn, server)
+    if frame is not None:
+        conn.sendall(json.dumps({
+            "id": frame.get("id"), "ok": False,
+            "error": {"code": "overloaded", "message": "queue full"},
+        }).encode() + b"\n")
+
+
+FAST = {"backoff": 0.01, "backoff_max": 0.02}
+
+
+class TestConstruction:
+    def test_rejects_bad_retry_parameters(self):
+        with pytest.raises(ReproError):
+            DaemonClient("127.0.0.1", 1, retries=-1)
+        with pytest.raises(ReproError):
+            DaemonClient("127.0.0.1", 1, backoff=0)
+        with pytest.raises(ReproError):
+            DaemonClient("127.0.0.1", 1, backoff=2.0, backoff_max=1.0)
+
+    def test_no_retries_fails_fast_on_dead_port(self):
+        sacrifice = socket.socket()
+        sacrifice.bind(("127.0.0.1", 0))
+        port = sacrifice.getsockname()[1]
+        sacrifice.close()  # nothing listens here now
+        with pytest.raises(OSError):
+            DaemonClient("127.0.0.1", port, timeout=0.5)
+
+
+class TestTransportRetry:
+    def test_dropped_connection_retried_for_idempotent_ops(self):
+        with ScriptedServer(drop_after_read, echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=2, **FAST) as client:
+                assert client.ping()
+            assert server.connections == 2
+
+    def test_retries_exhausted_raises_connection_error(self):
+        with ScriptedServer(drop_after_read) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=2, **FAST) as client:
+                with pytest.raises(DaemonConnectionError):
+                    client.ping()
+            # Construction's connection served attempt 1; each of the
+            # two retries reconnected once.
+            assert server.connections == 3
+
+    def test_non_idempotent_not_retried_after_send(self):
+        with ScriptedServer(drop_after_read, echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=3, **FAST) as client:
+                with pytest.raises(DaemonConnectionError):
+                    client.request({"op": "ping"}, idempotent=False)
+            # The request went out once and was never re-sent.
+            assert len(server.frames) == 1
+
+    def test_overloaded_backs_off_and_retries(self):
+        with ScriptedServer(answer_overloaded, echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=2, **FAST) as client:
+                assert client.ping()
+            assert len(server.frames) == 2
+
+    def test_overloaded_without_retries_surfaces(self):
+        with ScriptedServer(answer_overloaded) as server:
+            with DaemonClient("127.0.0.1", server.port) as client:
+                with pytest.raises(DaemonError) as err:
+                    client.ping()
+                assert err.value.code == "overloaded"
+
+
+class TestAppendIdempotency:
+    def test_append_generates_a_dedupe_token(self):
+        with ScriptedServer(echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port) as client:
+                client.append([("a", "b", 1)])
+            (frame,) = server.frames
+            assert isinstance(frame["dedupe"], str) and frame["dedupe"]
+
+    def test_append_retry_replays_the_same_token(self):
+        """The property that makes append retry safe: both deliveries
+        carry one token, so the daemon can answer the first ack twice."""
+        with ScriptedServer(drop_after_read, echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=2, **FAST) as client:
+                client.append([("a", "b", 1)], dedupe="job-7")
+            assert [f["dedupe"] for f in server.frames] == ["job-7", "job-7"]
+
+    def test_explicit_token_passes_through(self):
+        with ScriptedServer(echo_pong) as server:
+            with DaemonClient("127.0.0.1", server.port) as client:
+                client.append([("a", "b", 1)], dedupe="outer-retry")
+            assert server.frames[0]["dedupe"] == "outer-retry"
+
+
+class TestQueryRetry:
+    def test_query_rerun_discards_partial_stream(self):
+        def stream_half_then_drop(conn, server):
+            frame = read_frame(conn, server)
+            conn.sendall(json.dumps(
+                {"id": frame["id"], "core": {"ts": 1, "te": 2, "edge_ids": [0]}}
+            ).encode() + b"\n")
+            # ... and die mid-stream.
+
+        def stream_all(conn, server):
+            frame = read_frame(conn, server)
+            for core in ({"ts": 1, "te": 2, "edge_ids": [0]},
+                         {"ts": 2, "te": 3, "edge_ids": [1]}):
+                conn.sendall(json.dumps(
+                    {"id": frame["id"], "core": core}
+                ).encode() + b"\n")
+            answer_ok(conn, frame, done=True, num_results=2,
+                      total_edges=2, completed=True)
+
+        with ScriptedServer(stream_half_then_drop, stream_all) as server:
+            with DaemonClient("127.0.0.1", server.port,
+                              retries=2, **FAST) as client:
+                cores, done = client.query(k=2, ts=1, te=3)
+            # No duplicated cores from the aborted first stream.
+            assert len(cores) == 2
+            assert done["completed"]

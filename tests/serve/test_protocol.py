@@ -186,6 +186,65 @@ class TestParseRequest:
         ).k == 0
 
 
+class TestParseIngest:
+    def test_append_parses_edges_and_token(self):
+        request = parse_request(
+            {"op": "append", "id": 4, "edges": [["a", "b", 1], [2, 3, 5]],
+             "dedupe": "tok", "graph": "g"}
+        )
+        assert request.is_work
+        assert request.edges == (("a", "b", 1), (2, 3, 5))
+        assert request.dedupe == "tok"
+        assert request.graph == "g"
+
+    def test_flush_parses_minimal(self):
+        request = parse_request({"op": "flush", "id": 5, "graph": "g"})
+        assert request.is_work
+        assert request.edges == ()
+
+    @pytest.mark.parametrize(
+        "frame, code",
+        [
+            ({"op": "append", "id": 1}, "bad-request"),         # no edges
+            ({"op": "append", "id": 1, "edges": []}, "bad-request"),
+            ({"op": "append", "id": 1, "edges": [["a", "b"]]}, "bad-request"),
+            ({"op": "append", "id": 1, "edges": [["a", "b", 1.5]]},
+             "bad-request"),                                    # float time
+            ({"op": "append", "id": 1, "edges": [["a", "b", True]]},
+             "bad-request"),                                    # bool time
+            ({"op": "append", "id": 1, "edges": [[None, "b", 1]]},
+             "bad-request"),                                    # bad label
+            ({"op": "append", "id": 1, "edges": [["a", "b", 1]],
+              "dedupe": 7}, "bad-request"),                     # non-str token
+        ],
+    )
+    def test_invalid_append_frames(self, frame, code):
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == code
+
+    def test_append_edge_limit(self):
+        from repro.serve.protocol import MAX_APPEND_EDGES
+
+        frame = {
+            "op": "append", "id": 1,
+            "edges": [["a", "b", 1]] * (MAX_APPEND_EDGES + 1),
+        }
+        with pytest.raises(ProtocolError) as err:
+            parse_request(frame)
+        assert err.value.code == "too-large"
+
+    def test_ack_frames_shape(self):
+        from repro.serve.protocol import append_done_frame, flush_done_frame
+
+        assert append_done_frame(9, lsn=4, appended=2) == {
+            "id": 9, "ok": True, "done": True, "lsn": 4, "appended": 2,
+        }
+        assert flush_done_frame(9, lsn=6, applied=3) == {
+            "id": 9, "ok": True, "done": True, "lsn": 6, "applied": 3,
+        }
+
+
 def stream_query_raw(port: int, request: dict) -> tuple[list[bytes], dict]:
     """Send one query over a raw socket; ``(core line bytes, done frame)``.
 

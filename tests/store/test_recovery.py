@@ -1,0 +1,183 @@
+"""IndexStore.recover + StreamingCoreService WAL restore semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.maintenance import StreamingCoreService
+from repro.errors import ReproError
+from repro.store import IndexStore
+
+
+EDGES = [
+    ("a", "b", 1), ("b", "c", 1), ("a", "c", 2), ("c", "d", 3),
+    ("b", "d", 3), ("a", "d", 4), ("d", "e", 5), ("c", "e", 5),
+]
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return IndexStore(tmp_path / "store")
+
+
+def canon(seq):
+    return sorted((t, tuple(sorted((str(u), str(v))))) for u, v, t in seq)
+
+
+def graph_triples(graph):
+    return [
+        (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
+        for u, v, t in graph.edges
+    ]
+
+
+class TestStoreRecover:
+    def test_wal_only_key(self, store):
+        with store.wal("s") as wal:
+            for u, v, t in EDGES[:3]:
+                wal.append(u, v, t)
+        recovery = store.recover("s")
+        try:
+            assert recovery.graph is None
+            assert recovery.snapshot_lsn == 0
+            assert [(e.u, e.v, e.t) for e in recovery.events] == EDGES[:3]
+            assert recovery.replayed == 3
+        finally:
+            recovery.wal.close()
+
+    def test_snapshot_plus_tail(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        for u, v, t in EDGES[:5]:
+            service.append(u, v, t)
+        service.snapshot(store, name="s")
+        for u, v, t in EDGES[5:]:
+            service.append(u, v, t)
+        service.wal.close()
+
+        recovery = store.recover("s")
+        try:
+            assert recovery.snapshot_lsn == 5
+            assert recovery.graph is not None
+            assert canon(graph_triples(recovery.graph)) == canon(EDGES[:5])
+            assert [(e.u, e.v, e.t) for e in recovery.events] == EDGES[5:]
+        finally:
+            recovery.wal.close()
+
+    def test_unknown_key_has_empty_recovery(self, store):
+        recovery = store.recover("nothing")
+        try:
+            assert recovery.graph is None
+            assert recovery.events == []
+        finally:
+            recovery.wal.close()
+
+    def test_stream_lsn_roundtrip(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        for u, v, t in EDGES:
+            service.append(u, v, t)
+        service.snapshot(store, name="s")
+        service.wal.close()
+        assert store.stream_lsn("s") == len(EDGES)
+
+
+class TestServiceWal:
+    def test_append_returns_lsn(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        assert service.append("a", "b", 1) == 1
+        assert service.append("b", "c", 2) == 2
+        assert service.extend([("a", "c", 3), ("b", "d", 3)]) == 2
+        service.wal.close()
+
+    def test_dedupe_token_across_restart(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        lsn = service.append("a", "b", 1, token="tok-1")
+        service.wal.close()
+
+        resumed = StreamingCoreService.restore(store, (2,), name="s", wal=True)
+        # The retried append answers the original LSN and applies nothing.
+        assert resumed.append("a", "b", 1, token="tok-1") == lsn
+        assert resumed.num_edges == 1
+        resumed.wal.close()
+
+    def test_restore_replays_tail_and_serves(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        for u, v, t in EDGES[:5]:
+            service.append(u, v, t)
+        service.snapshot(store, name="s")
+        for u, v, t in EDGES[5:]:
+            service.append(u, v, t)
+        service.refresh()
+        want = service.query(1, service.graph.tmax)
+        service.wal.close()
+
+        resumed = StreamingCoreService.restore(store, (2,), name="s", wal=True)
+        assert resumed.num_edges == len(EDGES)
+        resumed.refresh()
+        got = resumed.query(1, resumed.graph.tmax)
+        assert {frozenset(c.vertex_labels(resumed.graph)) for c in got.cores} \
+            == {frozenset(c.vertex_labels(service.graph)) for c in want.cores}
+        resumed.wal.close()
+
+    def test_restore_without_wal_matches_plain_path(self, store, paper_graph):
+        """wal='auto' on a store without segments behaves like before."""
+        from repro.core.index import CoreIndex
+
+        store.save_graph(paper_graph, name="p")
+        store.save_index(CoreIndex(paper_graph, 2), name="p")
+        service = StreamingCoreService.restore(store, (2,), name="p")
+        assert service.wal is None
+        assert service.num_edges == paper_graph.num_edges
+
+    def test_wal_rejects_out_of_order_batch_before_writing(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        service.append("a", "b", 5)
+        with pytest.raises(ReproError):
+            service.extend([("b", "c", 6), ("c", "d", 4)])
+        # The invalid batch must not have been half-written to the log.
+        assert service.wal.last_lsn == 1
+        assert service.num_edges == 1
+        service.wal.close()
+
+    def test_snapshot_trims_wal(self, store):
+        service = StreamingCoreService(
+            (2,), wal=store.wal("s", segment_bytes=256)
+        )
+        for i in range(40):
+            service.append(f"n{i % 6}", f"n{(i + 1) % 6}", i + 1)
+        assert len(service.wal.segment_paths()) > 2
+        service.snapshot(store, name="s")
+        assert len(service.wal.segment_paths()) == 1
+        # Everything lives in the snapshot now; replay past it is empty.
+        assert service.wal.pending_after(store.stream_lsn("s")) == 0
+        service.wal.close()
+
+    def test_snapshot_then_restore_without_new_appends(self, store):
+        service = StreamingCoreService((2,), wal=store.wal("s"))
+        for u, v, t in EDGES:
+            service.append(u, v, t)
+        service.snapshot(store, name="s")
+        service.wal.close()
+        resumed = StreamingCoreService.restore(store, (2,), name="s", wal=True)
+        assert resumed.num_edges == len(EDGES)
+        assert resumed.num_pending == 0
+        resumed.wal.close()
+
+
+class TestCorruptBlobCounters:
+    def test_corrupt_graph_read_is_counted_and_logged(self, store, paper_graph,
+                                                      caplog):
+        from repro.errors import StoreCorruptionError
+
+        store.save_graph(paper_graph, name="g")
+        path = store.root / "g" / "graph.bin"
+        data = bytearray(path.read_bytes())
+        data[-4] ^= 0xFF
+        path.write_bytes(bytes(data))
+
+        with caplog.at_level("WARNING", logger="repro.store"):
+            with pytest.raises(StoreCorruptionError):
+                store.load_graph("g")
+        assert any("graph.bin" in r.message for r in caplog.records)
+        text = store.metrics.render_prometheus()
+        assert 'repro_store_corrupt_blobs_total' in text
+        assert 'kind="graph"' in text

@@ -424,6 +424,52 @@ class TestIndexStoreCli:
         assert "store-graph" in capsys.readouterr().err
 
 
+class TestFsck:
+    @pytest.fixture()
+    def store_dir(self, tmp_path, paper_graph):
+        from repro.core.index import CoreIndex
+        from repro.store import IndexStore
+
+        root = tmp_path / "store"
+        store = IndexStore(root)
+        store.save_graph(paper_graph, name="g")
+        store.save_index(CoreIndex(paper_graph, 2), name="g")
+        return root
+
+    def test_clean_store_exits_zero(self, store_dir, capsys):
+        assert main(["fsck", "--store", str(store_dir)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_issues_exit_one_and_quarantine(self, store_dir, capsys):
+        index = store_dir / "g" / "k2.idx"
+        data = bytearray(index.read_bytes())
+        data[-4] ^= 0xFF
+        index.write_bytes(bytes(data))
+        assert main(["fsck", "--store", str(store_dir)]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined" in out
+        assert (store_dir / "g" / "k2.idx.corrupt").exists()
+
+    def test_dry_run_reports_without_touching(self, store_dir, capsys):
+        index = store_dir / "g" / "k2.idx"
+        data = bytearray(index.read_bytes())
+        data[-4] ^= 0xFF
+        index.write_bytes(bytes(data))
+        assert main(["fsck", "--store", str(store_dir), "--dry-run"]) == 1
+        assert "would-quarantine" in capsys.readouterr().out
+        assert index.exists()
+
+    def test_json_format(self, store_dir, capsys):
+        assert main(["fsck", "--store", str(store_dir),
+                     "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["clean"] is True
+
+    def test_missing_store_errors(self, tmp_path, capsys):
+        assert main(["fsck", "--store", str(tmp_path / "nope")]) == 2
+        assert capsys.readouterr().err
+
+
 class TestExperimentsPassthrough:
     def test_table1(self, capsys):
         assert main(["experiments", "table1"]) == 0

@@ -1,0 +1,111 @@
+"""The crash/fault point registry: parsing, arming, hit counting."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import pytest
+
+from repro.testing import crashpoints as cp
+
+
+@pytest.fixture(autouse=True)
+def disarm(monkeypatch):
+    """Every test starts (and the suite ends) with nothing armed."""
+    monkeypatch.delenv(cp.CRASHPOINT_ENV, raising=False)
+    monkeypatch.delenv(cp.FAULTPOINT_ENV, raising=False)
+    cp.reload()
+    yield
+    # monkeypatch only restores the environment *after* this teardown
+    # runs, so disarm explicitly before re-reading it.
+    import os
+
+    os.environ.pop(cp.CRASHPOINT_ENV, None)
+    os.environ.pop(cp.FAULTPOINT_ENV, None)
+    cp.reload()
+
+
+class TestRegistry:
+    def test_catalogues_are_disjoint_and_nonempty(self):
+        assert cp.registered_crashpoints()
+        assert cp.registered_faultpoints()
+        assert not set(cp.CRASHPOINTS) & set(cp.FAULTPOINTS)
+
+    def test_unregistered_name_rejected_even_when_disarmed(self):
+        with pytest.raises(ValueError):
+            cp.crashpoint("not.a.point")
+        with pytest.raises(ValueError):
+            cp.faultpoint("not.a.point")
+
+    def test_unknown_armed_name_rejected_eagerly(self, monkeypatch):
+        monkeypatch.setenv(cp.CRASHPOINT_ENV, "no.such.point")
+        with pytest.raises(ValueError):
+            cp.reload()
+
+    def test_bad_hit_count_rejected(self, monkeypatch):
+        monkeypatch.setenv(cp.CRASHPOINT_ENV, "wal.append.post-fsync:soon")
+        with pytest.raises(ValueError):
+            cp.reload()
+
+    def test_disarmed_points_are_noops(self):
+        for name in cp.registered_crashpoints():
+            cp.crashpoint(name)
+        for name in cp.registered_faultpoints():
+            cp.faultpoint(name)
+
+    def test_every_crashpoint_is_threaded_through_the_code(self):
+        """The catalogue and the code may not drift: every registered
+        name appears in a ``crashpoint("...")`` call somewhere."""
+        import pathlib
+
+        import repro
+
+        src = pathlib.Path(repro.__file__).parent
+        body = "\n".join(
+            p.read_text(encoding="utf-8")
+            for p in src.rglob("*.py")
+            if p.name != "crashpoints.py"
+        )
+        for name in cp.registered_crashpoints():
+            assert f'crashpoint("{name}")' in body, name
+        for name in cp.registered_faultpoints():
+            assert f'faultpoint("{name}")' in body, name
+
+
+class TestFaultInjection:
+    def test_fault_fires_from_nth_hit_onward(self, monkeypatch):
+        monkeypatch.setenv(cp.FAULTPOINT_ENV, "wal.append.fsync:3")
+        cp.reload()
+        cp.faultpoint("wal.append.fsync")
+        cp.faultpoint("wal.append.fsync")
+        with pytest.raises(OSError):
+            cp.faultpoint("wal.append.fsync")
+        # ... and keeps failing: a full disk does not heal.
+        with pytest.raises(OSError):
+            cp.faultpoint("wal.append.fsync")
+
+    def test_other_points_unaffected(self, monkeypatch):
+        monkeypatch.setenv(cp.FAULTPOINT_ENV, "wal.append.fsync")
+        cp.reload()
+        cp.faultpoint("wal.append.write")
+
+
+class TestCrashInjection:
+    def test_armed_crashpoint_sigkills_subprocess(self):
+        code = (
+            "import os\n"
+            f"os.environ['{cp.CRASHPOINT_ENV}'] = 'wal.append.post-fsync:2'\n"
+            "from repro.testing.crashpoints import crashpoint, reload\n"
+            "reload()\n"
+            "crashpoint('wal.append.post-fsync')\n"
+            "print('survived first hit', flush=True)\n"
+            "crashpoint('wal.append.post-fsync')\n"
+            "print('UNREACHABLE', flush=True)\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True
+        )
+        assert proc.returncode == -9
+        assert "survived first hit" in proc.stdout
+        assert "UNREACHABLE" not in proc.stdout
