@@ -492,6 +492,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         terminal_grace=args.terminal_grace,
         pool_min_windows=args.pool_min_windows,
         warm=not args.no_warm,
+        max_lag=args.max_lag,
     )
     return asyncio.run(daemon.run(announce=True))
 
@@ -683,6 +684,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--no-warm", action="store_true",
         help="skip preloading stored indexes at boot",
+    )
+    serve.add_argument(
+        "--max-lag", type=float, default=None, metavar="SECONDS",
+        help="freshness budget: a query against a key whose oldest "
+             "unflushed append is older than this triggers a flush "
+             "first (default: none, flush only on request)",
     )
     serve.set_defaults(func=cmd_serve)
 

@@ -298,21 +298,26 @@ class _WindowState:
             self.ptr = list(cg.slot_times_start)
             self.ett = cg.np_slot_first_time.copy()
         else:
-            # Position each pair's pointer at its first edge time >= ts_lo
-            # (bisect once per pair; both directional slots share it).
-            pair_times = cg.pair_times
-            pair_offset = cg.pair_offset
-            first_index = [
-                bisect_left(pair_times, ts_lo, pair_offset[pid], pair_offset[pid + 1])
-                for pid in range(cg.num_pairs)
-            ]
-            self.ptr = [first_index[pid] for pid in cg.slot_pid]
-            pair_first_time = np.asarray(
-                [
-                    pair_times[index] if index < pair_offset[pid + 1] else _NO_TIME
-                    for pid, index in enumerate(first_index)
-                ],
-                dtype=np.int64,
+            # Position each pair's pointer at its first edge time >= ts_lo.
+            # All pairs bisect at once: each pair's slice of ``pair_times``
+            # is ascending and times never exceed ``tmax``, so the
+            # composite key ``pid * stride + time`` is globally sorted and
+            # one searchsorted answers every pair (both directional slots
+            # share the result).
+            pair_times = as_int64_array(cg.pair_times)
+            pair_offset = as_int64_array(cg.pair_offset)
+            num_pairs = cg.num_pairs
+            stride = np.int64(cg.tmax + 2)
+            counts = pair_offset[1:] - pair_offset[:-1]
+            pids = np.arange(num_pairs, dtype=np.int64)
+            composite = np.repeat(pids, counts) * stride + pair_times
+            first_index = np.searchsorted(composite, pids * stride + ts_lo)
+            self.ptr = first_index[cg.np_slot_pid].tolist()
+            exhausted = first_index >= pair_offset[1:]
+            pair_first_time = np.where(
+                exhausted,
+                _NO_TIME,
+                pair_times[np.minimum(first_index, max(len(pair_times) - 1, 0))],
             )
             self.ett = pair_first_time[cg.np_slot_pid]
         self._inq = bytearray(cg.num_vertices)

@@ -22,10 +22,16 @@ that pattern:
   resuming from the last persisted indexes (fingerprint-checked) so only
   the edges appended after the snapshot need folding in.
 
-Incrementally *maintaining* the skyline under insertions is an open
-problem the paper leaves to future work; this layer deliberately
-rebuilds (costs one shared multi-``k`` pass) rather than pretend
-otherwise.
+Incrementally *maintaining* the skyline under general insertions is an
+open problem the paper leaves to future work — but the append-only
+ordering this service enforces makes the frontier case tractable:
+:meth:`refresh` folds pending edges through
+:func:`repro.core.incremental.delta_fold` when the cost model approves
+(``mode="auto"``), touching only the fold window instead of rescanning
+every edge, and falls back to the full shared multi-``k`` rebuild
+whenever the fold declines (boundary timestamp ties, oversized change
+cascades, fold windows above ``max_window_fraction``) — never wrong,
+only slower.  See ``docs/STREAMING.md`` for the contract.
 
 Thread-safety: the service is **not** internally locked — it is a
 single-writer object.  Interleave appends and queries from one thread
@@ -35,6 +41,7 @@ safe because queries on a fresh index do not mutate state.
 
 from __future__ import annotations
 
+import time as _time
 from collections.abc import Hashable, Iterable, Sequence
 from typing import TYPE_CHECKING
 
@@ -42,6 +49,7 @@ from repro.core.index import CoreIndex
 from repro.core.results import EnumerationResult
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
+from repro.obs.metrics import get_registry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.serve.parallel import WorkerPool
@@ -62,6 +70,26 @@ def _normalise_ks(k: int | Iterable[int]) -> tuple[int, ...]:
     return ks
 
 
+def _fold_seconds_histogram():
+    return get_registry().histogram(
+        "repro_stream_fold_seconds",
+        "Streaming refresh latency by resolved mode",
+        ("mode",),
+    )
+
+
+def _lag_edges_gauge():
+    return get_registry().gauge(
+        "repro_stream_lag_edges", "Edges appended but not yet folded into indexes"
+    )
+
+
+def _lag_seconds_gauge():
+    return get_registry().gauge(
+        "repro_stream_lag_seconds", "Age of the oldest pending (unfolded) edge"
+    )
+
+
 class StreamingCoreService:
     """Append edges, query temporal k-cores, rebuild indexes lazily.
 
@@ -78,6 +106,17 @@ class StreamingCoreService:
     max_pending:
         Staleness budget: a non-``strict`` query tolerates up to this
         many pending appends before forcing a rebuild.
+    max_lag:
+        Time-based staleness budget in seconds (``None`` disables it):
+        a non-``strict`` query also folds pending edges in when the
+        *oldest* pending edge has been waiting longer than this — so a
+        slow trickle of appends cannot stay unserved forever just
+        because it never trips the count budget.
+    max_window_fraction:
+        Cost-model bound for ``refresh(mode="auto")``: an incremental
+        fold whose recompute window would cover more than this fraction
+        of all edges falls back to the full rebuild (the fold's
+        advantage has evaporated by then).
     wal:
         Optional :class:`~repro.store.wal.WriteAheadLog` making appends
         durable: every :meth:`append`/:meth:`extend` is written (and,
@@ -95,20 +134,38 @@ class StreamingCoreService:
         initial_edges: Iterable[tuple[Hashable, Hashable, int]] = (),
         *,
         max_pending: int = 1_000,
+        max_lag: float | None = None,
+        max_window_fraction: float = 0.5,
         wal: "WriteAheadLog | None" = None,
     ):
         self.ks = _normalise_ks(k)
         self.k = self.ks[0]
         if max_pending < 0:
             raise InvalidParameterError("max_pending must be non-negative")
+        if max_lag is not None and max_lag < 0:
+            raise InvalidParameterError("max_lag must be non-negative")
+        if not 0.0 <= max_window_fraction <= 1.0:
+            raise InvalidParameterError("max_window_fraction must be in [0, 1]")
         self.max_pending = max_pending
+        self.max_lag = max_lag
+        self.max_window_fraction = max_window_fraction
         self.wal = wal
         self._edges: list[tuple[Hashable, Hashable, int]] = list(initial_edges)
         self._pending = len(self._edges)
+        self._pending_since: float | None = (
+            _time.monotonic() if self._pending else None
+        )
         self._last_raw_time = max((t for _, _, t in self._edges), default=None)
         self._graph: TemporalGraph | None = None
         self._indexes: dict[int, CoreIndex] = {}
+        self._fold_bufs: dict | None = None
+        self._window_cache: dict[tuple[int, int], dict[int, CoreIndex]] = {}
+        self._window_cache_edges = -1
         self.num_rebuilds = 0
+        self.num_full_rebuilds = 0
+        self.num_incremental_folds = 0
+        self.last_fold_report = None
+        self.last_fallback_reason: str | None = None
 
     # ------------------------------------------------------------------
     # Ingestion
@@ -181,6 +238,9 @@ class StreamingCoreService:
         self._edges.extend(batch)
         self._last_raw_time = batch[-1][2]
         self._pending += len(batch)
+        if self._pending_since is None:
+            self._pending_since = _time.monotonic()
+        _lag_edges_gauge().set(self._pending)
         return first, len(batch)
 
     @property
@@ -200,32 +260,108 @@ class StreamingCoreService:
             or any(k not in self._indexes for k in self.ks)
         )
 
+    @property
+    def lag_seconds(self) -> float:
+        """Age of the oldest pending edge (0.0 when nothing is pending)."""
+        if self._pending_since is None:
+            return 0.0
+        return _time.monotonic() - self._pending_since
+
+    @property
+    def lag_exceeded(self) -> bool:
+        """Whether the time-based staleness budget is currently blown."""
+        return self.max_lag is not None and self.lag_seconds > self.max_lag
+
     # ------------------------------------------------------------------
     # Index lifecycle
     # ------------------------------------------------------------------
 
-    def refresh(self) -> None:
-        """Rebuild the graph and every registered index over all edges.
+    def refresh(self, mode: str = "auto") -> str:
+        """Fold every pending edge into the served graph and indexes.
 
-        One call folds the whole backlog in: the graph is re-normalised
-        and all registered ``k`` values are rebuilt in a single shared
-        decremental scan.  Counts as one rebuild regardless of how many
-        ``k`` values are registered.
+        ``mode`` selects the maintenance strategy and the resolved mode
+        is returned:
+
+        * ``"full"`` — re-normalise the graph and rebuild all registered
+          ``k`` values in one shared decremental scan (the only strategy
+          before incremental folds existed).
+        * ``"incremental"`` — fold the pending batch through
+          :func:`repro.core.incremental.delta_fold`: extend the compiled
+          arrays in place, recompute only the fold window, splice.  The
+          result is entry-identical to a full rebuild.  Falls back to
+          ``"full"`` when the fold is impossible (no base build yet, a
+          pending edge ties the built graph's last raw timestamp, an
+          oversized change cascade) — the fold is never wrong, only
+          sometimes refused, and the fallback reason lands in
+          ``last_fallback_reason``.
+        * ``"auto"`` (default) — ``"incremental"`` plus the cost model:
+          a fold whose recompute window would exceed
+          ``max_window_fraction`` of all edges rebuilds in full instead.
+
+        Counts as one rebuild in ``num_rebuilds`` regardless of mode and
+        of how many ``k`` values are registered; the full/incremental
+        split is in ``num_full_rebuilds`` / ``num_incremental_folds``.
         """
+        if mode not in ("auto", "incremental", "full"):
+            raise InvalidParameterError(
+                f"refresh mode must be auto|incremental|full, got {mode!r}"
+            )
         if not self._edges:
             raise InvalidParameterError("no edges ingested yet")
-        from repro.core.multik import build_core_indexes
+        started = _time.perf_counter()
+        resolved = "full"
+        if (
+            mode != "full"
+            and self._graph is not None
+            and self._pending > 0
+            and self._pending < len(self._edges)
+            and all(k in self._indexes for k in self.ks)
+        ):
+            from repro.core.incremental import FoldFallback, delta_fold
 
-        self._graph = TemporalGraph(self._edges)
-        self._indexes = build_core_indexes(self._graph, self.ks)
+            batch = self._edges[len(self._edges) - self._pending :]
+            try:
+                result = delta_fold(
+                    self._graph,
+                    self._indexes,
+                    batch,
+                    max_window_fraction=(
+                        self.max_window_fraction if mode == "auto" else None
+                    ),
+                    bufs=self._fold_bufs,
+                )
+            except FoldFallback as fallback:
+                self.last_fallback_reason = fallback.reason
+            else:
+                self._graph = result.graph
+                self._indexes = result.indexes
+                self._fold_bufs = result.bufs
+                self.last_fold_report = result.report
+                self.num_incremental_folds += 1
+                resolved = "incremental"
+        if resolved == "full":
+            from repro.core.multik import build_core_indexes
+
+            self._graph = TemporalGraph(self._edges)
+            self._indexes = build_core_indexes(self._graph, self.ks)
+            self._fold_bufs = None
+            self.num_full_rebuilds += 1
         self._pending = 0
+        self._pending_since = None
         self.num_rebuilds += 1
+        _fold_seconds_histogram().labels(resolved).observe(
+            _time.perf_counter() - started
+        )
+        _lag_edges_gauge().set(0)
+        _lag_seconds_gauge().set(0.0)
+        return resolved
 
     def _ensure_fresh(self, strict: bool) -> None:
         if self.is_stale and (
             strict
             or any(k not in self._indexes for k in self.ks)
             or self._pending > self.max_pending
+            or self.lag_exceeded
         ):
             self.refresh()
 
@@ -335,6 +471,92 @@ class StreamingCoreService:
         return self.query(window[0], window[1], k=k, strict=False, collect=collect)
 
     # ------------------------------------------------------------------
+    # Restricted-window serving (sub-span builds)
+    # ------------------------------------------------------------------
+
+    def window_indexes(self, ts: int, te: int) -> dict[int, CoreIndex]:
+        """Fresh indexes restricted to the normalised window ``[ts, te]``.
+
+        Builds every registered ``k`` over just the requested sub-span
+        (:func:`repro.core.multik.compute_core_times_multi` with
+        ``ts``/``te`` bounds) against a graph containing **all** ingested
+        edges — pending ones included — so the answer is always fresh
+        without paying for a full-span rebuild.  Results are cached per
+        window and invalidated by the next append or refresh.  Core
+        times depend only on edges inside the window, so the sub-span
+        arrays are exact over it (oracle-tested).
+        """
+        if not self._edges:
+            raise InvalidParameterError("no edges ingested yet")
+        if self._window_cache_edges != len(self._edges):
+            self._window_cache.clear()
+            self._window_cache_edges = len(self._edges)
+        cached = self._window_cache.get((ts, te))
+        if cached is not None:
+            return cached
+        from repro.core.multik import compute_core_times_multi
+
+        if self._pending == 0 and self._graph is not None:
+            graph = self._graph
+        else:
+            graph = TemporalGraph(self._edges)
+        results = compute_core_times_multi(graph, self.ks, ts=ts, te=te)
+        built = {
+            k: CoreIndex.from_core_times(graph, k, results[k]) for k in self.ks
+        }
+        self._window_cache[(ts, te)] = built
+        return built
+
+    def query_window(
+        self,
+        ts: int,
+        te: int,
+        *,
+        k: int | None = None,
+        collect: bool = True,
+        sink: "ResultSink | None" = None,
+    ) -> EnumerationResult:
+        """Temporal k-cores of ``[ts, te]`` via a restricted sub-span build.
+
+        Unlike :meth:`query` this never consults (or builds) the
+        full-span indexes: the window's own indexes are computed on
+        demand (and cached), covering pending edges immediately.  The
+        right tool when a stale service gets a narrow query and a whole
+        backlog fold would cost more than answering directly.
+        """
+        chosen = self.k if k is None else k
+        if chosen not in self.ks:
+            raise InvalidParameterError(
+                f"k={chosen} is not served by this service (registered: {self.ks})"
+            )
+        index = self.window_indexes(ts, te)[chosen]
+        return index.query(ts, te, collect=collect, sink=sink)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Freshness and maintenance counters (registry-backed views)."""
+        lag_seconds = self.lag_seconds
+        _lag_edges_gauge().set(self._pending)
+        _lag_seconds_gauge().set(lag_seconds)
+        report = self.last_fold_report
+        return {
+            "num_edges": len(self._edges),
+            "num_pending": self._pending,
+            "lag_edges": self._pending,
+            "lag_seconds": lag_seconds,
+            "max_pending": self.max_pending,
+            "max_lag": self.max_lag,
+            "rebuilds": self.num_rebuilds,
+            "full_rebuilds": self.num_full_rebuilds,
+            "incremental_folds": self.num_incremental_folds,
+            "last_fallback_reason": self.last_fallback_reason,
+            "last_fold": None if report is None else vars(report).copy(),
+        }
+
+    # ------------------------------------------------------------------
     # Persistence: streaming snapshots
     # ------------------------------------------------------------------
 
@@ -382,6 +604,7 @@ class StreamingCoreService:
         *,
         name: str | None = None,
         max_pending: int = 1_000,
+        max_lag: float | None = None,
         wal: "bool | str" = "auto",
         wal_segment_bytes: int | None = None,
     ) -> "StreamingCoreService":
@@ -427,7 +650,7 @@ class StreamingCoreService:
                 (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
                 for u, v, t in graph.edges
             ]
-            service = cls(k, edges, max_pending=max_pending)
+            service = cls(k, edges, max_pending=max_pending, max_lag=max_lag)
             loaded: dict[int, CoreIndex] = {}
             for wanted in service.ks:
                 index = store.load_index(graph, wanted, key=name)
@@ -449,7 +672,11 @@ class StreamingCoreService:
             ]
         replayed = [(e.u, e.v, e.t) for e in recovery.events]
         service = cls(
-            k, base_edges + replayed, max_pending=max_pending, wal=recovery.wal
+            k,
+            base_edges + replayed,
+            max_pending=max_pending,
+            max_lag=max_lag,
+            wal=recovery.wal,
         )
         if graph is not None:
             loaded = {}

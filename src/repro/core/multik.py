@@ -71,7 +71,7 @@ from repro.core.index import CoreIndex
 from repro.core.windows import EdgeCoreSkyline
 from repro.errors import InvalidParameterError
 from repro.graph.temporal_graph import TemporalGraph
-from repro.utils.arrays import offsets_from_keys
+from repro.utils.arrays import as_int64_array, offsets_from_keys
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
     from repro.store.index_store import IndexStore
@@ -116,17 +116,26 @@ def _shared_initial_scan(
         live = list(cg.slot_count)
         degree = list(cg.full_degree)
     else:
-        live = [0] * cg.num_slots
-        for eid in range(time_offset[ts_lo], time_offset[ts_hi + 1]):
-            live[edge_slot_u[eid]] += 1
-            live[edge_slot_v[eid]] += 1
-        degree = [0] * n
-        for u in range(n):
-            d = 0
-            for s in range(adj_offsets[u], adj_offsets[u + 1]):
-                if live[s]:
-                    d += 1
-            degree[u] = d
+        # Window live counts and distinct-neighbour degrees, vectorised:
+        # one bincount over both slot columns of the window's contiguous
+        # edge-id range, then a prefix-sum of slot liveness differenced
+        # at the adjacency offsets (empty adjacency segments fall out as
+        # zero, which reduceat would get wrong).
+        lo_eid = time_offset[ts_lo]
+        hi_eid = time_offset[ts_hi + 1]
+        live_np = np.bincount(
+            as_int64_array(edge_slot_u)[lo_eid:hi_eid],
+            minlength=cg.num_slots,
+        ) + np.bincount(
+            as_int64_array(edge_slot_v)[lo_eid:hi_eid],
+            minlength=cg.num_slots,
+        )
+        live_prefix = np.zeros(cg.num_slots + 1, dtype=np.int64)
+        np.cumsum(live_np > 0, out=live_prefix[1:])
+        adj_off_np = as_int64_array(adj_offsets)
+        degree_np = live_prefix[adj_off_np[1:]] - live_prefix[adj_off_np[:-1]]
+        live = live_np.tolist()
+        degree = degree_np.tolist()
 
     # Nested peel of G[ts_lo, ts_hi]: ascending k, continuing from the
     # previous level's k-core.  The first level seeds from the full

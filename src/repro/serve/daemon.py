@@ -54,7 +54,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.index import CoreIndexRegistry
-from repro.errors import ReproError, StoreError
+from repro.errors import InvalidParameterError, ReproError, StoreError
 from repro.graph.temporal_graph import TemporalGraph
 from repro.obs.metrics import (
     PROMETHEUS_CONTENT_TYPE,
@@ -108,12 +108,15 @@ class _IngestState:
     against.
     """
 
-    __slots__ = ("key", "wal", "last_raw_time")
+    __slots__ = ("key", "wal", "last_raw_time", "pending_since")
 
     def __init__(self, key: str, wal, last_raw_time: int | None):
         self.key = key
         self.wal = wal
         self.last_raw_time = last_raw_time
+        #: Monotonic clock reading of the first append since the last
+        #: flush — the key's freshness lag is measured from here.
+        self.pending_since: float | None = None
 
 #: Granularity of a bounded outbox put from the execution thread — how
 #: long each wait slice lasts before the peer's liveness and the
@@ -364,7 +367,10 @@ class ServingDaemon:
     (a request's deadline bounds the lane's total occupancy, delivery
     backpressure included).  ``warm=True`` preloads every stored index
     at boot.  ``port=0`` binds an ephemeral port — :attr:`port` holds
-    the real one after :meth:`start`.
+    the real one after :meth:`start`.  ``max_lag`` is a freshness
+    budget in seconds: a query against a key whose oldest unflushed
+    append is older than the budget triggers a flush first (``None``
+    flushes only on request).
     """
 
     def __init__(
@@ -381,8 +387,12 @@ class ServingDaemon:
         terminal_grace: float = 5.0,
         pool_min_windows: int = 2,
         warm: bool = True,
+        max_lag: float | None = None,
     ):
+        if max_lag is not None and max_lag < 0:
+            raise InvalidParameterError("max_lag must be non-negative")
         self.store = store if isinstance(store, IndexStore) else IndexStore(store)
+        self.max_lag = max_lag
         self.host = host
         self.port = port
         self.processes = processes or None
@@ -462,6 +472,21 @@ class ServingDaemon:
         self._c_flushes = m.counter(
             "repro_daemon_flushes_total",
             "Flush requests that advanced a snapshot",
+            ("daemon",),
+        ).labels(inst)
+        self._c_incremental_folds = m.counter(
+            "repro_daemon_incremental_folds_total",
+            "Flushes served by an incremental delta-fold",
+            ("daemon",),
+        ).labels(inst)
+        self._c_full_rebuilds = m.counter(
+            "repro_daemon_full_rebuilds_total",
+            "Flushes served by a full snapshot rebuild",
+            ("daemon",),
+        ).labels(inst)
+        self._c_lag_flushes = m.counter(
+            "repro_daemon_lag_flushes_total",
+            "Flushes triggered on the query path by the max_lag budget",
             ("daemon",),
         ).labels(inst)
         self._h_request_seconds = m.histogram(
@@ -847,6 +872,7 @@ class ServingDaemon:
             return self._answer_append(request)
         if request.op == "flush":
             return self._answer_flush(request)
+        self._maybe_flush_for_lag(request.graph)
         graph = self._graph(request.graph)
         index = self.registry.get(graph, request.k, store=self.store)
         ranges = list(request.ranges)
@@ -973,44 +999,108 @@ class ServingDaemon:
                 f"append not acknowledged, daemon is now read-only: {exc}"
             ) from exc
         state.last_raw_time = state.wal.last_event_time
+        if appended and state.pending_since is None:
+            state.pending_since = now()
         self._c_appended.inc(appended)
         return append_done_frame(request.id, lsn=lsn, appended=appended)
 
     def _answer_flush(self, request: Request) -> dict:
+        self._require_writable()
+        key = self._ingest_key(request.graph)
+        covered, applied = self._flush_key(key)
+        return flush_done_frame(request.id, lsn=covered, applied=applied)
+
+    def _try_incremental_flush(self, key, state, events):
+        """Delta-fold the replayed events onto the cached snapshot.
+
+        Returns the folded graph when the fast path applies, ``None``
+        to fall back to the full rebuild.  The fast path needs the
+        cached graph (already fingerprint-consistent with the stored
+        snapshot — the daemon is the store's only writer) and a
+        loadable index for every stored ``k``; the fold itself bails
+        with :class:`FoldFallback` on boundary ties or oversized
+        recompute windows, which are equally a full-rebuild signal.
+        """
+        if not events or key not in self.store.keys():
+            return None
+        with self._graph_lock:
+            graph = self._graphs.get(key)
+        if graph is None:
+            return None
+        stored = self.store.stored_ks(key)
+        if not stored:
+            return None
+        indexes = {}
+        for k in stored:
+            index = self.store.load_index(graph, k, key=key)
+            if index is None:
+                return None
+            indexes[k] = index
+        from repro.core.incremental import FoldFallback, delta_fold
+
+        try:
+            result = delta_fold(
+                graph,
+                indexes,
+                [(e.u, e.v, e.t) for e in events],
+                max_window_fraction=0.5,
+            )
+        except FoldFallback:
+            return None
+        covered = state.wal.last_lsn
+        self.store.save_graph(result.graph, name=key, stream_lsn=covered)
+        for k in stored:
+            self.store.save_index(result.indexes[k], name=key)
+        state.wal.trim(covered)
+        return result.graph
+
+    def _flush_key(self, key: str) -> tuple[int, int]:
         """Fold the WAL into a fresh snapshot: graph, indexes, trim.
 
         Until a flush, appended edges are durable but not *queryable* —
-        queries answer from the last snapshot.  Flush rebuilds the
-        graph from (snapshot ∪ replayed log), persists it with the
-        covered LSN in one atomic manifest commit, rebuilds every
-        previously stored ``k`` against it, trims covered log segments
-        and swaps the daemon's cached graph — after which queries see
-        the appended edges.
+        queries answer from the last snapshot.  A flush first attempts
+        an incremental delta-fold of the replayed events onto the
+        cached snapshot (amortized O(|delta|) on the frontier path);
+        when that does not apply it rebuilds the graph from
+        (snapshot ∪ replayed log) and every previously stored ``k``
+        against it.  Either way it persists the result with the
+        covered LSN in one atomic manifest commit, trims covered log
+        segments and swaps the daemon's cached graph — after which
+        queries see the appended edges.  Returns ``(covered lsn,
+        events applied)``.
         """
-        self._require_writable()
-        key = self._ingest_key(request.graph)
         state = self._ingest_state(key)
         snapshot_lsn = self.store.stream_lsn(key)
         try:
             events = state.wal.replay(after=snapshot_lsn)
-            edges: list = []
-            stored: list[int] = []
-            if key in self.store.keys():
-                graph = self.store.load_graph(key)
-                stored = self.store.stored_ks(key)
-                edges = [
-                    (graph.label_of(u), graph.label_of(v), graph.raw_time_of(t))
-                    for u, v, t in graph.edges
-                ]
-            edges.extend((e.u, e.v, e.t) for e in events)
-            if not edges:
-                raise ReproError(f"nothing to flush for key {key!r}")
-            covered = state.wal.last_lsn
-            new_graph = TemporalGraph(edges)
-            self.store.save_graph(new_graph, name=key, stream_lsn=covered)
-            if stored:
-                self.store.build_all(new_graph, stored, name=key)
-            state.wal.trim(covered)
+            new_graph = self._try_incremental_flush(key, state, events)
+            if new_graph is not None:
+                covered = state.wal.last_lsn
+                self._c_incremental_folds.inc()
+            else:
+                edges: list = []
+                stored: list[int] = []
+                if key in self.store.keys():
+                    graph = self.store.load_graph(key)
+                    stored = self.store.stored_ks(key)
+                    edges = [
+                        (
+                            graph.label_of(u),
+                            graph.label_of(v),
+                            graph.raw_time_of(t),
+                        )
+                        for u, v, t in graph.edges
+                    ]
+                edges.extend((e.u, e.v, e.t) for e in events)
+                if not edges:
+                    raise ReproError(f"nothing to flush for key {key!r}")
+                covered = state.wal.last_lsn
+                new_graph = TemporalGraph(edges)
+                self.store.save_graph(new_graph, name=key, stream_lsn=covered)
+                if stored:
+                    self.store.build_all(new_graph, stored, name=key)
+                state.wal.trim(covered)
+                self._c_full_rebuilds.inc()
         except OSError as exc:
             self._enter_read_only(f"flush failed: {exc}")
             raise _ReadOnlyError(
@@ -1018,8 +1108,39 @@ class ServingDaemon:
             ) from exc
         with self._graph_lock:
             self._graphs[key] = new_graph
+        state.pending_since = None
         self._c_flushes.inc()
-        return flush_done_frame(request.id, lsn=covered, applied=len(events))
+        return covered, len(events)
+
+    def _maybe_flush_for_lag(self, requested: str | None) -> None:
+        """Flush a key on the query path once its lag budget is blown.
+
+        With ``max_lag`` set, a query against a key whose oldest
+        unflushed append is older than the budget triggers a flush
+        first, so the answer includes the backlog.  This runs on the
+        single execution lane — the flush fully completes before the
+        query plans, exactly as if the client had sent an explicit
+        ``flush``.  A read-only daemon serves the stale snapshot
+        instead (queries must keep working when ingestion cannot).
+        """
+        if self.max_lag is None or self._read_only is not None:
+            return
+        try:
+            key = self.store.only_key(requested)
+        except StoreError:
+            return
+        state = self._ingests.get(key)
+        if state is None or state.pending_since is None:
+            return
+        if now() - state.pending_since <= self.max_lag:
+            return
+        try:
+            self._flush_key(key)
+        except _ReadOnlyError:
+            # The flush flipped the daemon read-only; the query
+            # proceeds against the stale snapshot.
+            return
+        self._c_lag_flushes.inc()
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1064,11 +1185,20 @@ class ServingDaemon:
                 "read_only": self._read_only,
                 "appended_edges": int(self._c_appended.value),
                 "flushes": int(self._c_flushes.value),
+                "incremental_folds": int(self._c_incremental_folds.value),
+                "full_rebuilds": int(self._c_full_rebuilds.value),
+                "lag_flushes": int(self._c_lag_flushes.value),
+                "max_lag": self.max_lag,
                 "keys": {
                     key: {
                         "last_lsn": state.wal.last_lsn,
                         "stream_lsn": self.store.stream_lsn(key),
                         "segments": len(state.wal.segment_paths()),
+                        "lag_seconds": (
+                            0.0
+                            if state.pending_since is None
+                            else now() - state.pending_since
+                        ),
                     }
                     # stats() runs off-lane; snapshot the dict so a
                     # concurrent first-append insert cannot resize it

@@ -53,6 +53,19 @@ def main(argv: list[str] | None = None) -> int:
     start = service.num_edges
     for index in range(start, len(workload)):
         u, v, t = workload[index]
+        # Refresh at strict timestamp boundaries: the pending batch then
+        # starts past the graph's last instant, so the incremental
+        # delta-fold engages (instead of its boundary-tie fallback) and
+        # the campaign deterministically reaches the ``fold.merge``
+        # crash point.  A fold is pure memory — a crash inside it loses
+        # nothing durable, which is exactly what the audit checks.
+        if (
+            service.num_pending > 0
+            and index > 0
+            and t > workload[index - 1][2]
+        ):
+            service.refresh(mode="incremental")
+            print(f"FOLD {index}", flush=True)
         service.append(u, v, t)
         # The append returned: its WAL record is fsynced.  This line is
         # the acknowledgement the campaign holds us to.

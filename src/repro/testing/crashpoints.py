@@ -61,6 +61,7 @@ CRASHPOINTS: dict[str, str] = {
     "snapshot.pre-graph": "snapshot refresh done, nothing persisted yet",
     "snapshot.post-graph.pre-indexes": "graph+LSN committed, indexes absent",
     "snapshot.post-indexes.pre-trim": "snapshot complete, old WAL not trimmed",
+    "fold.merge": "incremental fold mid-flight: sub-span computed, merge pending",
 }
 
 #: Every fault point (non-lethal ``OSError`` injection sites).

@@ -318,3 +318,164 @@ class TestRawTimeQueries:
             svc.query_raw(500, 600)
         with pytest.raises(InvalidParameterError):
             svc.query_raw(600, 500)
+
+
+class TestIncrementalRefresh:
+    """PR 10: frontier batches fold instead of rebuilding."""
+
+    def _seeded(self, ks=(2,), **kwargs):
+        svc = StreamingCoreService(ks, PAPER_EXAMPLE_EDGES, **kwargs)
+        svc.refresh(mode="full")
+        return svc
+
+    def test_mode_validation(self, service):
+        with pytest.raises(InvalidParameterError):
+            service.refresh(mode="sideways")
+
+    def test_frontier_batch_folds(self):
+        svc = self._seeded()
+        svc.extend([("v1", "v2", 8), ("v2", "v3", 8), ("v1", "v3", 9)])
+        assert svc.refresh(mode="incremental") == "incremental"
+        assert svc.num_incremental_folds == 1
+        assert svc.num_full_rebuilds == 1
+        assert svc.num_pending == 0
+
+    def test_boundary_tie_falls_back_to_full(self):
+        svc = self._seeded()
+        svc.append("v1", "v2", 7)  # ties the built graph's last instant
+        assert svc.refresh() == "full"
+        assert svc.last_fallback_reason == "boundary-tie"
+        assert svc.num_incremental_folds == 0
+
+    def test_full_mode_forced(self):
+        svc = self._seeded()
+        svc.append("v1", "v2", 8)
+        assert svc.refresh(mode="full") == "full"
+        assert svc.num_incremental_folds == 0
+
+    def test_folded_answers_match_offline(self):
+        extra = [("v1", "v9", 8), ("v9", "v5", 8), ("v1", "v5", 9)]
+        svc = self._seeded()
+        svc.extend(extra)
+        assert svc.refresh(mode="incremental") == "incremental"
+        result = svc.query(1, svc.graph.tmax)
+        offline = enumerate_temporal_kcores(
+            TemporalGraph(list(PAPER_EXAMPLE_EDGES) + extra), 2
+        )
+        assert result.edge_sets() == offline.edge_sets()
+
+    def test_auto_refresh_on_query_path_folds(self):
+        # The paper graph is tiny, so any delta's window exceeds the
+        # default cost bound — widen it to pin the query-path wiring.
+        svc = self._seeded(max_pending=1, max_window_fraction=1.0)
+        svc.extend([("v1", "v2", 8), ("v2", "v3", 8)])
+        svc.query(1, 7)  # over budget: refresh happens implicitly
+        assert svc.num_incremental_folds == 1
+
+    def test_auto_cost_model_refuses_oversized_windows(self):
+        # On the tiny paper graph a 3-edge delta's recompute window is
+        # most of the span: auto mode rebuilds and records why.
+        svc = self._seeded()
+        svc.extend([("v1", "v2", 8), ("v2", "v3", 8), ("v1", "v3", 9)])
+        assert svc.refresh(mode="auto") == "full"
+        assert svc.last_fallback_reason == "window-fraction"
+
+    def test_stats_surface(self):
+        svc = self._seeded()
+        svc.extend([("v1", "v2", 8), ("v2", "v3", 9)])
+        stats = svc.stats()
+        assert stats["num_pending"] == 2
+        assert stats["lag_edges"] == 2
+        assert stats["lag_seconds"] > 0.0
+        svc.refresh(mode="incremental")
+        stats = svc.stats()
+        assert stats["num_pending"] == 0
+        assert stats["lag_seconds"] == 0.0
+        assert stats["incremental_folds"] == 1
+        assert stats["full_rebuilds"] == 1
+        assert stats["last_fold"]["delta_edges"] == 2
+        assert stats["last_fold"]["seconds"] >= 0.0
+
+
+class TestMaxLag:
+    def test_validation(self):
+        with pytest.raises(InvalidParameterError):
+            StreamingCoreService(2, max_lag=-1.0)
+
+    def test_lag_budget_triggers_refresh(self):
+        svc = StreamingCoreService(
+            2, PAPER_EXAMPLE_EDGES, max_pending=1_000, max_lag=60.0
+        )
+        svc.query(1, 7)
+        svc.append("v1", "v2", 8)
+        assert not svc.lag_exceeded
+        svc.query(1, 7)
+        assert svc.num_rebuilds == 1  # within both budgets
+        svc._pending_since -= 120.0  # backdate: oldest append 2min old
+        assert svc.lag_exceeded
+        svc.query(1, 7)
+        assert svc.num_rebuilds == 2
+        assert svc.num_pending == 0
+
+    def test_no_lag_budget_by_default(self):
+        svc = StreamingCoreService(2, PAPER_EXAMPLE_EDGES, max_pending=1_000)
+        svc.query(1, 7)
+        svc.append("v1", "v2", 8)
+        svc._pending_since -= 10_000.0
+        assert not svc.lag_exceeded
+        svc.query(1, 7)
+        assert svc.num_rebuilds == 1
+
+    def test_restore_forwards_max_lag(self, tmp_path):
+        from repro.store.index_store import IndexStore
+
+        store = IndexStore(tmp_path / "store")
+        svc = StreamingCoreService(2, PAPER_EXAMPLE_EDGES)
+        svc.snapshot(store, name="g")
+        resumed = StreamingCoreService.restore(store, 2, max_lag=5.0)
+        assert resumed.max_lag == 5.0
+
+
+class TestWindowQueries:
+    """PR 10 satellite: restricted sub-span builds from the serving layer."""
+
+    def test_window_indexes_match_full_restriction(self, service):
+        service.refresh()
+        full = service.query(2, 5, strict=True)
+        window = service.query_window(2, 5)
+        assert window.edge_sets() == full.edge_sets()
+
+    def test_window_query_sees_pending_edges(self, service):
+        service.refresh()
+        service.extend([("v1", "v9", 8), ("v9", "v5", 8), ("v1", "v5", 9)])
+        before = service.num_rebuilds
+        tmax = TemporalGraph(
+            list(PAPER_EXAMPLE_EDGES)
+            + [("v1", "v9", 8), ("v9", "v5", 8), ("v1", "v5", 9)]
+        ).tmax
+        result = service.query_window(1, tmax)
+        offline = enumerate_temporal_kcores(
+            TemporalGraph(
+                list(PAPER_EXAMPLE_EDGES)
+                + [("v1", "v9", 8), ("v9", "v5", 8), ("v1", "v5", 9)]
+            ),
+            2,
+        )
+        assert result.edge_sets() == offline.edge_sets()
+        # The sub-span build never touched the full-span indexes.
+        assert service.num_rebuilds == before
+        assert service.num_pending == 3
+
+    def test_window_cache_invalidated_by_append(self, service):
+        service.refresh()
+        first = service.window_indexes(1, 7)
+        again = service.window_indexes(1, 7)
+        assert again is first  # cached
+        service.append("v1", "v9", 8)
+        rebuilt = service.window_indexes(1, 7)
+        assert rebuilt is not first
+
+    def test_window_validation(self, service):
+        service.refresh()
+        with pytest.raises(InvalidParameterError):
+            service.query_window(5, 2)

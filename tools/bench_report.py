@@ -1,0 +1,150 @@
+"""Aggregate every ``BENCH_*.json`` into one trajectory report.
+
+Each PR's benchmark script writes its own ``BENCH_PRn.json`` at the
+repository root; their shapes differ (each prices a different layer),
+but they share two conventions this report keys on:
+
+* **speedup numbers** — any ``speedup`` / ``worst_speedup`` field,
+  wherever it nests, is a headline "how much faster is the new path"
+  measurement;
+* **correctness flags** — any ``identical`` / ``ok`` boolean asserts
+  the fast path answered exactly like its oracle.
+
+The report is one markdown table (``BENCH_REPORT.md``) plus a
+machine-readable twin (``BENCH_REPORT.json``), regenerated from
+whatever result files are present — a missing PR's file simply has no
+row.  Exits non-zero if any correctness flag in any result is false,
+so CI publishing the artifact also enforces it.
+
+Usage::
+
+    python tools/bench_report.py [--dir REPO_ROOT]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+
+HEADLINE_KEYS = ("speedup", "worst_speedup")
+OK_KEYS = ("identical", "ok")
+
+
+def _walk(obj, path=""):
+    if isinstance(obj, dict):
+        for key, value in obj.items():
+            sub = f"{path}.{key}" if path else key
+            yield sub, key, value
+            yield from _walk(value, sub)
+    elif isinstance(obj, list):
+        for i, value in enumerate(obj):
+            yield from _walk(value, f"{path}[{i}]")
+
+
+def speedups(data) -> list[tuple[str, float]]:
+    return [
+        (path, float(value))
+        for path, key, value in _walk(data)
+        if key in HEADLINE_KEYS and isinstance(value, (int, float))
+    ]
+
+
+def ok_flags(data) -> list[tuple[str, bool]]:
+    return [
+        (path, bool(value))
+        for path, key, value in _walk(data)
+        if key in OK_KEYS and isinstance(value, bool)
+    ]
+
+
+def _sort_key(path: pathlib.Path):
+    match = re.search(r"PR(\d+)", path.name)
+    return (int(match.group(1)) if match else 10**9, path.name)
+
+
+def build_report(root: pathlib.Path) -> dict:
+    rows = []
+    for path in sorted(root.glob("BENCH_*.json"), key=_sort_key):
+        if path.name.startswith("BENCH_REPORT"):
+            continue
+        data = json.loads(path.read_text())
+        flags = ok_flags(data)
+        rows.append(
+            {
+                "file": path.name,
+                "bench": data.get("bench") or data.get("benchmark")
+                or path.stem,
+                "mode": data.get("mode")
+                or ("smoke" if data.get("smoke") else "full"),
+                "speedups": dict(speedups(data)),
+                "checks": dict(flags),
+                "ok": all(value for _, value in flags) if flags else None,
+            }
+        )
+    return {"report": "bench_trajectory", "rows": rows}
+
+
+def to_markdown(report: dict) -> str:
+    lines = [
+        "# Benchmark trajectory",
+        "",
+        "One row per PR benchmark result file; speedups are the fast",
+        "path against that PR's oracle, checks assert answer identity.",
+        "",
+        "| File | Bench | Mode | Speedups | Checks |",
+        "|---|---|---|---|---|",
+    ]
+    for row in report["rows"]:
+        speed = (
+            "<br>".join(
+                f"{path}: {value:.1f}x"
+                for path, value in sorted(row["speedups"].items())
+            )
+            or "—"
+        )
+        if row["ok"] is None:
+            checks = "—"
+        elif row["ok"]:
+            checks = f"all pass ({len(row['checks'])})"
+        else:
+            failed = [p for p, v in row["checks"].items() if not v]
+            checks = "FAILED: " + ", ".join(failed)
+        lines.append(
+            f"| {row['file']} | {row['bench']} | {row['mode']} "
+            f"| {speed} | {checks} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--dir",
+        default=str(pathlib.Path(__file__).resolve().parent.parent),
+        help="directory holding the BENCH_*.json files (default: repo root)",
+    )
+    args = parser.parse_args(argv)
+    root = pathlib.Path(args.dir)
+
+    report = build_report(root)
+    (root / "BENCH_REPORT.json").write_text(
+        json.dumps(report, indent=2) + "\n"
+    )
+    (root / "BENCH_REPORT.md").write_text(to_markdown(report))
+    print(f"{len(report['rows'])} result files aggregated -> "
+          f"{root / 'BENCH_REPORT.md'}")
+
+    bad = [row["file"] for row in report["rows"] if row["ok"] is False]
+    if bad:
+        print(f"correctness flags failed in: {', '.join(bad)}",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
